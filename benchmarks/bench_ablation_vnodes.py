@@ -1,0 +1,59 @@
+"""Ablation — how many random virtual nodes does consistent hashing need?
+
+Extends the paper's Fig. 5 comparison (O(log n) vs n^2/2) into a sweep:
+balance quality of random-vnode consistent hashing as the per-fleet vnode
+budget grows, against Proteus's N(N-1)/2+1 deterministic placement.  The
+point the paper makes implicitly: no random budget in this range reaches
+Proteus's exact balance, even with more vnodes than Proteus uses.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from benchmarks.conftest import fmt_row
+from repro.core.ring import prefix_active
+from repro.core.router import ConsistentRouter, ProteusRouter
+
+N = 10
+BUDGETS = [10, 20, 50, 100, 200, 500]
+SEEDS = range(5)
+
+
+def mean_share_ratio(router) -> float:
+    ratios = []
+    for n in range(2, N + 1):
+        owned = router.ring.owned_lengths(prefix_active(n))
+        values = [owned.get(s, 0) for s in range(n)]
+        # float() because Proteus shares are exact Fractions.
+        ratios.append(float(min(values) / max(values)) if max(values) else 0.0)
+    return statistics.mean(ratios)
+
+
+def sweep():
+    rows = {}
+    for budget in BUDGETS:
+        rows[budget] = statistics.mean(
+            mean_share_ratio(ConsistentRouter(N, total_vnodes=budget, seed=s))
+            for s in SEEDS
+        )
+    rows["proteus"] = mean_share_ratio(ProteusRouter(N))
+    return rows
+
+
+def test_ablation_vnode_budget(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nAblation — mean min/max key-space share vs total random vnodes "
+          f"(N={N}, averaged over active prefixes and {len(list(SEEDS))} seeds):")
+    print(fmt_row("vnodes", BUDGETS + ["Proteus(46)"], width=12))
+    print(fmt_row(
+        "share ratio",
+        [round(rows[b], 3) for b in BUDGETS] + [round(rows["proteus"], 3)],
+        width=12,
+    ))
+    # More vnodes help...
+    assert rows[500] > rows[10]
+    # ...but even 500 random vnodes stay below Proteus's exact 1.0 with 46.
+    assert rows[500] < rows["proteus"] == pytest.approx(1.0)

@@ -1,0 +1,72 @@
+"""Fig. 5 — load balancing under dynamics: min/max load ratio per slot.
+
+Paper: replays the real Wikipedia trace through each scenario's routing
+under the recorded provisioning series and plots min(load)/max(load) over
+active servers.  Result: Proteus ~ Static ~ Naive, both far above random
+consistent hashing with O(log n) vnodes; the n^2/2 variant sits in between.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import fmt_row
+from repro.core.router import (
+    ConsistentRouter,
+    NaiveRouter,
+    ProteusRouter,
+    StaticRouter,
+)
+from repro.experiments.loadbalance import compare_routers
+from repro.provisioning.policies import ProvisioningSchedule
+
+NUM_SERVERS = 10
+NUM_SLOTS = 12
+
+
+def build_routers():
+    return [
+        StaticRouter(NUM_SERVERS),
+        NaiveRouter(NUM_SERVERS),
+        ConsistentRouter.log_variant(NUM_SERVERS),        # O(log n) vnodes
+        ConsistentRouter.quadratic_variant(NUM_SERVERS),  # n^2/2 vnodes
+        ProteusRouter(NUM_SERVERS),
+    ]
+
+
+def test_fig05_load_balancing(benchmark, wikipedia_trace):
+    duration = wikipedia_trace[-1].time
+    schedule = ProvisioningSchedule(
+        duration / NUM_SLOTS, [8, 7, 6, 5, 4, 4, 5, 6, 7, 8, 8, 7]
+    )
+    routers = build_routers()
+
+    results = benchmark.pedantic(
+        compare_routers, args=(routers, wikipedia_trace, schedule),
+        rounds=1, iterations=1,
+    )
+    labels = {
+        "Static": "Static",
+        "Naive": "Naive",
+        "Consistent": "Cons-logN",
+        "Consistent#2": "Cons-n2/2",
+        "Proteus": "Proteus",
+    }
+    print("\nFig. 5 — min/max load ratio per slot (1.0 = perfectly balanced):")
+    print(fmt_row("slot", list(range(NUM_SLOTS))))
+    means = {}
+    for key, result in results.items():
+        ratios = result.ratios()
+        means[key] = result.mean_ratio()
+        print(fmt_row(labels[key], [round(r, 2) for r in ratios]))
+    print(
+        "  means: "
+        + ", ".join(f"{labels[k]}={v:.3f}" for k, v in means.items())
+    )
+
+    # Paper orderings: Proteus >= Naive ~ Static >> Consistent-logN, and the
+    # n^2/2 variant beats logN but stays below Proteus.
+    assert means["Proteus"] > means["Consistent"]
+    assert means["Proteus"] > means["Consistent#2"]
+    assert means["Naive"] > means["Consistent"]
+    assert means["Proteus"] >= means["Naive"] - 0.05

@@ -1,0 +1,43 @@
+"""Fig. 6 — hit ratio vs per-server cache size.
+
+Paper: replaying the Wikipedia trace, "when each Memcached server uses 1GB
+memory (with 4KB data per page), the hit ratio reaches above 80%".  We
+sweep cache capacity over the synthetic trace; the catalogue is scaled down,
+so the x-axis is capacity as a *fraction of the working set* — the 80%
+crossing should appear when the cache holds roughly a quarter to a half of
+the distinct pages, as it does in the paper (2.56 M pages cached of ~11 M
+English articles).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import fmt_row
+from repro.experiments.hitratio import sweep_cache_sizes
+
+ITEM = 4096
+#: capacities in pages; the trace's catalogue is 30k pages.
+CAPACITY_PAGES = [250, 500, 1000, 2000, 4000, 8000, 16_000, 30_000]
+
+
+def test_fig06_hit_ratio_vs_cache_size(benchmark, wikipedia_trace):
+    points = benchmark.pedantic(
+        sweep_cache_sizes,
+        args=(wikipedia_trace, [p * ITEM for p in CAPACITY_PAGES]),
+        kwargs={"item_size": ITEM},
+        rounds=1, iterations=1,
+    )
+    distinct = points[0].distinct_keys
+    print("\nFig. 6 — hit ratio vs cache size (catalogue "
+          f"{distinct} distinct pages touched):")
+    print(fmt_row("pages", CAPACITY_PAGES))
+    print(fmt_row("cap/workset", [round(p / distinct, 2) for p in CAPACITY_PAGES]))
+    print(fmt_row("hit ratio", [round(p.hit_ratio, 3) for p in points]))
+
+    ratios = [p.hit_ratio for p in points]
+    # Monotone-increasing sweep that saturates.
+    assert all(a <= b + 0.02 for a, b in zip(ratios, ratios[1:]))
+    # The paper's ">80% once a sizeable fraction of the hot set fits".
+    assert ratios[-1] > 0.8
+    assert ratios[0] < ratios[-1] - 0.15

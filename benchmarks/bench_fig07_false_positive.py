@@ -1,0 +1,63 @@
+"""Fig. 7 — counting-Bloom-filter false-positive rate vs filter size.
+
+Paper: with 4 non-cryptographic hash functions, sweep the filter's memory;
+curves for several key-set sizes; 512 KB is "negligible" for their ~2.56 M
+hot pages scaled setting.  We insert kappa keys, probe absent keys, and
+report the measured rate next to the Eq. 4 prediction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import fmt_row
+from repro.bloom.config import false_positive_rate
+from repro.bloom.counting import CountingBloomFilter
+
+#: filter sizes in KB of counter memory (b=4 bits per counter).
+SIZES_KB = [16, 32, 64, 128, 256, 512]
+KAPPAS = [20_000, 50_000, 100_000]
+COUNTER_BITS = 4
+HASHES = 4
+PROBES = 20_000
+
+
+def measure(kappa: int, size_kb: int) -> float:
+    num_counters = size_kb * 1024 * 8 // COUNTER_BITS
+    cbf = CountingBloomFilter(num_counters, COUNTER_BITS, HASHES)
+    for i in range(kappa):
+        cbf.add(f"in:{kappa}:{i}")
+    false_hits = sum(
+        1 for i in range(PROBES) if f"out:{kappa}:{i}" in cbf
+    )
+    return false_hits / PROBES
+
+
+def sweep():
+    return {
+        kappa: [measure(kappa, size) for size in SIZES_KB] for kappa in KAPPAS
+    }
+
+
+def test_fig07_false_positive_vs_size(benchmark):
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nFig. 7 — false positive rate vs Bloom filter size "
+          f"(h={HASHES}, b={COUNTER_BITS}):")
+    print(fmt_row("size KB", SIZES_KB))
+    for kappa, rates in results.items():
+        print(fmt_row(f"{kappa // 1000}k keys", [round(r, 4) for r in rates]))
+        predicted = [
+            false_positive_rate(kb * 1024 * 8 // COUNTER_BITS, kappa, HASHES)
+            for kb in SIZES_KB
+        ]
+        print(fmt_row("  eq.4", [round(p, 4) for p in predicted]))
+
+    for kappa, rates in results.items():
+        # Monotone decreasing in size; negligible at 512 KB for the smaller
+        # key sets (the paper's conclusion).
+        assert all(a >= b - 0.002 for a, b in zip(rates, rates[1:]))
+        predicted_512 = false_positive_rate(
+            512 * 1024 * 8 // COUNTER_BITS, kappa, HASHES
+        )
+        assert rates[-1] == pytest.approx(predicted_512, abs=0.01)
+    assert results[20_000][-1] < 1e-3

@@ -1,0 +1,54 @@
+"""Fig. 8 — counting-Bloom-filter false-negative rate vs filter size.
+
+Paper: false negatives come *only* from counter overflow followed by
+deletion (Section IV-B).  We provoke them the same way: insert kappa keys
+into narrow (b=2) counters, delete half the keys, probe the survivors, and
+sweep the filter size.  Small filters saturate and lose survivors; at
+512 KB the rate is negligible — the paper's operating point.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import fmt_row
+from repro.bloom.counting import CountingBloomFilter
+
+SIZES_KB = [4, 8, 16, 32, 64, 128, 256, 512]
+KAPPAS = [20_000, 50_000, 100_000]
+COUNTER_BITS = 2  # narrow on purpose: overflow is the phenomenon under test
+HASHES = 4
+
+
+def measure(kappa: int, size_kb: int) -> float:
+    num_counters = max(1, size_kb * 1024 * 8 // COUNTER_BITS)
+    cbf = CountingBloomFilter(num_counters, COUNTER_BITS, HASHES, strict=False)
+    keys = [f"k:{kappa}:{i}" for i in range(kappa)]
+    cbf.update(keys)
+    for key in keys[: kappa // 2]:
+        cbf.remove(key)
+    survivors = keys[kappa // 2:]
+    false_negatives = sum(1 for key in survivors if key not in cbf)
+    return false_negatives / len(survivors)
+
+
+def sweep():
+    return {
+        kappa: [measure(kappa, size) for size in SIZES_KB] for kappa in KAPPAS
+    }
+
+
+def test_fig08_false_negative_vs_size(benchmark):
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nFig. 8 — false negative rate vs Bloom filter size "
+          f"(h={HASHES}, b={COUNTER_BITS}, half the keys deleted):")
+    print(fmt_row("size KB", SIZES_KB))
+    for kappa, rates in results.items():
+        print(fmt_row(f"{kappa // 1000}k keys", [round(r, 4) for r in rates]))
+
+    for kappa, rates in results.items():
+        # Small filters overflow -> false negatives; big filters don't.
+        assert rates[0] > rates[-1]
+        assert rates[-1] < 1e-3  # negligible at 512 KB (paper's setting)
+    # Heavier key sets need more memory for the same rate.
+    assert results[100_000][2] >= results[20_000][2]

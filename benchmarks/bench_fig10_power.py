@@ -1,0 +1,49 @@
+"""Fig. 10 — whole-cluster power draw over time, four scenarios.
+
+Paper: PDU samples every 15 s over web + cache + DB tiers.  Static draws
+roughly constant power (slightly decreasing with load); the three
+provisioned scenarios step down with n(t) and save visibly during the
+valley.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import fmt_row
+
+ORDER = ["Static", "Naive", "Consistent", "Proteus"]
+PRINT_POINTS = 12
+
+
+def downsample(series, points):
+    if len(series) <= points:
+        return list(series.values)
+    stride = len(series) // points
+    return [series.values[i * stride] for i in range(points)]
+
+
+def extract(reports):
+    return {name: reports[name].power_series["total"] for name in ORDER}
+
+
+def test_fig10_power_over_time(benchmark, scenario_reports):
+    series = benchmark.pedantic(
+        extract, args=(scenario_reports,), rounds=1, iterations=1
+    )
+    print("\nFig. 10 — total cluster power (W), downsampled:")
+    for name in ORDER:
+        samples = [round(v) for v in downsample(series[name], PRINT_POINTS)]
+        print(fmt_row(name, samples))
+
+    static = series["Static"].values
+    proteus = series["Proteus"].values
+    # Static's draw stays in a narrow band.
+    assert max(static) - min(static) < 0.25 * max(static)
+    # The provisioned scenarios dip well below Static at the valley.
+    for name in ("Naive", "Consistent", "Proteus"):
+        assert min(series[name].values) < min(static) * 0.97
+    # Power tracks n(t): valley of Proteus's power aligns with min servers.
+    active = scenario_reports["Proteus"].active_series
+    valley_time = proteus.index(min(proteus))
+    assert active.values[valley_time] <= min(active.values) + 1

@@ -1,0 +1,69 @@
+"""Microbenchmark — the asyncio memcached server's operation throughput.
+
+Not a paper figure; it justifies using the net layer (repro.net) as a
+functional substrate: the digest bookkeeping on every item link/unlink must
+not dominate the data path.  We measure get/set round trips per second over
+loopback TCP with and without a digest-heavy value mix, plus the cost of a
+digest snapshot+fetch cycle.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.bloom.config import optimal_config
+from repro.net.client import MemcachedClient
+from repro.net.server import MemcachedServer
+
+CFG = optimal_config(20_000)
+OPS = 400
+
+
+async def _roundtrips(port: int, ops: int) -> None:
+    async with MemcachedClient("127.0.0.1", port) as client:
+        for i in range(ops):
+            await client.set(f"k{i % 64}", b"x" * 128)
+            await client.get(f"k{i % 64}")
+
+
+def run_roundtrips() -> None:
+    async def body():
+        server = MemcachedServer(bloom_config=CFG)
+        await server.start()
+        try:
+            await _roundtrips(server.port, OPS)
+        finally:
+            await server.stop()
+
+    asyncio.run(body())
+
+
+def run_digest_cycle() -> None:
+    async def body():
+        server = MemcachedServer(bloom_config=CFG)
+        await server.start()
+        try:
+            async with MemcachedClient("127.0.0.1", server.port) as client:
+                for i in range(500):
+                    await client.set(f"k{i}", b"v")
+                for _ in range(5):
+                    await client.snapshot_digest()
+                    await client.fetch_digest(CFG.num_counters, CFG.num_hashes)
+        finally:
+            await server.stop()
+
+    asyncio.run(body())
+
+
+def test_net_set_get_roundtrips(benchmark):
+    benchmark.pedantic(run_roundtrips, rounds=3, iterations=1)
+    # 2*OPS sequential round trips per run; anything under ~5 s means the
+    # digest hooks are not the bottleneck.
+    assert benchmark.stats.stats.mean < 5.0
+
+
+def test_net_digest_snapshot_cycle(benchmark):
+    benchmark.pedantic(run_digest_cycle, rounds=3, iterations=1)
+    assert benchmark.stats.stats.mean < 5.0

@@ -1,0 +1,57 @@
+"""Microbenchmark — routing throughput of the four scenarios.
+
+Section I objective 3 requires the load-distribution decision to be
+*efficient*: it runs on every web request.  This bench measures single-key
+route() throughput for each router at the paper's fleet size (N=10) and at
+N=40, and asserts Proteus stays within an order of magnitude of the plain
+modulo hash — its lookup is one bisect over ~N²/2 positions plus the hash.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import fmt_row
+from repro.core.router import (
+    ConsistentRouter,
+    NaiveRouter,
+    ProteusRouter,
+    StaticRouter,
+)
+
+KEYS = [f"page:{i}" for i in range(2000)]
+
+
+def route_all(router, num_active):
+    for key in KEYS:
+        router.route(key, num_active)
+
+
+@pytest.mark.parametrize("n_servers,n_active", [(10, 7), (40, 25)])
+def test_routing_throughput(benchmark, n_servers, n_active):
+    routers = {
+        "Static": StaticRouter(n_servers),
+        "Naive": NaiveRouter(n_servers),
+        "Consistent": ConsistentRouter.quadratic_variant(n_servers),
+        "Proteus": ProteusRouter(n_servers),
+    }
+    timings = {}
+    import time
+
+    for name, router in routers.items():
+        start = time.perf_counter()
+        route_all(router, n_active)
+        timings[name] = time.perf_counter() - start
+    # The pytest-benchmark-tracked number: Proteus, the paper's router.
+    benchmark.pedantic(
+        route_all, args=(routers["Proteus"], n_active), rounds=3, iterations=1
+    )
+    ops = {name: len(KEYS) / t for name, t in timings.items()}
+    print(f"\nRouting throughput, N={n_servers}, n={n_active} "
+          f"(single-threaded route() calls/s):")
+    print(fmt_row("router", list(ops), width=12))
+    print(fmt_row("ops/s", [int(v) for v in ops.values()], width=12))
+
+    # Proteus must stay within ~10x of the modulo hash (both are dominated
+    # by the blake2b key hash at these fleet sizes).
+    assert ops["Proteus"] > ops["Naive"] / 10.0

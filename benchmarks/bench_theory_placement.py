@@ -1,0 +1,40 @@
+"""Theorem 1 / Algorithm 1 — virtual-node counts, exact balance, and cost.
+
+Regenerates the Section III analysis as a table: for each fleet size N, the
+Theorem 1 lower bound, the number of vnodes Algorithm 1 places (equal), an
+exact balance check over every active prefix, and the construction time
+(the part pytest-benchmark measures — placement must stay cheap because the
+paper's web servers each build it locally).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import fmt_row
+from repro.core.placement import place_virtual_nodes, theoretical_min_vnodes
+
+SIZES = [2, 5, 10, 20, 40]  # 40 = the paper's testbed fleet
+RING = 2 ** 32
+
+
+def build_all():
+    return {n: place_virtual_nodes(n, RING) for n in SIZES}
+
+
+def test_theorem1_vnode_counts(benchmark):
+    placements = benchmark.pedantic(build_all, rounds=3, iterations=1)
+    print("\nTheorem 1 — virtual nodes needed vs placed:")
+    print(fmt_row("N", SIZES))
+    print(fmt_row("bound", [theoretical_min_vnodes(n) for n in SIZES]))
+    print(fmt_row("placed", [placements[n].num_vnodes for n in SIZES]))
+    for n in SIZES:
+        assert placements[n].num_vnodes == theoretical_min_vnodes(n)
+        placements[n].verify_balance()
+    print("  balance condition verified exactly for every active prefix")
+
+
+def test_algorithm1_construction_cost_n40(benchmark):
+    # The paper's deployment size: building the full 40-server placement.
+    placement = benchmark(place_virtual_nodes, 40, RING)
+    assert placement.num_vnodes == 781

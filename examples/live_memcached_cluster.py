@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""A live Proteus cluster over TCP — the Section V implementation, runnable.
+
+Starts four memcached-protocol servers (each with the paper's built-in
+counting Bloom filter) on localhost, routes keys with the deterministic
+virtual-node placement, then performs a smooth scale-down exactly as the
+paper's web servers do:
+
+1. ``get SET_BLOOM_FILTER`` on every old owner (snapshot the digests);
+2. ``get BLOOM_FILTER`` to broadcast them to the "web server" (this script);
+3. re-route with n-1 servers, running Algorithm 2 against the live sockets:
+   miss at the new owner -> digest check -> fetch from the drained server ->
+   write back to the new owner.
+
+Run:  python examples/live_memcached_cluster.py
+"""
+
+import asyncio
+
+from repro import MemcachedClient, MemcachedServer, ProteusRouter, optimal_config
+
+NUM_SERVERS = 4
+HOT_KEYS = 200
+CFG = optimal_config(5000)
+
+
+async def main() -> None:
+    servers = [MemcachedServer(bloom_config=CFG) for _ in range(NUM_SERVERS)]
+    ports = [await server.start() for server in servers]
+    clients = [
+        await MemcachedClient("127.0.0.1", port).connect() for port in ports
+    ]
+    router = ProteusRouter(NUM_SERVERS)
+    print(f"Started {NUM_SERVERS} memcached servers on ports {ports}")
+
+    # Warm phase: store 200 pages at their n=4 owners.
+    keys = [f"page:{i}" for i in range(HOT_KEYS)]
+    for key in keys:
+        owner = router.route(key, NUM_SERVERS)
+        await clients[owner].set(key, f"content-of-{key}".encode())
+    counts = [int((await client.stats())["curr_items"]) for client in clients]
+    print(f"Warm items per server: {counts} (balanced by Algorithm 1)")
+
+    # --- Smooth scale-down: 4 -> 3 -------------------------------------
+    # Broadcast digests of all old owners (the paper's few-KB payloads).
+    digests = {}
+    for server_id, client in enumerate(clients):
+        await client.snapshot_digest()
+        digests[server_id] = await client.fetch_digest(
+            CFG.num_counters, CFG.num_hashes
+        )
+    print("Digests snapshotted and fetched over TCP "
+          f"({digests[0].size_bytes() / 1024:.0f} KB each)")
+
+    # Algorithm 2 against the live sockets.
+    n_new, n_old = 3, 4
+    outcomes = {"hit_new": 0, "hit_old": 0, "db": 0}
+    for key in keys:
+        new_owner = router.route(key, n_new)
+        value = await clients[new_owner].get(key)
+        if value is not None:
+            outcomes["hit_new"] += 1
+            continue
+        old_owner = router.route(key, n_old)
+        if old_owner != new_owner and digests[old_owner].contains(key):
+            value = await clients[old_owner].get(key)
+        if value is None:  # cold or false positive: the database's job
+            outcomes["db"] += 1
+            value = f"content-of-{key}".encode()
+        else:
+            outcomes["hit_old"] += 1
+        await clients[new_owner].set(key, value)  # Alg. 2 line 12
+
+    print(f"Scale-down retrieval outcomes: {outcomes}")
+    assert outcomes["db"] == 0, "hot data must migrate without DB reads"
+
+    # Every key now lives at its n=3 owner; the drained server can power off.
+    for key in keys:
+        assert await clients[router.route(key, n_new)].get(key) is not None
+    print("All hot keys verified at their new owners; server 3 can power off.")
+
+    for client in clients:
+        await client.close()
+    for server in servers:
+        await server.stop()
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

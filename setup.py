@@ -1,0 +1,22 @@
+"""Legacy setup shim.
+
+The reproduction environment is offline and has no `wheel` package, so PEP
+660 editable installs cannot build; with this setup.py (and no
+[build-system] table in pyproject.toml) `pip install -e .` falls back to the
+legacy `setup.py develop` path, which works offline.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="proteus-repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Proteus: Power Proportional Memory Cache Cluster "
+        "in Data Centers' (ICDCS 2013)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy", "scipy"],
+)

@@ -1,0 +1,29 @@
+"""Bloom filters and the Proteus digest sizing math (paper Section IV)."""
+
+from repro.bloom.bloom import BloomFilter
+from repro.bloom.config import (
+    BloomConfig,
+    counter_bits_closed_form,
+    counter_bits_enumerated,
+    false_negative_bound,
+    false_positive_rate,
+    minimal_counters,
+    optimal_config,
+)
+from repro.bloom.counting import CountingBloomFilter
+from repro.bloom.hashing import DoubleHashFamily, ring_position, stable_hash64
+
+__all__ = [
+    "BloomFilter",
+    "BloomConfig",
+    "CountingBloomFilter",
+    "DoubleHashFamily",
+    "counter_bits_closed_form",
+    "counter_bits_enumerated",
+    "false_negative_bound",
+    "false_positive_rate",
+    "minimal_counters",
+    "optimal_config",
+    "ring_position",
+    "stable_hash64",
+]

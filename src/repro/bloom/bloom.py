@@ -1,0 +1,103 @@
+"""Plain (non-counting) Bloom filter.
+
+Supports insertion and membership queries with false positives but no
+deletions.  The paper's digests are *counting* Bloom filters
+(:mod:`repro.bloom.counting`); this plain variant exists because the
+``SET_BLOOM_FILTER`` snapshot that a cache server broadcasts to web servers
+(Section V-A3) only needs membership queries — web servers never delete —
+so snapshotting a counting filter down to a bit array shrinks the broadcast
+by a factor of ``b``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.bloom.hashing import DoubleHashFamily, Key
+
+
+class BloomFilter:
+    """A fixed-size Bloom filter over ``num_bits`` bits with ``num_hashes`` probes.
+
+    The theoretical false-positive rate after inserting ``kappa`` keys is
+    ``(1 - e^(-kappa*h/l))^h`` (paper Eq. 4 with ``l = num_bits``).
+    """
+
+    __slots__ = ("num_bits", "num_hashes", "_bits", "_family", "count")
+
+    def __init__(self, num_bits: int, num_hashes: int = 4) -> None:
+        if num_bits < 1:
+            raise ValueError(f"num_bits must be >= 1, got {num_bits}")
+        self.num_bits = num_bits
+        self.num_hashes = num_hashes
+        self._family = DoubleHashFamily(num_hashes, num_bits)
+        self._bits = bytearray((num_bits + 7) // 8)
+        #: number of keys inserted so far (not deduplicated)
+        self.count = 0
+
+    def add(self, key: Key) -> None:
+        """Insert *key*."""
+        for idx in self._family.iter_indexes(key):
+            self._bits[idx >> 3] |= 1 << (idx & 7)
+        self.count += 1
+
+    def update(self, keys: Iterable[Key]) -> None:
+        """Insert every key in *keys*."""
+        for key in keys:
+            self.add(key)
+
+    def __contains__(self, key: Key) -> bool:
+        return all(
+            self._bits[idx >> 3] & (1 << (idx & 7))
+            for idx in self._family.iter_indexes(key)
+        )
+
+    def contains(self, key: Key) -> bool:
+        """Membership query; may return false positives, never false negatives."""
+        return key in self
+
+    def expected_false_positive_rate(self, kappa: Optional[int] = None) -> float:
+        """Paper Eq. 4: ``(1 - e^(-kappa*h/l))^h``.
+
+        Args:
+            kappa: number of distinct inserted keys; defaults to the insert
+                counter (an overestimate when keys repeat).
+        """
+        import math
+
+        k = self.count if kappa is None else kappa
+        return (1.0 - math.exp(-k * self.num_hashes / self.num_bits)) ** self.num_hashes
+
+    def fill_ratio(self) -> float:
+        """Fraction of bits set to 1."""
+        ones = sum(bin(b).count("1") for b in self._bits)
+        return ones / self.num_bits
+
+    def size_bytes(self) -> int:
+        """Memory used by the bit array (what a digest broadcast costs)."""
+        return len(self._bits)
+
+    def to_bytes(self) -> bytes:
+        """Serialize the bit array (e.g. for the ``BLOOM_FILTER`` reserved key)."""
+        return bytes(self._bits)
+
+    @classmethod
+    def from_bytes(
+        cls, payload: bytes, num_bits: int, num_hashes: int = 4
+    ) -> "BloomFilter":
+        """Deserialize a bit array produced by :meth:`to_bytes`."""
+        expected = (num_bits + 7) // 8
+        if len(payload) != expected:
+            raise ValueError(
+                f"payload has {len(payload)} bytes, expected {expected} "
+                f"for num_bits={num_bits}"
+            )
+        bf = cls(num_bits, num_hashes)
+        bf._bits = bytearray(payload)
+        return bf
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BloomFilter(num_bits={self.num_bits}, num_hashes={self.num_hashes}, "
+            f"count={self.count})"
+        )

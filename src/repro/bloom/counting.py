@@ -1,0 +1,171 @@
+"""Counting Bloom filter — the per-server cache digest (Section IV-A).
+
+Each cache server maintains one counting Bloom filter mirroring its in-cache
+key set: inserting a key increments ``h`` counters, deleting decrements them.
+Counters are ``b`` bits wide; a counter that would exceed ``2^b - 1``
+*saturates* and the event is recorded, because a later decrement of a
+saturated counter can drive it below the true count and produce false
+negatives — the only false-negative source in the paper's setting
+(Section IV-B: "counter overflow ... is the only reason of false negatives").
+
+Deleting a key that was never inserted raises :class:`~repro.errors.DigestError`
+in strict mode: the paper argues this never happens because deletions are
+driven solely by memcached item-unlink events, so we treat it as a bug
+rather than corrupting the counters.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.bloom.bloom import BloomFilter
+from repro.bloom.hashing import DoubleHashFamily, Key
+from repro.errors import DigestError
+
+
+class CountingBloomFilter:
+    """Counting Bloom filter with ``num_counters`` saturating ``counter_bits``-bit counters.
+
+    Args:
+        num_counters: ``l`` in the paper — number of counters.
+        counter_bits: ``b`` in the paper — bits per counter (counters saturate
+            at ``2^b - 1``).
+        num_hashes: ``h`` in the paper — probe functions per key.
+        strict: raise :class:`DigestError` when removing a key whose counters
+            indicate it is absent; if False, clamp at zero (lenient mode for
+            reconstructing digests from lossy streams).
+    """
+
+    __slots__ = (
+        "num_counters",
+        "counter_bits",
+        "num_hashes",
+        "strict",
+        "_max",
+        "_counters",
+        "_family",
+        "count",
+        "overflow_events",
+    )
+
+    def __init__(
+        self,
+        num_counters: int,
+        counter_bits: int = 4,
+        num_hashes: int = 4,
+        strict: bool = True,
+    ) -> None:
+        if num_counters < 1:
+            raise ValueError(f"num_counters must be >= 1, got {num_counters}")
+        if counter_bits < 1:
+            raise ValueError(f"counter_bits must be >= 1, got {counter_bits}")
+        self.num_counters = num_counters
+        self.counter_bits = counter_bits
+        self.num_hashes = num_hashes
+        self.strict = strict
+        self._max = (1 << counter_bits) - 1
+        # One python int per counter; bytearray when counters fit in 8 bits
+        # keeps the common configurations (b <= 8) compact.
+        self._counters = bytearray(num_counters) if counter_bits <= 8 else [0] * num_counters
+        self._family = DoubleHashFamily(num_hashes, num_counters)
+        #: net number of keys currently represented (inserts minus removes)
+        self.count = 0
+        #: how many counter increments hit saturation (each is a potential
+        #: future false negative)
+        self.overflow_events = 0
+
+    # ------------------------------------------------------------------ ops
+
+    def add(self, key: Key) -> None:
+        """Insert *key*, incrementing its ``h`` counters (saturating)."""
+        counters = self._counters
+        max_val = self._max
+        for idx in self._family.iter_indexes(key):
+            current = counters[idx]
+            if current >= max_val:
+                self.overflow_events += 1
+            else:
+                counters[idx] = current + 1
+        self.count += 1
+
+    def remove(self, key: Key) -> None:
+        """Delete *key*, decrementing its ``h`` counters.
+
+        Raises:
+            DigestError: in strict mode, when any counter for *key* is already
+                zero (deleting an absent element).
+        """
+        counters = self._counters
+        indexes = self._family.indexes(key)
+        if self.strict and any(counters[idx] == 0 for idx in indexes):
+            raise DigestError(f"removing key absent from digest: {key!r}")
+        for idx in indexes:
+            if counters[idx] > 0:
+                counters[idx] -= 1
+        self.count = max(0, self.count - 1)
+
+    def update(self, keys: Iterable[Key]) -> None:
+        """Insert every key in *keys*."""
+        for key in keys:
+            self.add(key)
+
+    def __contains__(self, key: Key) -> bool:
+        counters = self._counters
+        return all(counters[idx] > 0 for idx in self._family.iter_indexes(key))
+
+    def contains(self, key: Key) -> bool:
+        """Membership query.
+
+        May return false positives (hash collisions) and — after counter
+        overflow followed by deletions — false negatives.
+        """
+        return key in self
+
+    def clear(self) -> None:
+        """Reset every counter to zero (server flush)."""
+        if isinstance(self._counters, bytearray):
+            self._counters = bytearray(self.num_counters)
+        else:
+            self._counters = [0] * self.num_counters
+        self.count = 0
+        self.overflow_events = 0
+
+    # -------------------------------------------------------------- export
+
+    def snapshot(self) -> BloomFilter:
+        """Collapse to a plain Bloom filter (the ``SET_BLOOM_FILTER`` snapshot).
+
+        Web servers only need membership queries during a transition, so the
+        broadcast payload is a bit per counter instead of ``b`` bits.
+        """
+        bf = BloomFilter(self.num_counters, self.num_hashes)
+        bits = bf._bits
+        for idx, value in enumerate(self._counters):
+            if value > 0:
+                bits[idx >> 3] |= 1 << (idx & 7)
+        bf.count = self.count
+        return bf
+
+    def counter_value(self, index: int) -> int:
+        """Raw counter value at *index* (diagnostics and tests)."""
+        return self._counters[index]
+
+    def max_counter(self) -> int:
+        """Largest counter value currently held."""
+        return max(self._counters) if self.num_counters else 0
+
+    def size_bytes(self) -> int:
+        """Approximate memory footprint of the counter array: ``l*b/8``."""
+        return (self.num_counters * self.counter_bits + 7) // 8
+
+    def saturated_fraction(self) -> float:
+        """Fraction of counters currently pinned at ``2^b - 1``."""
+        max_val = self._max
+        saturated = sum(1 for value in self._counters if value >= max_val)
+        return saturated / self.num_counters
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CountingBloomFilter(l={self.num_counters}, b={self.counter_bits}, "
+            f"h={self.num_hashes}, count={self.count})"
+        )

@@ -1,0 +1,90 @@
+"""Hash-function families for Bloom filters and consistent hashing.
+
+The paper uses "4 non-encryption hash functions" (Section VI-B).  We provide a
+double-hashing family: two independent 64-bit base hashes ``h1`` and ``h2``
+derived from blake2b, combined as ``h1 + i * h2`` to synthesize any number of
+index functions (Kirsch & Mitzenmacher, 2006, show this preserves Bloom-filter
+asymptotics).  blake2b with distinct salts is overkill speed-wise for a real
+memcached but is deterministic across processes and platforms, which the
+paper's consistency objective (Section I, objective 3: decisions must agree
+across all web servers) makes mandatory.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterator, List, Union
+
+Key = Union[str, bytes]
+
+_MASK64 = (1 << 64) - 1
+
+
+def _as_bytes(key: Key) -> bytes:
+    """Normalize a key to bytes (UTF-8 for text keys)."""
+    if isinstance(key, bytes):
+        return key
+    return key.encode("utf-8")
+
+
+def stable_hash64(key: Key, salt: int = 0) -> int:
+    """Return a deterministic 64-bit hash of *key*.
+
+    Unlike the built-in :func:`hash`, the result does not depend on
+    ``PYTHONHASHSEED``, so every web server computes the same value — the
+    consistency requirement of Section I.
+
+    Args:
+        key: text or bytes key.
+        salt: selects an independent function from the family.
+    """
+    digest = hashlib.blake2b(
+        _as_bytes(key), digest_size=8, salt=salt.to_bytes(8, "little")
+    ).digest()
+    return int.from_bytes(digest, "little")
+
+
+class DoubleHashFamily:
+    """A family of ``h`` index functions over ``[0, size)`` via double hashing.
+
+    ``index_i(key) = (h1(key) + i * h2(key)) mod size`` with ``h2`` forced odd
+    so that for power-of-two sizes the stride is invertible and the ``h``
+    probe positions are distinct with high probability.
+    """
+
+    def __init__(self, num_hashes: int, size: int) -> None:
+        if num_hashes < 1:
+            raise ValueError(f"num_hashes must be >= 1, got {num_hashes}")
+        if size < 1:
+            raise ValueError(f"size must be >= 1, got {size}")
+        self.num_hashes = num_hashes
+        self.size = size
+
+    def indexes(self, key: Key) -> List[int]:
+        """Return the ``num_hashes`` probe positions for *key*."""
+        h1 = stable_hash64(key, salt=0x51)
+        h2 = stable_hash64(key, salt=0x52) | 1
+        size = self.size
+        return [((h1 + i * h2) & _MASK64) % size for i in range(self.num_hashes)]
+
+    def iter_indexes(self, key: Key) -> Iterator[int]:
+        """Lazily yield probe positions (same values as :meth:`indexes`)."""
+        h1 = stable_hash64(key, salt=0x51)
+        h2 = stable_hash64(key, salt=0x52) | 1
+        size = self.size
+        for i in range(self.num_hashes):
+            yield ((h1 + i * h2) & _MASK64) % size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DoubleHashFamily(num_hashes={self.num_hashes}, size={self.size})"
+
+
+def ring_position(key: Key, ring_size: int, replica: int = 0) -> int:
+    """Hash *key* onto a consistent-hashing ring of ``ring_size`` positions.
+
+    ``replica`` selects an independent ring (Section III-E fault tolerance
+    uses ``r`` rings with ``r`` different hash functions).
+    """
+    if ring_size < 1:
+        raise ValueError(f"ring_size must be >= 1, got {ring_size}")
+    return stable_hash64(key, salt=0x100 + replica) % ring_size

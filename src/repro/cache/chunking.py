@@ -1,0 +1,163 @@
+"""Fixed-size object chunking — the paper's Section II assumption, realized.
+
+"Each object in cache is of the same size.  Even though the size of pages
+or user accounts would vary considerably, they can be divided into
+fixed-size pieces.  One piece is considered as the basic unit of objects in
+cache."  This module is that division: a large value is split into
+``piece_size`` chunks stored under derived keys, with a small manifest
+under the original key.  All pieces of an object share the object's key
+prefix for *routing* (``routing_key``), so they land on the same cache
+server and migrate together during transitions — chunking composes with
+Algorithm 2 without any coordination.
+
+Wire format: the manifest value is ``b"chunked:<n>:<total_size>"``; piece
+``i`` lives at ``<key>#<i>``.  Values at most ``piece_size`` bytes are
+stored directly (no manifest), so small objects pay nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import ConfigurationError, ProtocolError
+
+#: The paper's basic piece size (4 KB pages, Section VI-B).
+DEFAULT_PIECE_SIZE = 4096
+
+_MANIFEST_PREFIX = b"chunked:"
+
+
+def piece_key(key: str, index: int) -> str:
+    """The derived cache key of piece *index* of object *key*."""
+    return f"{key}#{index}"
+
+
+def routing_key(cache_key: str) -> str:
+    """The key to *route* by: pieces route by their parent object's key."""
+    base, sep, suffix = cache_key.rpartition("#")
+    if sep and suffix.isdigit():
+        return base
+    return cache_key
+
+
+def split(value: bytes, piece_size: int = DEFAULT_PIECE_SIZE) -> Tuple[bytes, List[bytes]]:
+    """Split *value*; returns ``(manifest_or_value, pieces)``.
+
+    For values that fit one piece, returns ``(value, [])`` — store directly.
+    Otherwise returns the manifest to store under the object key and the
+    piece payloads for the derived keys.
+    """
+    if piece_size < 1:
+        raise ConfigurationError(f"piece_size must be >= 1, got {piece_size}")
+    if len(value) <= piece_size:
+        return value, []
+    pieces = [
+        value[offset: offset + piece_size]
+        for offset in range(0, len(value), piece_size)
+    ]
+    manifest = _MANIFEST_PREFIX + f"{len(pieces)}:{len(value)}".encode("ascii")
+    return manifest, pieces
+
+
+def is_manifest(stored: bytes) -> bool:
+    """True if *stored* is a chunking manifest rather than a direct value."""
+    return stored.startswith(_MANIFEST_PREFIX)
+
+
+def parse_manifest(stored: bytes) -> Tuple[int, int]:
+    """``(num_pieces, total_size)`` from a manifest.
+
+    Raises:
+        ProtocolError: not a well-formed manifest.
+    """
+    if not is_manifest(stored):
+        raise ProtocolError("not a chunking manifest")
+    try:
+        count_text, size_text = stored[len(_MANIFEST_PREFIX):].split(b":")
+        count, total = int(count_text), int(size_text)
+    except ValueError as exc:
+        raise ProtocolError(f"malformed manifest {stored!r}") from exc
+    if count < 1 or total < 0:
+        raise ProtocolError(f"malformed manifest {stored!r}")
+    return count, total
+
+
+def join(manifest: bytes, pieces: List[Optional[bytes]]) -> bytes:
+    """Reassemble an object; raises if any piece is missing or sizes clash.
+
+    A missing piece means the object must be refetched whole from the
+    database — partial objects are never served.
+    """
+    count, total = parse_manifest(manifest)
+    if len(pieces) != count:
+        raise ProtocolError(
+            f"manifest expects {count} pieces, got {len(pieces)}"
+        )
+    if any(piece is None for piece in pieces):
+        raise ProtocolError("missing piece; object must be refetched")
+    value = b"".join(pieces)  # type: ignore[arg-type]
+    if len(value) != total:
+        raise ProtocolError(
+            f"reassembled {len(value)} bytes, manifest says {total}"
+        )
+    return value
+
+
+class ChunkingCacheAdapter:
+    """Chunk-aware get/set over any ``get(key, now)`` / ``set(...)`` store.
+
+    Wraps one cache server (or anything store-shaped).  ``set`` splits,
+    ``get`` reassembles; a missing piece surfaces as a miss (``None``) and
+    the stale manifest is deleted so the next write starts clean.
+    """
+
+    def __init__(
+        self,
+        get_fn: Callable,
+        set_fn: Callable,
+        delete_fn: Callable,
+        piece_size: int = DEFAULT_PIECE_SIZE,
+    ) -> None:
+        if piece_size < 1:
+            raise ConfigurationError(f"piece_size must be >= 1, got {piece_size}")
+        self._get = get_fn
+        self._set = set_fn
+        self._delete = delete_fn
+        self.piece_size = piece_size
+
+    @classmethod
+    def over_server(cls, server, piece_size: int = DEFAULT_PIECE_SIZE):
+        """Adapter over a :class:`~repro.cache.server.CacheServer`."""
+        return cls(server.get, server.set, server.delete, piece_size)
+
+    def set(self, key: str, value: bytes, now: float = 0.0) -> int:
+        """Store *value* in pieces; returns how many cache sets were issued."""
+        manifest, pieces = split(value, self.piece_size)
+        self._set(key, manifest, now, len(manifest))
+        for index, piece in enumerate(pieces):
+            self._set(piece_key(key, index), piece, now, len(piece))
+        return 1 + len(pieces)
+
+    def get(self, key: str, now: float = 0.0) -> Optional[bytes]:
+        """Reassembled value, or ``None`` if the object (or a piece) is gone."""
+        stored = self._get(key, now)
+        if stored is None:
+            return None
+        if not is_manifest(stored):
+            return stored
+        count, _total = parse_manifest(stored)
+        pieces = [self._get(piece_key(key, i), now) for i in range(count)]
+        if any(piece is None for piece in pieces):
+            # A piece was evicted independently: the object is unusable.
+            self.delete(key, now)
+            return None
+        return join(stored, pieces)
+
+    def delete(self, key: str, now: float = 0.0) -> bool:
+        """Remove the manifest and every piece."""
+        stored = self._get(key, now)
+        if stored is not None and is_manifest(stored):
+            count, _ = parse_manifest(stored)
+            for index in range(count):
+                self._delete(piece_key(key, index), now)
+        return bool(self._delete(key, now))

@@ -1,0 +1,235 @@
+"""The cache tier: N servers under a fixed provisioning order + transitions.
+
+Glue between :class:`~repro.cache.server.CacheServer` instances, a routing
+strategy, and the :class:`~repro.core.transition.TransitionManager`.  The
+provisioning actuator calls :meth:`scale_to`; web servers call
+:meth:`routing_epochs` and :meth:`server` on every request.
+
+Power-state choreography for a scale-down ``n -> n-k`` (Section IV):
+
+1. digests of all old owners are snapshotted and attached to the transition;
+2. servers ``n-k .. n-1`` enter ``DRAINING`` — still answering gets so web
+   servers can pull "hot" data out on demand;
+3. when the TTL window closes (:meth:`finalize_expired`, scheduled by the
+   driver), draining servers power off and lose their contents.
+
+For a scale-up, the incoming servers power on cold immediately; the old
+owners' digests cover the drain window so remapped keys are fetched from
+their previous owners instead of the database.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.bloom.bloom import BloomFilter
+from repro.bloom.config import BloomConfig
+from repro.cache.eviction import make_policy
+from repro.cache.server import CacheServer, PowerState
+from repro.core.router import Router
+from repro.core.transition import (
+    DEFAULT_TTL,
+    RoutingEpochs,
+    Transition,
+    TransitionManager,
+)
+from repro.errors import ConfigurationError, TransitionError
+
+
+class CacheCluster:
+    """N cache servers, the first ``initial_active`` powered on.
+
+    Args:
+        router: the scenario's routing strategy (its ``num_servers`` fixes N).
+        capacity_bytes: per-server store capacity.
+        initial_active: ``n(0)``; servers beyond it start OFF.
+        ttl: drain-window length for transitions.
+        bloom_config: digest sizing shared by all servers.
+        eviction: eviction policy name (``lru``/``fifo``/``random``/``none``).
+    """
+
+    def __init__(
+        self,
+        router: Router,
+        capacity_bytes: Optional[int] = None,
+        initial_active: Optional[int] = None,
+        ttl: float = DEFAULT_TTL,
+        bloom_config: Optional[BloomConfig] = None,
+        eviction: str = "lru",
+    ) -> None:
+        self.router = router
+        num_servers = router.num_servers
+        if initial_active is None:
+            initial_active = num_servers
+        if not 1 <= initial_active <= num_servers:
+            raise ConfigurationError(
+                f"initial_active must be in [1, {num_servers}], got {initial_active}"
+            )
+        self.servers: List[CacheServer] = [
+            CacheServer(
+                server_id=i,
+                capacity_bytes=capacity_bytes,
+                bloom_config=bloom_config,
+                policy=make_policy(eviction, seed=i),
+                initially_on=i < initial_active,
+            )
+            for i in range(num_servers)
+        ]
+        self.transitions = TransitionManager(initial_active, ttl=ttl)
+        self.transitions.on_power_off.append(self._power_off_servers)
+        self._failed: set = set()
+
+    # ------------------------------------------------------------- access
+
+    @property
+    def num_servers(self) -> int:
+        return len(self.servers)
+
+    @property
+    def active_count(self) -> int:
+        """Committed active count (the new mapping's ``n``)."""
+        return self.transitions.active_count
+
+    def server(self, server_id: int) -> CacheServer:
+        """Server by provisioning-order index."""
+        return self.servers[server_id]
+
+    def routing_epochs(self, now: float) -> RoutingEpochs:
+        """What web servers need to route a request at time *now*."""
+        return self.transitions.routing_counts(now)
+
+    def powered_servers(self) -> List[int]:
+        """Ids of servers currently drawing active/idle power (ON or DRAINING)."""
+        return [s.server_id for s in self.servers if s.state.serves_requests]
+
+    # ------------------------------------------------------------ scaling
+
+    def collect_digests(self, server_ids: List[int]) -> Dict[int, BloomFilter]:
+        """Snapshot digests of *server_ids* (the broadcast payload)."""
+        return {
+            sid: self.servers[sid].snapshot_digest()
+            for sid in server_ids
+            if self.servers[sid].state.serves_requests
+        }
+
+    def scale_to(self, n_new: int, now: float) -> Optional[Transition]:
+        """Begin a smooth transition to *n_new* active servers.
+
+        Digests of every server active under the *old* mapping are broadcast
+        (they are the potential old owners of remapped keys).  Scale-up
+        powers the incoming servers on cold before routing flips; scale-down
+        marks the outgoing servers DRAINING until the TTL closes.
+
+        Returns the started :class:`Transition`, or ``None`` for a no-op.
+        """
+        if not 1 <= n_new <= self.num_servers:
+            raise TransitionError(
+                f"n_new must be in [1, {self.num_servers}], got {n_new}"
+            )
+        n_old = self.transitions.active_count
+        if n_new == n_old:
+            return None
+        # Reject overlap BEFORE touching power states: powering servers on
+        # first and then failing begin() would flush a draining server.
+        if self.transitions.in_transition(now):
+            raise TransitionError(
+                "previous drain window still open; finalize it first"
+            )
+        digests = self.collect_digests(list(range(n_old)))
+        if n_new > n_old:
+            for sid in range(n_old, n_new):
+                # A crashed machine ignores the actuator's power-on; it
+                # joins the fleet only after repair_server().
+                if sid not in self._failed:
+                    self.servers[sid].power_on(now)
+        transition = self.transitions.begin(n_new, now, digests=digests)
+        if transition is not None and transition.is_scale_down:
+            for sid in transition.draining_servers():
+                # Crashed servers are already OFF; they have nothing to drain.
+                if self.servers[sid].state is PowerState.ON:
+                    self.servers[sid].begin_drain()
+        return transition
+
+    def abrupt_scale_to(self, n_new: int, now: float) -> Optional[Transition]:
+        """Change the active count with *no* smooth transition.
+
+        This is how the Naive and Consistent scenarios (Table II) provision:
+        no digest broadcast, no drain window — outgoing servers power off on
+        the spot (losing their hot data), incoming servers power on cold,
+        and routing flips instantly.  Misses caused by the remap go straight
+        to the database; this is the Fig. 9 spike mechanism.
+        """
+        if not 1 <= n_new <= self.num_servers:
+            raise TransitionError(
+                f"n_new must be in [1, {self.num_servers}], got {n_new}"
+            )
+        n_old = self.transitions.active_count
+        if n_new == n_old:
+            return None
+        if self.transitions.in_transition(now):
+            raise TransitionError(
+                "previous drain window still open; finalize it first"
+            )
+        if n_new > n_old:
+            for sid in range(n_old, n_new):
+                if sid not in self._failed:
+                    self.servers[sid].power_on(now)
+        transition = self.transitions.begin(n_new, now, digests=None)
+        if transition is not None and transition.is_scale_down:
+            for sid in transition.draining_servers():
+                if self.servers[sid].state is PowerState.ON:
+                    self.servers[sid].begin_drain()
+            self.transitions.force_complete(now)  # powers them off immediately
+        elif transition is not None:
+            self.transitions.force_complete(now)
+        return transition
+
+    def finalize_expired(self, now: float) -> None:
+        """Close any drain window whose TTL has passed (drives power-off)."""
+        self.transitions.current(now)  # auto-expires and fires callbacks
+
+    def _power_off_servers(self, server_ids: List[int], when: float) -> None:
+        for sid in server_ids:
+            self.servers[sid].power_off(when)
+
+    # ------------------------------------------------------------ failures
+
+    def fail_server(self, server_id: int, now: float) -> None:
+        """Crash *server_id*: immediate power-off, cache contents lost.
+
+        Section III-A's argument for a fixed provisioning order: crashes
+        lose the in-cache data regardless of scheme, so the fixed order
+        needs no special-casing — routing still targets the server, and
+        fault tolerance comes from replication
+        (:class:`~repro.core.replication.ReplicatedProteusRouter` +
+        :class:`~repro.web.replicated.ReplicatedWebServer`), which skips
+        failed servers at read time.
+        """
+        server = self.servers[server_id]
+        if server.state is PowerState.OFF:
+            return
+        server.power_off(now)
+        self._failed.add(server_id)
+
+    def repair_server(self, server_id: int, now: float) -> None:
+        """Bring a crashed server back, cold."""
+        if server_id in self._failed:
+            self._failed.discard(server_id)
+            if server_id < self.active_count:
+                self.servers[server_id].power_on(now)
+
+    def failed_servers(self) -> frozenset:
+        """Ids of currently-crashed servers."""
+        return frozenset(self._failed)
+
+    # ------------------------------------------------------------ metrics
+
+    def per_server_requests(self) -> List[int]:
+        """Cumulative request counters per server (Fig. 5 load metric)."""
+        return [s.stats.requests for s in self.servers]
+
+    def total_hit_ratio(self) -> float:
+        """Aggregate cache hit ratio across the tier."""
+        gets = sum(s.stats.gets for s in self.servers)
+        hits = sum(s.stats.hits for s in self.servers)
+        return hits / gets if gets else 0.0

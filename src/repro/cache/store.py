@@ -1,0 +1,222 @@
+"""Bounded key-value store with pluggable eviction and link/unlink hooks.
+
+This is the in-memory heart of a cache server.  The hook pair
+``on_link``/``on_unlink`` mirrors memcached's ``do_item_link`` /
+``do_item_unlink`` — exactly the two functions the paper instruments to keep
+the counting-Bloom-filter digest consistent with cache contents
+(Section V-A3).  Every item that enters the store fires ``on_link`` once and
+every item that leaves (delete, eviction, or lazy expiry) fires
+``on_unlink`` once, so a digest driven by these hooks never deletes an
+absent element — the property that rules out one of the two false-negative
+sources (Section IV-A).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+from repro.cache.eviction import EvictionPolicy, LRUPolicy
+from repro.cache.item import DEFAULT_ITEM_SIZE, CacheItem
+from repro.cache.stats import CacheStats
+from repro.errors import CapacityError, ConfigurationError
+
+LinkHook = Callable[[CacheItem], None]
+UnlinkHook = Callable[[CacheItem, str], None]  # (item, reason)
+
+#: unlink reasons passed to hooks
+REASON_DELETE = "delete"
+REASON_EVICT = "evict"
+REASON_EXPIRE = "expire"
+REASON_FLUSH = "flush"
+
+
+class KeyValueStore:
+    """A capacity-bounded dict of :class:`CacheItem` with eviction.
+
+    Args:
+        capacity_bytes: total accounting bytes allowed; ``None`` = unbounded.
+        policy: eviction policy (default LRU, like memcached).
+        default_item_size: accounting size used when a set does not specify
+            one (the paper's 4 KB page unit).
+
+    Time is supplied by the caller on every operation (``now``), so the same
+    store works under the simulation clock and under wall-clock in the
+    asyncio server.
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: Optional[int] = None,
+        policy: Optional[EvictionPolicy] = None,
+        default_item_size: int = DEFAULT_ITEM_SIZE,
+    ) -> None:
+        if capacity_bytes is not None and capacity_bytes < 1:
+            raise ConfigurationError(
+                f"capacity_bytes must be >= 1 or None, got {capacity_bytes}"
+            )
+        self.capacity_bytes = capacity_bytes
+        self.policy = policy if policy is not None else LRUPolicy()
+        self.default_item_size = default_item_size
+        self._items: Dict[str, CacheItem] = {}
+        self._used_bytes = 0
+        self.stats = CacheStats()
+        self.link_hooks: List[LinkHook] = []
+        self.unlink_hooks: List[UnlinkHook] = []
+
+    # ------------------------------------------------------------- queries
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._items
+
+    @property
+    def used_bytes(self) -> int:
+        """Accounting bytes currently stored."""
+        return self._used_bytes
+
+    def keys(self) -> Iterator[str]:
+        """Iterate current keys (snapshot not guaranteed under mutation)."""
+        return iter(self._items)
+
+    def peek(self, key: str) -> Optional[CacheItem]:
+        """Item for *key* without touching recency or stats; None if absent."""
+        return self._items.get(key)
+
+    # ----------------------------------------------------------------- ops
+
+    def get(self, key: str, now: float = 0.0) -> Optional[Any]:
+        """Value for *key*, or ``None`` on miss.  Lazily expires stale items.
+
+        An item whose ``created_at`` lies in the future of *now* is treated
+        as a miss (without unlinking): the simulation driver may process
+        time-overlapping requests sequentially, and a write that completes
+        at a later simulated time must not be visible to an earlier read —
+        otherwise concurrent cache misses for one key (the dog pile) would
+        silently free-ride on each other.
+        """
+        item = self._items.get(key)
+        if item is not None and item.expired(now):
+            self._unlink(item, REASON_EXPIRE)
+            self.stats.record_expiration(item.size)
+            item = None
+        if item is not None and item.created_at > now:
+            self.stats.record_get(hit=False)
+            return None
+        if item is None:
+            self.stats.record_get(hit=False)
+            return None
+        item.touch(now)
+        self.policy.on_access(key)
+        self.stats.record_get(hit=True)
+        return item.value
+
+    def set(
+        self,
+        key: str,
+        value: Any,
+        now: float = 0.0,
+        size: Optional[int] = None,
+        ttl: Optional[float] = None,
+        flags: int = 0,
+    ) -> CacheItem:
+        """Insert or overwrite *key*.
+
+        Overwriting fires ``on_unlink`` for the old item and ``on_link`` for
+        the new one (memcached replaces items rather than mutating them, and
+        the digest counters must track that).
+
+        Raises:
+            CapacityError: the item alone exceeds capacity, or eviction
+                cannot free enough space.
+        """
+        item_size = self.default_item_size if size is None else size
+        if self.capacity_bytes is not None and item_size > self.capacity_bytes:
+            raise CapacityError(
+                f"item of {item_size} bytes exceeds capacity "
+                f"{self.capacity_bytes}"
+            )
+        old = self._items.get(key)
+        if old is not None:
+            self._unlink(old, REASON_DELETE)
+            self.stats.bytes_stored -= old.size
+            self.stats.items -= 1
+        self._make_room(item_size, now)
+        item = CacheItem(
+            key=key,
+            value=value,
+            size=item_size,
+            created_at=now,
+            last_access=now,
+            expires_at=None if ttl is None else now + ttl,
+            flags=flags,
+        )
+        self._link(item)
+        self.stats.record_set(size_delta=item.size, new_item=True)
+        return item
+
+    def delete(self, key: str, now: float = 0.0) -> bool:
+        """Remove *key*; returns True if it was present (and not expired)."""
+        item = self._items.get(key)
+        if item is None:
+            return False
+        if item.expired(now):
+            self._unlink(item, REASON_EXPIRE)
+            self.stats.record_expiration(item.size)
+            return False
+        self._unlink(item, REASON_DELETE)
+        self.stats.record_delete(item.size)
+        return True
+
+    def purge_expired(self, now: float) -> int:
+        """Eagerly remove every expired item; returns how many were removed."""
+        stale = [item for item in self._items.values() if item.expired(now)]
+        for item in stale:
+            self._unlink(item, REASON_EXPIRE)
+            self.stats.record_expiration(item.size)
+        return len(stale)
+
+    def flush(self) -> int:
+        """Drop everything (power cycle / ``flush_all``); returns item count."""
+        dropped = list(self._items.values())
+        for item in dropped:
+            self._unlink(item, REASON_FLUSH)
+        self.stats.bytes_stored = 0
+        self.stats.items = 0
+        self.policy.reset()
+        return len(dropped)
+
+    def hot_keys(self, now: float, ttl: float) -> List[str]:
+        """Keys touched within the last *ttl* seconds (Section II "hot" data)."""
+        return [
+            item.key for item in self._items.values() if item.is_hot(now, ttl)
+        ]
+
+    # ------------------------------------------------------------ internal
+
+    def _make_room(self, needed: int, now: float) -> None:
+        if self.capacity_bytes is None:
+            return
+        # Lazy-expire before evicting live data.
+        if self._used_bytes + needed > self.capacity_bytes:
+            self.purge_expired(now)
+        while self._used_bytes + needed > self.capacity_bytes:
+            victim_key = self.policy.victim()  # raises CapacityError if none
+            victim = self._items[victim_key]
+            self._unlink(victim, REASON_EVICT)
+            self.stats.record_eviction(victim.size)
+
+    def _link(self, item: CacheItem) -> None:
+        self._items[item.key] = item
+        self._used_bytes += item.size
+        self.policy.on_link(item.key)
+        for hook in self.link_hooks:
+            hook(item)
+
+    def _unlink(self, item: CacheItem, reason: str) -> None:
+        self._items.pop(item.key, None)
+        self._used_bytes -= item.size
+        self.policy.on_unlink(item.key)
+        for hook in self.unlink_hooks:
+            hook(item, reason)

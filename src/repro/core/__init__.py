@@ -1,0 +1,64 @@
+"""Proteus core: placement, routing, migration, and smooth transitions."""
+
+from repro.core.migration import (
+    MigrationPlan,
+    empirical_remap_fraction,
+    migration_lower_bound,
+    naive_remap_fraction,
+    plan_migration,
+    remap_matrix,
+)
+from repro.core.placement import (
+    HostRange,
+    Placement,
+    place_virtual_nodes,
+    theoretical_min_vnodes,
+)
+from repro.core.replication import ReplicatedProteusRouter, no_conflict_probability
+from repro.core.ring import HashRing, VirtualNode, prefix_active
+from repro.core.router import (
+    DEFAULT_RING_SIZE,
+    ConsistentRouter,
+    NaiveRouter,
+    ProteusRouter,
+    Router,
+    StaticRouter,
+    make_router,
+    scenario_routers,
+)
+from repro.core.transition import (
+    DEFAULT_TTL,
+    RoutingEpochs,
+    Transition,
+    TransitionManager,
+)
+
+__all__ = [
+    "ConsistentRouter",
+    "DEFAULT_RING_SIZE",
+    "DEFAULT_TTL",
+    "HashRing",
+    "HostRange",
+    "MigrationPlan",
+    "NaiveRouter",
+    "Placement",
+    "ProteusRouter",
+    "ReplicatedProteusRouter",
+    "Router",
+    "RoutingEpochs",
+    "StaticRouter",
+    "Transition",
+    "TransitionManager",
+    "VirtualNode",
+    "empirical_remap_fraction",
+    "make_router",
+    "migration_lower_bound",
+    "naive_remap_fraction",
+    "no_conflict_probability",
+    "place_virtual_nodes",
+    "plan_migration",
+    "prefix_active",
+    "remap_matrix",
+    "scenario_routers",
+    "theoretical_min_vnodes",
+]

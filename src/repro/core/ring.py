@@ -1,0 +1,162 @@
+"""Generic consistent-hashing ring with subset-aware lookups.
+
+The ring stores virtual nodes as ``(position, server)`` pairs.  A key hashed
+to position ``k`` is served by the owner of the first virtual-node position
+*strictly greater than* ``k``, walking clockwise (wrapping at the ring size),
+restricted to servers that are currently active.  Equivalently, a virtual
+node at position ``p`` hosts the key range ``[pred(p), p)`` — the "host
+range" between it and its direct predecessor (paper Section III-B).
+
+With this convention a virtual node whose assigned host range is
+``[start, start+len)`` sits at ring position ``start+len``, and when its
+server powers off, the range drains to the next active virtual node
+clockwise — which the Proteus placement (Algorithm 1) arranges to be exactly
+the lender the range was borrowed from.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.errors import ConfigurationError, RoutingError
+
+Position = Union[int, Fraction]
+
+
+@dataclass(frozen=True, order=True)
+class VirtualNode:
+    """A virtual node: a ring position owned by a physical server."""
+
+    position: Position
+    server: int
+
+
+class HashRing:
+    """A consistent-hashing ring over positions ``[0, size)``.
+
+    Virtual nodes may be added in any order; lookups are ``O(log V)`` via
+    bisection plus a clockwise scan past inactive servers (``O(V)`` worst
+    case, short in practice because inactive runs are short).
+
+    Args:
+        size: key-space size ``K``; positions live in ``[0, size)``.
+    """
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise ConfigurationError(f"ring size must be >= 1, got {size}")
+        self.size = size
+        self._nodes: List[VirtualNode] = []  # kept sorted by position
+        self._positions: List[Position] = []  # parallel sorted positions
+
+    # ----------------------------------------------------------- mutation
+
+    def add(self, position: Position, server: int) -> None:
+        """Place one virtual node for *server* at *position* (mod ring size)."""
+        pos = position % self.size
+        node = VirtualNode(pos, server)
+        idx = bisect_right(self._positions, pos)
+        # Reject exact duplicates: two vnodes at one position make ownership
+        # order-dependent, which breaks cross-web-server consistency.
+        if idx > 0 and self._positions[idx - 1] == pos:
+            raise ConfigurationError(f"duplicate virtual node position {pos}")
+        self._positions.insert(idx, pos)
+        self._nodes.insert(idx, node)
+
+    def add_many(self, nodes: Sequence[VirtualNode]) -> None:
+        """Bulk-add virtual nodes."""
+        for node in nodes:
+            self.add(node.position, node.server)
+
+    # ------------------------------------------------------------ queries
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def nodes(self) -> List[VirtualNode]:
+        """Virtual nodes in ring (position) order."""
+        return list(self._nodes)
+
+    def servers(self) -> List[int]:
+        """Distinct server ids present on the ring, ascending."""
+        return sorted({node.server for node in self._nodes})
+
+    def lookup(
+        self, position: Position, is_active: Optional[Callable[[int], bool]] = None
+    ) -> int:
+        """Return the server owning *position*, skipping inactive servers.
+
+        Args:
+            position: key position on the ring.
+            is_active: predicate over server ids; ``None`` means all active.
+
+        Raises:
+            RoutingError: the ring is empty or no active server exists.
+        """
+        count = len(self._nodes)
+        if count == 0:
+            raise RoutingError("lookup on an empty ring")
+        pos = position % self.size
+        start = bisect_right(self._positions, pos)
+        if is_active is None:
+            return self._nodes[start % count].server
+        for offset in range(count):
+            node = self._nodes[(start + offset) % count]
+            if is_active(node.server):
+                return node.server
+        raise RoutingError("no active server on the ring")
+
+    def owned_lengths(
+        self, is_active: Optional[Callable[[int], bool]] = None
+    ) -> Dict[int, Position]:
+        """Total host-range length owned by each active server.
+
+        Sums, for every arc between consecutive virtual-node positions, the
+        arc length into the bucket of the active server that owns it.  The
+        values sum to the ring size; this is what the balance condition (BC)
+        constrains to be equal across active servers.
+        """
+        count = len(self._nodes)
+        if count == 0:
+            return {}
+        owned: Dict[int, Position] = {}
+        positions = self._positions
+        for idx in range(count):
+            prev_pos = positions[idx - 1] if idx > 0 else positions[-1] - self.size
+            arc = positions[idx] - prev_pos
+            if arc == 0:
+                continue
+            owner = self._owner_from(idx, is_active)
+            owned[owner] = owned.get(owner, 0) + arc
+        return owned
+
+    def _owner_from(
+        self, index: int, is_active: Optional[Callable[[int], bool]]
+    ) -> int:
+        """Owner of the arc ending at vnode *index*: first active vnode at/after it."""
+        count = len(self._nodes)
+        if is_active is None:
+            return self._nodes[index].server
+        for offset in range(count):
+            node = self._nodes[(index + offset) % count]
+            if is_active(node.server):
+                return node.server
+        raise RoutingError("no active server on the ring")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"HashRing(size={self.size}, vnodes={len(self._nodes)})"
+
+
+def prefix_active(num_active: int) -> Callable[[int], bool]:
+    """Activity predicate for the fixed provisioning order (Section III-A).
+
+    Servers are numbered ``0..N-1`` in provisioning order (the paper's
+    ``s1..sN``); the first ``num_active`` of them are on.
+    """
+    if num_active < 1:
+        raise ConfigurationError(f"num_active must be >= 1, got {num_active}")
+    return lambda server: server < num_active

@@ -1,0 +1,209 @@
+"""Request-routing strategies — the four scenarios of paper Table II.
+
+Every router answers one question: *which cache server serves this key when
+``n`` of the ``N`` servers are active?*  Routers are deterministic and
+self-contained so that independent web servers, given the same configuration,
+make identical decisions (paper Section I, objective 3).
+
+==================  =========================  ===============================
+Scenario            Server provisioning        Workload distribution
+==================  =========================  ===============================
+``Static``          all servers always on      simple hash with modulo
+``Naive``           dynamically tuned          simple hash with modulo
+``Consistent``      dynamically tuned          consistent hashing, random
+                                               virtual nodes (O(log n) per
+                                               server, or n^2/2 total)
+``Proteus``         dynamically tuned          Algorithm 1 placement
+==================  =========================  ===============================
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from abc import ABC, abstractmethod
+from typing import List, Optional
+
+from repro.bloom.hashing import Key, ring_position, stable_hash64
+from repro.core.placement import Placement, place_virtual_nodes
+from repro.core.ring import HashRing, prefix_active
+from repro.errors import ConfigurationError, RoutingError
+
+#: Default key-space size for consistent-hashing rings.  2^32 matches common
+#: memcached client libraries (e.g. spymemcached's ketama ring).
+DEFAULT_RING_SIZE = 2 ** 32
+
+
+class Router(ABC):
+    """Maps keys to cache-server ids (0-based, in provisioning order)."""
+
+    def __init__(self, num_servers: int) -> None:
+        if num_servers < 1:
+            raise ConfigurationError(f"num_servers must be >= 1, got {num_servers}")
+        self.num_servers = num_servers
+
+    def _check_active(self, num_active: int) -> None:
+        if not 1 <= num_active <= self.num_servers:
+            raise RoutingError(
+                f"num_active must be in [1, {self.num_servers}], got {num_active}"
+            )
+
+    @abstractmethod
+    def route(self, key: Key, num_active: int) -> int:
+        """Return the server id (< ``num_active`` unless Static) serving *key*."""
+
+    @property
+    def name(self) -> str:
+        """Short scenario name used in benchmark tables."""
+        return type(self).__name__.replace("Router", "")
+
+
+class StaticRouter(Router):
+    """Table II "Static": all ``N`` servers on, ``hash(key) mod N``.
+
+    Ignores ``num_active`` — this scenario never powers servers down, so it
+    is the no-savings / no-spike baseline.
+    """
+
+    def route(self, key: Key, num_active: int) -> int:
+        return stable_hash64(key) % self.num_servers
+
+
+class NaiveRouter(Router):
+    """Table II "Naive": ``hash(key) mod n(t)`` over the active servers.
+
+    Rebalancing is perfect inside a slot, but a change ``n -> n+1`` remaps
+    ``n/(n+1)`` of all keys (the Reddit incident of Section I), flooding the
+    database tier on every transition.
+    """
+
+    def route(self, key: Key, num_active: int) -> int:
+        self._check_active(num_active)
+        return stable_hash64(key) % num_active
+
+
+class ConsistentRouter(Router):
+    """Table II "Consistent": classic consistent hashing, random virtual nodes.
+
+    Two variants from the paper's evaluation (Fig. 5 / Fig. 9):
+
+    * ``vnodes_per_server=ceil(log2 N)`` — the common O(log n) deployment;
+    * ``total_vnodes=N*N//2`` — the n^2/2 variant the paper uses to give the
+      baseline the same vnode budget as Proteus.
+
+    Virtual-node positions are drawn from a seeded PRNG shared by all web
+    servers (the paper seeds ``java.util.Random`` with 0 on every web server
+    for the same reason).
+    """
+
+    def __init__(
+        self,
+        num_servers: int,
+        vnodes_per_server: Optional[int] = None,
+        total_vnodes: Optional[int] = None,
+        seed: int = 0,
+        ring_size: int = DEFAULT_RING_SIZE,
+    ) -> None:
+        super().__init__(num_servers)
+        if vnodes_per_server is not None and total_vnodes is not None:
+            raise ConfigurationError(
+                "pass vnodes_per_server or total_vnodes, not both"
+            )
+        if vnodes_per_server is None and total_vnodes is None:
+            vnodes_per_server = max(1, math.ceil(math.log2(max(2, num_servers))))
+        self.ring = HashRing(ring_size)
+        rng = random.Random(seed)
+        if vnodes_per_server is not None:
+            if vnodes_per_server < 1:
+                raise ConfigurationError(
+                    f"vnodes_per_server must be >= 1, got {vnodes_per_server}"
+                )
+            counts = [vnodes_per_server] * num_servers
+        else:
+            if total_vnodes < num_servers:
+                raise ConfigurationError(
+                    f"total_vnodes must be >= num_servers, got {total_vnodes}"
+                )
+            base, extra = divmod(total_vnodes, num_servers)
+            counts = [base + (1 if s < extra else 0) for s in range(num_servers)]
+        for server, count in enumerate(counts):
+            placed = 0
+            while placed < count:
+                position = rng.randrange(ring_size)
+                try:
+                    self.ring.add(position, server)
+                except ConfigurationError:
+                    continue  # duplicate position: redraw
+                placed += 1
+
+    @classmethod
+    def log_variant(cls, num_servers: int, seed: int = 0) -> "ConsistentRouter":
+        """The O(log n)-virtual-nodes-per-server variant (Fig. 5 squares)."""
+        return cls(num_servers, seed=seed)
+
+    @classmethod
+    def quadratic_variant(cls, num_servers: int, seed: int = 0) -> "ConsistentRouter":
+        """The n^2/2-total-virtual-nodes variant (Fig. 5 stars, Fig. 9 triangles)."""
+        return cls(num_servers, total_vnodes=max(num_servers, num_servers ** 2 // 2), seed=seed)
+
+    def route(self, key: Key, num_active: int) -> int:
+        self._check_active(num_active)
+        return self.ring.lookup(
+            ring_position(key, self.ring.size), prefix_active(num_active)
+        )
+
+    @property
+    def name(self) -> str:
+        return "Consistent"
+
+
+class ProteusRouter(Router):
+    """Table II "Proteus": Algorithm 1 deterministic virtual-node placement.
+
+    Exactly ``N(N-1)/2 + 1`` virtual nodes; every active prefix owns equal
+    key-space; transitions remap the Section II lower bound.
+    """
+
+    def __init__(self, num_servers: int, ring_size: int = DEFAULT_RING_SIZE) -> None:
+        super().__init__(num_servers)
+        self.placement: Placement = place_virtual_nodes(num_servers, ring_size)
+        self.ring = self.placement.build_ring()
+
+    def route(self, key: Key, num_active: int) -> int:
+        self._check_active(num_active)
+        return self.ring.lookup(
+            ring_position(key, self.ring.size), prefix_active(num_active)
+        )
+
+
+def make_router(scenario: str, num_servers: int, **kwargs) -> Router:
+    """Factory keyed by Table II scenario name (case-insensitive).
+
+    ``consistent`` accepts ``variant='log'`` (default) or ``variant='quadratic'``.
+    """
+    name = scenario.strip().lower()
+    if name == "static":
+        return StaticRouter(num_servers)
+    if name == "naive":
+        return NaiveRouter(num_servers)
+    if name == "consistent":
+        variant = kwargs.pop("variant", "log")
+        seed = kwargs.pop("seed", 0)
+        if variant == "log":
+            return ConsistentRouter.log_variant(num_servers, seed=seed)
+        if variant == "quadratic":
+            return ConsistentRouter.quadratic_variant(num_servers, seed=seed)
+        raise ConfigurationError(f"unknown consistent-hashing variant {variant!r}")
+    if name == "proteus":
+        return ProteusRouter(num_servers, **kwargs)
+    raise ConfigurationError(f"unknown scenario {scenario!r}")
+
+
+def scenario_routers(num_servers: int) -> List[Router]:
+    """The four Table II routers, in the paper's presentation order."""
+    return [
+        StaticRouter(num_servers),
+        NaiveRouter(num_servers),
+        ConsistentRouter.quadratic_variant(num_servers),
+        ProteusRouter(num_servers),
+    ]

@@ -1,0 +1,73 @@
+"""Exception hierarchy for the Proteus reproduction.
+
+All library-raised exceptions derive from :class:`ProteusError` so callers can
+catch everything from this package with one handler while still being able to
+discriminate between configuration mistakes, runtime protocol violations, and
+capacity problems.
+"""
+
+from __future__ import annotations
+
+
+class ProteusError(Exception):
+    """Base class for every exception raised by this package."""
+
+
+class ConfigurationError(ProteusError):
+    """A component was constructed or configured with invalid parameters."""
+
+
+class PlacementError(ProteusError):
+    """Virtual-node placement could not satisfy the balance condition.
+
+    Raised when Algorithm 1 cannot borrow a feasible host range, which the
+    paper proves never happens for valid inputs; seeing this exception means
+    the inputs violated a precondition (e.g. non-positive key-space size).
+    """
+
+
+class RoutingError(ProteusError):
+    """A request could not be mapped to any active cache server."""
+
+
+class TransitionError(ProteusError):
+    """A smooth-provisioning transition was driven incorrectly.
+
+    Examples: starting a transition while another one for the same server is
+    still in its TTL drain window, or committing a transition that was never
+    started.
+    """
+
+
+class CacheError(ProteusError):
+    """Base class for cache-server errors."""
+
+
+class CacheKeyError(CacheError, KeyError):
+    """The requested key is not present in the cache."""
+
+
+class CapacityError(CacheError):
+    """An item cannot fit in the cache even after eviction."""
+
+
+class DigestError(ProteusError):
+    """The counting-Bloom-filter digest was used inconsistently.
+
+    Raised, for instance, when deleting a key that was never inserted —
+    the paper notes this "will never happen" when the digest is driven only
+    by item link/unlink, so we surface it loudly instead of corrupting
+    counters silently.
+    """
+
+
+class ProtocolError(ProteusError):
+    """A malformed memcached-protocol request or response was seen."""
+
+
+class SimulationError(ProteusError):
+    """The discrete-event simulation was driven into an invalid state."""
+
+
+class ProvisioningError(ProteusError):
+    """A provisioning schedule or actuator operation is invalid."""

@@ -1,0 +1,431 @@
+"""The full 3-tier cluster experiment (paper Figs. 9, 10, 11).
+
+Wires the whole testbed of Fig. 3 in simulation: closed-loop synthetic
+users (the RBE tier) drive web servers, which execute Algorithm 2 against
+the cache tier and the sharded database; a provisioning actuator replays a
+fixed ``n(t)`` schedule; a PDU-style meter samples power every 15 s.
+
+One :class:`ClusterExperiment` runs one Table II scenario.  The paper's
+methodology is preserved exactly: *the same* schedule, data, and workload
+seeds are applied to all four scenarios, so the only varying factors are
+the load-distribution algorithm and the transition behaviour.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.bloom.config import BloomConfig, optimal_config
+from repro.cache.cluster import CacheCluster
+from repro.core.router import (
+    ConsistentRouter,
+    NaiveRouter,
+    ProteusRouter,
+    Router,
+    StaticRouter,
+)
+from repro.database.cluster import DatabaseCluster
+from repro.errors import ConfigurationError
+from repro.power.meter import PowerMeter, busy_time_probe, utilization_probe
+from repro.provisioning.actuator import AppliedTransition, ProvisioningActuator
+from repro.provisioning.policies import ProvisioningSchedule, static_schedule
+from repro.sim.events import EventLoop
+from repro.sim.latency import Constant, Exponential
+from repro.sim.metrics import SlottedRecorder, TimeSeries
+from repro.web.frontend import FetchPath, WebServer
+from repro.workload.synthetic import SyntheticUser, UserPopulation
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One Table II scenario: router family + provisioning behaviour."""
+
+    name: str
+    router_factory: Callable[[int], Router]
+    smooth: bool
+    dynamic: bool
+
+    @staticmethod
+    def static() -> "ScenarioSpec":
+        """All servers on, hash+modulo."""
+        return ScenarioSpec("Static", StaticRouter, smooth=False, dynamic=False)
+
+    @staticmethod
+    def naive() -> "ScenarioSpec":
+        """Dynamic provisioning, hash+modulo, abrupt transitions."""
+        return ScenarioSpec("Naive", NaiveRouter, smooth=False, dynamic=True)
+
+    @staticmethod
+    def consistent() -> "ScenarioSpec":
+        """Dynamic provisioning, n^2/2 random virtual nodes, abrupt."""
+        return ScenarioSpec(
+            "Consistent",
+            ConsistentRouter.quadratic_variant,
+            smooth=False,
+            dynamic=True,
+        )
+
+    @staticmethod
+    def proteus() -> "ScenarioSpec":
+        """Dynamic provisioning, Algorithm 1 placement, smooth transitions."""
+        return ScenarioSpec("Proteus", ProteusRouter, smooth=True, dynamic=True)
+
+    @staticmethod
+    def all_four() -> List["ScenarioSpec"]:
+        """The paper's presentation order."""
+        return [
+            ScenarioSpec.static(),
+            ScenarioSpec.naive(),
+            ScenarioSpec.consistent(),
+            ScenarioSpec.proteus(),
+        ]
+
+
+@dataclass
+class ExperimentConfig:
+    """Shared knobs for one experiment run (paper Section V defaults, scaled).
+
+    The paper's testbed: 10 web servers, 10 cache servers, 7 DB shards,
+    think time 0.5 s, 50-page user sets.  Durations and rates are scaled so
+    a full 4-scenario comparison runs in minutes of wall-clock; every knob
+    is explicit so benches can scale up.
+    """
+
+    schedule: ProvisioningSchedule
+    users_per_slot: List[int]
+    num_cache_servers: int = 10
+    num_web_servers: int = 10
+    num_db_shards: int = 7
+    catalogue_size: int = 20_000
+    cache_capacity_bytes: int = 4096 * 2000  # 2000 pages per server
+    item_size: int = 4096
+    pages_per_user: int = 50
+    think_time: float = 0.5
+    zipf_alpha: float = 0.9
+    ttl: float = 30.0
+    db_service_mean: float = 0.050
+    cache_op_latency: float = 0.001
+    web_overhead: float = 0.002
+    power_sample_period: float = 15.0
+    plot_slots: int = 48
+    bloom_config: Optional[BloomConfig] = None
+    seed: int = 0
+    #: pre-populate caches with the initial users' page sets at t=0 (the
+    #: paper's runs start against a warm tier; a cold-start flood would put
+    #: the same spike into *every* scenario and mask the transition signal).
+    prewarm: bool = True
+    #: latency samples before this time are not recorded (residual warm-up).
+    warmup_seconds: float = 0.0
+    #: install a BackgroundMigrator on every smooth transition (the
+    #: push-assisted extension; only affects the Proteus scenario).
+    push_migration: bool = False
+
+    def __post_init__(self) -> None:
+        if len(self.users_per_slot) != self.schedule.num_slots:
+            raise ConfigurationError(
+                f"users_per_slot has {len(self.users_per_slot)} entries, "
+                f"schedule has {self.schedule.num_slots} slots"
+            )
+        if max(self.schedule.counts) > self.num_cache_servers:
+            raise ConfigurationError(
+                "schedule asks for more cache servers than the fleet has"
+            )
+        if self.plot_slots < 1:
+            raise ConfigurationError(
+                f"plot_slots must be >= 1, got {self.plot_slots}"
+            )
+
+    @property
+    def duration(self) -> float:
+        return self.schedule.duration
+
+
+@dataclass
+class ExperimentReport:
+    """Everything the Figs. 9-11 benches read off one scenario run."""
+
+    scenario: str
+    duration: float
+    latencies: SlottedRecorder
+    power_series: Dict[str, TimeSeries]
+    energy_kwh: Dict[str, float]
+    active_series: TimeSeries
+    transitions: List[AppliedTransition]
+    fetch_paths: Dict[str, int]
+    total_requests: int
+    db_requests: int
+    hit_ratio: float
+
+    def latency_percentiles(self, pct: float = 99.9) -> TimeSeries:
+        """Per-plot-slot latency percentile (the Fig. 9 curves)."""
+        return self.latencies.series("pct", pct_rank=pct)
+
+    def peak_latency(self, pct: float = 99.9) -> float:
+        """Worst per-slot percentile over the run (the spike height)."""
+        series = self.latency_percentiles(pct)
+        return max(series.values) if len(series) else 0.0
+
+    def median_slot_latency(self, pct: float = 99.9) -> float:
+        """Median across slots of the per-slot percentile (the baseline)."""
+        series = self.latency_percentiles(pct)
+        if not len(series):
+            return 0.0
+        ordered = sorted(series.values)
+        return ordered[len(ordered) // 2]
+
+    def spike_ratio(self, pct: float = 99.9) -> float:
+        """Peak over baseline — ~1 means no transition spike (Proteus)."""
+        baseline = self.median_slot_latency(pct)
+        return self.peak_latency(pct) / baseline if baseline > 0 else 0.0
+
+    def to_dict(self, pct: float = 99.9) -> dict:
+        """A JSON-serializable summary (archived by benches and the CLI).
+
+        Keeps the derived series (latency percentiles per plot slot, power
+        per tier, active counts), not the raw samples.
+        """
+        latency = self.latency_percentiles(pct)
+        return {
+            "scenario": self.scenario,
+            "duration": self.duration,
+            "total_requests": self.total_requests,
+            "db_requests": self.db_requests,
+            "hit_ratio": self.hit_ratio,
+            "fetch_paths": dict(self.fetch_paths),
+            "energy_kwh": dict(self.energy_kwh),
+            "transitions": [
+                {"when": t.when, "n_old": t.n_old, "n_new": t.n_new,
+                 "smooth": t.smooth}
+                for t in self.transitions
+            ],
+            "latency_pct": pct,
+            "latency_series": {
+                "times": list(latency.times),
+                "values": list(latency.values),
+            },
+            "power_series": {
+                tier: {"times": list(series.times),
+                       "values": list(series.values)}
+                for tier, series in self.power_series.items()
+            },
+            "active_series": {
+                "times": list(self.active_series.times),
+                "values": list(self.active_series.values),
+            },
+        }
+
+    def save(self, path, pct: float = 99.9) -> None:
+        """Write :meth:`to_dict` as JSON."""
+        import json
+        from pathlib import Path
+
+        Path(path).write_text(
+            json.dumps(self.to_dict(pct), indent=2) + "\n", encoding="utf-8"
+        )
+
+
+class ClusterExperiment:
+    """Builds and runs one scenario end to end."""
+
+    def __init__(self, spec: ScenarioSpec, config: ExperimentConfig) -> None:
+        self.spec = spec
+        self.config = config
+        cfg = config
+        router = spec.router_factory(cfg.num_cache_servers)
+        if spec.dynamic:
+            schedule = cfg.schedule
+            initial_active = schedule.counts[0]
+        else:
+            schedule = static_schedule(
+                cfg.num_cache_servers,
+                cfg.schedule.num_slots,
+                cfg.schedule.slot_seconds,
+            )
+            initial_active = cfg.num_cache_servers
+        self.schedule = schedule
+        bloom = cfg.bloom_config or optimal_config(
+            max(1024, cfg.cache_capacity_bytes // cfg.item_size)
+        )
+        self.cache = CacheCluster(
+            router,
+            capacity_bytes=cfg.cache_capacity_bytes,
+            initial_active=initial_active,
+            ttl=cfg.ttl,
+            bloom_config=bloom,
+        )
+        self.database = DatabaseCluster(
+            cfg.num_db_shards,
+            service_model=Exponential(cfg.db_service_mean),
+            seed=cfg.seed,
+        )
+        self.webs: List[WebServer] = [
+            WebServer(
+                i,
+                self.cache,
+                self.database,
+                cache_latency=Constant(cfg.cache_op_latency),
+                web_overhead=Constant(cfg.web_overhead),
+                seed=cfg.seed,
+            )
+            for i in range(cfg.num_web_servers)
+        ]
+        self.population = UserPopulation(
+            catalogue_size=cfg.catalogue_size,
+            pages_per_user=cfg.pages_per_user,
+            think_time=cfg.think_time,
+            alpha=cfg.zipf_alpha,
+            seed=cfg.seed,
+        )
+        self.actuator = ProvisioningActuator(
+            self.cache,
+            smooth=spec.smooth,
+            push_migration=cfg.push_migration,
+        )
+        self.loop = EventLoop()
+        self.meter = PowerMeter(cfg.power_sample_period)
+        self._wire_power_channels()
+        plot_width = (cfg.duration - cfg.warmup_seconds) / cfg.plot_slots
+        self.latencies = SlottedRecorder(plot_width, start=cfg.warmup_seconds)
+        self.active_series = TimeSeries()
+        self._retired_ids: set = set()
+        self._rng = random.Random(cfg.seed ^ 0xBEEF)
+        self.total_requests = 0
+
+    # ------------------------------------------------------------- wiring
+
+    def _wire_power_channels(self) -> None:
+        cfg = self.config
+        for server in self.cache.servers:
+            self.meter.add_channel(
+                name=f"cache-{server.server_id}",
+                tier="cache",
+                probe=utilization_probe(
+                    requests_counter=lambda s=server: s.stats.requests,
+                    powered=lambda s=server: s.state.serves_requests,
+                    op_cost=cfg.cache_op_latency,
+                ),
+            )
+        for web in self.webs:
+            self.meter.add_channel(
+                name=f"web-{web.server_id}",
+                tier="web",
+                probe=utilization_probe(
+                    requests_counter=lambda w=web: w.stats.total,
+                    powered=lambda: True,
+                    op_cost=cfg.web_overhead + 2 * cfg.cache_op_latency,
+                ),
+            )
+        for shard in self.database.shards:
+            self.meter.add_channel(
+                name=f"db-{shard.shard_id}",
+                tier="database",
+                probe=busy_time_probe(
+                    busy_time=lambda s=shard: s.queue.busy_time,
+                    powered=lambda: True,
+                ),
+            )
+
+    # ------------------------------------------------------------- events
+
+    def _user_request(self, user: SyntheticUser) -> None:
+        if user.user_id in self._retired_ids:
+            return
+        key = user.next_key()
+        web = self.webs[self._rng.randrange(len(self.webs))]
+        result = web.fetch(key, self.loop.now)
+        if self.loop.now >= self.config.warmup_seconds:
+            self.latencies.record(self.loop.now, result.latency)
+        self.total_requests += 1
+        self.loop.schedule_at(
+            result.completed + user.next_think(), self._user_request, user
+        )
+
+    def _resize_population(self, target: int) -> None:
+        delta = self.population.resize_to(target)
+        for user in delta.retired:
+            self._retired_ids.add(user.user_id)
+        for user in delta.spawned:
+            first = self.loop.now + self._rng.uniform(0.0, user.think_time or 0.1)
+            self.loop.schedule_at(first, self._user_request, user)
+
+    def _sample_power(self) -> None:
+        self.meter.sample(self.loop.now)
+        self.active_series.append(
+            self.loop.now, float(len(self.cache.powered_servers()))
+        )
+        next_due = self.loop.now + self.config.power_sample_period
+        if next_due < self.config.duration:
+            self.loop.schedule_at(next_due, self._sample_power)
+
+    # ---------------------------------------------------------------- run
+
+    def _prewarm(self) -> None:
+        """Fill caches with the initial users' page sets (no DB timing).
+
+        Mimics starting the measurement against an already-warm tier: each
+        page is installed at its *routed* owner under the initial mapping,
+        with values taken from the authoritative store directly.
+        """
+        n_active = self.cache.active_count
+        seen = set()
+        for user in self.population.active:
+            for key in user.pages:
+                if key in seen:
+                    continue
+                seen.add(key)
+                server = self.cache.router.route(key, n_active)
+                target = self.cache.server(server)
+                if target.state.serves_requests:
+                    value = self.database.shard_for(key).lookup(key)
+                    target.set(key, value, now=0.0, size=self.config.item_size)
+
+    def run(self) -> ExperimentReport:
+        """Execute the scenario; returns the measurement report."""
+        cfg = self.config
+        if self.spec.dynamic:
+            self.actuator.install(cfg.schedule, self.loop)
+        for slot, target in enumerate(cfg.users_per_slot):
+            when = slot * cfg.schedule.slot_seconds
+            if slot == 0:
+                self._resize_population(target)
+                if cfg.prewarm:
+                    self._prewarm()
+            else:
+                self.loop.schedule_at(when, self._resize_population, target)
+        self.loop.schedule_at(0.0, self._sample_power)
+        self.loop.run_until(cfg.duration)
+
+        fetch_paths = {path.value: 0 for path in FetchPath}
+        for web in self.webs:
+            for path, count in web.stats.counts.items():
+                fetch_paths[path.value] += count
+        energy = {"total": self.meter.energy_kwh()}
+        for tier in self.meter.tiers():
+            energy[tier] = self.meter.energy_kwh(tier)
+        power_series = {"total": self.meter.total_series}
+        power_series.update(self.meter.tier_series)
+        return ExperimentReport(
+            scenario=self.spec.name,
+            duration=cfg.duration,
+            latencies=self.latencies,
+            power_series=power_series,
+            energy_kwh=energy,
+            active_series=self.active_series,
+            transitions=list(self.actuator.applied),
+            fetch_paths=fetch_paths,
+            total_requests=self.total_requests,
+            db_requests=self.database.total_requests(),
+            hit_ratio=self.cache.total_hit_ratio(),
+        )
+
+
+def run_scenarios(
+    config: ExperimentConfig, specs: Optional[List[ScenarioSpec]] = None
+) -> Dict[str, ExperimentReport]:
+    """Run several scenarios under the identical config (the paper's method)."""
+    reports: Dict[str, ExperimentReport] = {}
+    for spec in specs or ScenarioSpec.all_four():
+        reports[spec.name] = ClusterExperiment(spec, config).run()
+    return reports

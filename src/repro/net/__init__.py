@@ -1,0 +1,25 @@
+"""Runnable memcached-protocol substrate (paper Section V-A3 analogue)."""
+
+from repro.net.client import CasValue, MemcachedClient
+from repro.net.protocol import (
+    KEY_FETCH_DIGEST,
+    KEY_SNAPSHOT,
+    Request,
+    parse_command_line,
+    validate_key,
+)
+from repro.net.server import MemcachedServer
+from repro.net.webtier import AsyncProteusFrontend, AsyncTransition
+
+__all__ = [
+    "AsyncProteusFrontend",
+    "AsyncTransition",
+    "CasValue",
+    "KEY_FETCH_DIGEST",
+    "KEY_SNAPSHOT",
+    "MemcachedClient",
+    "MemcachedServer",
+    "Request",
+    "parse_command_line",
+    "validate_key",
+]

@@ -1,0 +1,280 @@
+"""Asyncio memcached client (the web server's view of one cache node).
+
+Speaks the same text protocol as :mod:`repro.net.server` — and therefore as
+real memcached for the standard commands.  Adds the two digest calls of
+Section V-A3 as first-class methods: :meth:`snapshot_digest` and
+:meth:`fetch_digest`, which a transition coordinator uses to broadcast
+digests to web servers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, Optional
+
+from dataclasses import dataclass
+
+from repro.bloom.bloom import BloomFilter
+from repro.errors import ProtocolError
+from repro.net import protocol as proto
+
+
+@dataclass(frozen=True)
+class CasValue:
+    """A value paired with its cas unique id (the ``gets`` reply)."""
+
+    value: bytes
+    cas: int
+
+
+class MemcachedClient:
+    """One TCP connection to a memcached-protocol server.
+
+    Use as an async context manager or call :meth:`connect` / :meth:`close`.
+    Not safe for concurrent use from multiple tasks; pool instances instead
+    (the paper pools connections with Apache Commons Pool).
+    """
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    async def connect(self) -> "MemcachedClient":
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+        return self
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            try:
+                self._writer.write(b"quit\r\n")
+                await self._writer.drain()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+            self._reader = None
+            self._writer = None
+
+    async def __aenter__(self) -> "MemcachedClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------ plumbing
+
+    def _require_connected(self) -> None:
+        if self._reader is None or self._writer is None:
+            raise ProtocolError("client is not connected")
+
+    async def _command(self, line: bytes) -> None:
+        self._require_connected()
+        self._writer.write(line)
+        await self._writer.drain()
+
+    async def _read_line(self) -> bytes:
+        line = await self._reader.readline()
+        if not line:
+            raise ProtocolError("connection closed by server")
+        return line.rstrip(b"\r\n")
+
+    # ------------------------------------------------------------- basics
+
+    async def get(self, key: str) -> Optional[bytes]:
+        """Value for *key*, or ``None`` on miss."""
+        proto.validate_key(key)
+        await self._command(f"get {key}\r\n".encode("utf-8"))
+        value: Optional[bytes] = None
+        while True:
+            line = await self._read_line()
+            if line == b"END":
+                return value
+            if line.startswith(b"VALUE "):
+                parts = line.decode("utf-8").split(" ")
+                num_bytes = int(parts[3])
+                block = await self._reader.readexactly(num_bytes + 2)
+                value = block[:-2]
+            elif line.startswith((b"SERVER_ERROR", b"CLIENT_ERROR", b"ERROR")):
+                raise ProtocolError(line.decode("utf-8", "replace"))
+            else:
+                raise ProtocolError(f"unexpected get response line: {line!r}")
+
+    async def set(
+        self, key: str, value: bytes, flags: int = 0, exptime: int = 0
+    ) -> bool:
+        """Store *key*; True on STORED."""
+        proto.validate_key(key)
+        header = f"set {key} {flags} {exptime} {len(value)}\r\n".encode("utf-8")
+        await self._command(header + value + proto.CRLF)
+        reply = await self._read_line()
+        if reply == b"STORED":
+            return True
+        if reply == b"NOT_STORED":
+            return False
+        raise ProtocolError(f"unexpected set reply: {reply!r}")
+
+    async def add(self, key: str, value: bytes, flags: int = 0, exptime: int = 0) -> bool:
+        """Store only if absent; True on STORED."""
+        proto.validate_key(key)
+        header = f"add {key} {flags} {exptime} {len(value)}\r\n".encode("utf-8")
+        await self._command(header + value + proto.CRLF)
+        return await self._read_line() == b"STORED"
+
+    async def get_multi(self, keys) -> Dict[str, bytes]:
+        """Batched get: one round trip for many keys; returns only the hits.
+
+        The paper's web servers batch per-request lookups the same way
+        (spymemcached pipelines multigets); one command line, one END.
+        """
+        key_list = list(keys)
+        for key in key_list:
+            proto.validate_key(key)
+        if not key_list:
+            return {}
+        await self._command(("get " + " ".join(key_list) + "\r\n").encode("utf-8"))
+        out: Dict[str, bytes] = {}
+        while True:
+            line = await self._read_line()
+            if line == b"END":
+                return out
+            if line.startswith(b"VALUE "):
+                parts = line.decode("utf-8").split(" ")
+                num_bytes = int(parts[3])
+                block = await self._reader.readexactly(num_bytes + 2)
+                out[parts[1]] = block[:-2]
+            elif line.startswith((b"SERVER_ERROR", b"CLIENT_ERROR", b"ERROR")):
+                raise ProtocolError(line.decode("utf-8", "replace"))
+            else:
+                raise ProtocolError(f"unexpected get response line: {line!r}")
+
+    async def gets(self, key: str) -> Optional["CasValue"]:
+        """Value plus its cas unique id, or ``None`` on miss."""
+        proto.validate_key(key)
+        await self._command(f"gets {key}\r\n".encode("utf-8"))
+        result: Optional[CasValue] = None
+        while True:
+            line = await self._read_line()
+            if line == b"END":
+                return result
+            if line.startswith(b"VALUE "):
+                parts = line.decode("utf-8").split(" ")
+                num_bytes = int(parts[3])
+                cas = int(parts[4]) if len(parts) > 4 else 0
+                block = await self._reader.readexactly(num_bytes + 2)
+                result = CasValue(value=block[:-2], cas=cas)
+            else:
+                raise ProtocolError(f"unexpected gets response line: {line!r}")
+
+    async def cas(
+        self, key: str, value: bytes, cas: int, flags: int = 0, exptime: int = 0
+    ) -> str:
+        """Compare-and-swap; returns ``stored``, ``exists`` or ``not_found``."""
+        proto.validate_key(key)
+        header = (
+            f"cas {key} {flags} {exptime} {len(value)} {cas}\r\n"
+        ).encode("utf-8")
+        await self._command(header + value + proto.CRLF)
+        reply = await self._read_line()
+        table = {b"STORED": "stored", b"EXISTS": "exists",
+                 b"NOT_FOUND": "not_found"}
+        if reply not in table:
+            raise ProtocolError(f"unexpected cas reply: {reply!r}")
+        return table[reply]
+
+    async def _concat(self, verb: str, key: str, value: bytes) -> bool:
+        proto.validate_key(key)
+        header = f"{verb} {key} 0 0 {len(value)}\r\n".encode("utf-8")
+        await self._command(header + value + proto.CRLF)
+        return await self._read_line() == b"STORED"
+
+    async def append(self, key: str, value: bytes) -> bool:
+        """Append to an existing value; False if the key is absent."""
+        return await self._concat("append", key, value)
+
+    async def prepend(self, key: str, value: bytes) -> bool:
+        """Prepend to an existing value; False if the key is absent."""
+        return await self._concat("prepend", key, value)
+
+    async def _arith(self, verb: str, key: str, delta: int) -> Optional[int]:
+        proto.validate_key(key)
+        await self._command(f"{verb} {key} {delta}\r\n".encode("utf-8"))
+        reply = await self._read_line()
+        if reply == b"NOT_FOUND":
+            return None
+        if reply.startswith((b"CLIENT_ERROR", b"SERVER_ERROR", b"ERROR")):
+            raise ProtocolError(reply.decode("utf-8", "replace"))
+        return int(reply)
+
+    async def incr(self, key: str, delta: int = 1) -> Optional[int]:
+        """Increment a decimal value; returns the new value or ``None``."""
+        return await self._arith("incr", key, delta)
+
+    async def decr(self, key: str, delta: int = 1) -> Optional[int]:
+        """Decrement (clamped at 0); returns the new value or ``None``."""
+        return await self._arith("decr", key, delta)
+
+    async def touch(self, key: str, exptime: int) -> bool:
+        """Reset a key's expiry; False if the key is absent."""
+        proto.validate_key(key)
+        await self._command(f"touch {key} {exptime}\r\n".encode("utf-8"))
+        return await self._read_line() == b"TOUCHED"
+
+    async def delete(self, key: str) -> bool:
+        """Delete *key*; True if it existed."""
+        proto.validate_key(key)
+        await self._command(f"delete {key}\r\n".encode("utf-8"))
+        return await self._read_line() == b"DELETED"
+
+    async def stats(self) -> Dict[str, str]:
+        """The server's ``stats`` map."""
+        await self._command(b"stats\r\n")
+        out: Dict[str, str] = {}
+        while True:
+            line = await self._read_line()
+            if line == b"END":
+                return out
+            if line.startswith(b"STAT "):
+                _, name, value = line.decode("utf-8").split(" ", 2)
+                out[name] = value
+            else:
+                raise ProtocolError(f"unexpected stats line: {line!r}")
+
+    async def flush_all(self) -> None:
+        """Drop everything on the server."""
+        await self._command(b"flush_all\r\n")
+        reply = await self._read_line()
+        if reply != b"OK":
+            raise ProtocolError(f"unexpected flush_all reply: {reply!r}")
+
+    async def version(self) -> str:
+        await self._command(b"version\r\n")
+        reply = await self._read_line()
+        if not reply.startswith(b"VERSION "):
+            raise ProtocolError(f"unexpected version reply: {reply!r}")
+        return reply[len(b"VERSION "):].decode("utf-8")
+
+    # ------------------------------------------------------- digest calls
+
+    async def snapshot_digest(self) -> None:
+        """Ask the server to freeze its digest (``get SET_BLOOM_FILTER``)."""
+        ack = await self.get(proto.KEY_SNAPSHOT)
+        if ack is None:
+            raise ProtocolError("server did not acknowledge digest snapshot")
+
+    async def fetch_digest(self, num_bits: int, num_hashes: int = 4) -> BloomFilter:
+        """Retrieve the frozen digest (``get BLOOM_FILTER``) as a Bloom filter.
+
+        The caller supplies the filter geometry — exactly as the paper's web
+        servers know the cluster-wide Bloom configuration out of band.
+        """
+        payload = await self.get(proto.KEY_FETCH_DIGEST)
+        if payload is None:
+            raise ProtocolError("no digest snapshot on server; call snapshot_digest")
+        return BloomFilter.from_bytes(payload, num_bits, num_hashes)

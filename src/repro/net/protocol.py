@@ -1,0 +1,205 @@
+"""Memcached text-protocol framing.
+
+Implements the classic memcached ASCII protocol surface the paper's system
+exercises — ``get``/``gets``, ``set``/``add``/``replace``/``cas``,
+``append``/``prepend``, ``delete``, ``incr``/``decr``, ``touch``,
+``stats``, ``flush_all``, ``version``, ``quit`` — plus the two reserved
+keys of Section V-A3:
+
+* ``get SET_BLOOM_FILTER`` — the server snapshots its counting Bloom filter
+  into a frozen bit array and acknowledges;
+* ``get BLOOM_FILTER`` — the snapshot is returned "as normal data", so any
+  stock memcached client library can fetch the digest (the paper verified
+  spymemcached and python-memcached against its modified server).
+
+Requests and responses are parsed/serialized here with no I/O, so the same
+framing serves the asyncio server, the client, and protocol unit tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import ProtocolError
+
+CRLF = b"\r\n"
+
+#: Section V-A3 reserved keys.
+KEY_SNAPSHOT = "SET_BLOOM_FILTER"
+KEY_FETCH_DIGEST = "BLOOM_FILTER"
+
+MAX_KEY_LENGTH = 250  # memcached's limit
+
+
+@dataclass
+class Request:
+    """One parsed client command."""
+
+    command: str
+    keys: List[str] = field(default_factory=list)
+    flags: int = 0
+    exptime: int = 0
+    num_bytes: int = 0
+    noreply: bool = False
+    value: bytes = b""
+    #: cas unique id (``cas`` command only)
+    cas: int = 0
+    #: numeric delta (``incr``/``decr`` only)
+    delta: int = 0
+
+
+def validate_key(key: str) -> None:
+    """Reject keys memcached would reject (length, control chars, spaces)."""
+    if not key or len(key) > MAX_KEY_LENGTH:
+        raise ProtocolError(f"bad key length: {len(key)}")
+    if any(c.isspace() or ord(c) < 33 for c in key):
+        raise ProtocolError(f"key contains whitespace/control chars: {key!r}")
+
+
+def parse_command_line(line: bytes) -> Request:
+    """Parse one command line (without its data block).
+
+    Raises:
+        ProtocolError: malformed command or arguments.
+    """
+    try:
+        text = line.decode("utf-8").strip("\r\n")
+    except UnicodeDecodeError as exc:
+        raise ProtocolError("command line is not valid UTF-8") from exc
+    if not text:
+        raise ProtocolError("empty command line")
+    parts = text.split(" ")
+    command = parts[0].lower()
+
+    if command in ("get", "gets"):
+        if len(parts) < 2:
+            raise ProtocolError("get requires at least one key")
+        keys = parts[1:]
+        for key in keys:
+            validate_key(key)
+        return Request(command=command, keys=keys)
+
+    if command in ("set", "add", "replace", "append", "prepend", "cas"):
+        noreply = parts[-1] == "noreply"
+        args = parts[:-1] if noreply else parts
+        expected = 6 if command == "cas" else 5
+        if len(args) != expected:
+            raise ProtocolError(
+                f"{command} requires: key flags exptime bytes"
+                + (" cas_unique" if command == "cas" else "")
+            )
+        key = args[1]
+        validate_key(key)
+        try:
+            flags = int(args[2])
+            exptime = int(args[3])
+            num_bytes = int(args[4])
+            cas = int(args[5]) if command == "cas" else 0
+        except ValueError as exc:
+            raise ProtocolError(f"non-numeric storage argument in {text!r}") from exc
+        if num_bytes < 0:
+            raise ProtocolError(f"negative byte count: {num_bytes}")
+        return Request(
+            command=command, keys=[key], flags=flags, exptime=exptime,
+            num_bytes=num_bytes, noreply=noreply, cas=cas,
+        )
+
+    if command in ("incr", "decr"):
+        noreply = parts[-1] == "noreply"
+        args = parts[:-1] if noreply else parts
+        if len(args) != 3:
+            raise ProtocolError(f"{command} requires: key delta")
+        validate_key(args[1])
+        try:
+            delta = int(args[2])
+        except ValueError as exc:
+            raise ProtocolError(f"non-numeric delta in {text!r}") from exc
+        if delta < 0:
+            raise ProtocolError(f"delta must be >= 0, got {delta}")
+        return Request(command=command, keys=[args[1]], delta=delta,
+                       noreply=noreply)
+
+    if command == "touch":
+        noreply = parts[-1] == "noreply"
+        args = parts[:-1] if noreply else parts
+        if len(args) != 3:
+            raise ProtocolError("touch requires: key exptime")
+        validate_key(args[1])
+        try:
+            exptime = int(args[2])
+        except ValueError as exc:
+            raise ProtocolError(f"non-numeric exptime in {text!r}") from exc
+        return Request(command=command, keys=[args[1]], exptime=exptime,
+                       noreply=noreply)
+
+    if command == "delete":
+        noreply = parts[-1] == "noreply"
+        args = parts[:-1] if noreply else parts
+        if len(args) != 2:
+            raise ProtocolError("delete requires exactly one key")
+        validate_key(args[1])
+        return Request(command=command, keys=[args[1]], noreply=noreply)
+
+    if command in ("stats", "version", "quit", "flush_all"):
+        return Request(command=command, keys=parts[1:])
+
+    raise ProtocolError(f"unknown command {command!r}")
+
+
+def value_response(key: str, flags: int, data: bytes, cas: Optional[int] = None) -> bytes:
+    """One ``VALUE`` block of a get response."""
+    header = f"VALUE {key} {flags} {len(data)}"
+    if cas is not None:
+        header += f" {cas}"
+    return header.encode("utf-8") + CRLF + data + CRLF
+
+
+def end_response() -> bytes:
+    return b"END" + CRLF
+
+
+def stored_response() -> bytes:
+    return b"STORED" + CRLF
+
+
+def not_stored_response() -> bytes:
+    return b"NOT_STORED" + CRLF
+
+
+def deleted_response() -> bytes:
+    return b"DELETED" + CRLF
+
+
+def not_found_response() -> bytes:
+    return b"NOT_FOUND" + CRLF
+
+
+def touched_response() -> bytes:
+    return b"TOUCHED" + CRLF
+
+
+def exists_response() -> bytes:
+    """``cas`` reply when the item changed since the client's ``gets``."""
+    return b"EXISTS" + CRLF
+
+
+def number_response(value: int) -> bytes:
+    """``incr``/``decr`` reply: the new value as plain decimal."""
+    return str(value).encode("utf-8") + CRLF
+
+
+def error_response(message: str = "") -> bytes:
+    if message:
+        return f"SERVER_ERROR {message}".encode("utf-8") + CRLF
+    return b"ERROR" + CRLF
+
+
+def client_error_response(message: str) -> bytes:
+    return f"CLIENT_ERROR {message}".encode("utf-8") + CRLF
+
+
+def stats_response(stats: Dict[str, object]) -> bytes:
+    """A ``stats`` reply: one ``STAT name value`` line per entry, then END."""
+    lines = [f"STAT {name} {value}".encode("utf-8") for name, value in stats.items()]
+    return CRLF.join(lines) + CRLF + end_response() if lines else end_response()

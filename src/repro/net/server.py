@@ -1,0 +1,341 @@
+"""Asyncio memcached server with a built-in counting-Bloom-filter digest.
+
+The runnable analogue of the paper's modified memcached (Section V-A3): a
+TCP server speaking the classic text protocol whose item link/unlink events
+keep a counting Bloom filter consistent with the store, with the reserved
+keys ``SET_BLOOM_FILTER`` (snapshot) and ``BLOOM_FILTER`` (fetch snapshot as
+normal data).  The store and digest are the *same* classes the simulation
+uses — only time comes from the wall clock here.
+
+Example::
+
+    server = MemcachedServer(capacity_bytes=64 * 1024 * 1024)
+    await server.start("127.0.0.1", 0)   # port 0 -> ephemeral
+    ...
+    await server.stop()
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Dict, Optional
+
+from repro.bloom.config import BloomConfig, optimal_config
+from repro.cache.eviction import LRUPolicy
+from repro.cache.item import CacheItem
+from repro.cache.store import KeyValueStore
+from repro.bloom.counting import CountingBloomFilter
+from repro.cache.slabs import SlabStore
+from repro.errors import CapacityError, ConfigurationError, ProtocolError
+from repro.net import protocol as proto
+
+
+class MemcachedServer:
+    """A single cache node reachable over TCP.
+
+    Args:
+        capacity_bytes: store capacity (LRU beyond it), ``None`` = unbounded.
+        bloom_config: digest sizing; defaults to the Section IV-B optimum
+            for the capacity-implied key count.
+        clock: time source (injectable for tests; defaults to wall clock).
+        use_slabs: back the server with the memcached-style slab allocator
+            (:class:`~repro.cache.slabs.SlabStore`) instead of byte-exact
+            accounting; enables ``stats slabs`` and requires a capacity.
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: Optional[int] = None,
+        bloom_config: Optional[BloomConfig] = None,
+        clock=time.monotonic,
+        use_slabs: bool = False,
+    ) -> None:
+        self._clock = clock
+        if use_slabs:
+            if capacity_bytes is None:
+                raise ConfigurationError("use_slabs requires capacity_bytes")
+            self.store = SlabStore(capacity_bytes)
+        else:
+            self.store = KeyValueStore(
+                capacity_bytes=capacity_bytes, policy=LRUPolicy(),
+                default_item_size=0,
+            )
+        if bloom_config is None:
+            expected = (
+                max(1024, capacity_bytes // 4096) if capacity_bytes else 100_000
+            )
+            bloom_config = optimal_config(expected)
+        self.digest: CountingBloomFilter = bloom_config.build()
+        self.bloom_config = bloom_config
+        self.store.link_hooks.append(self._on_link)
+        self.store.unlink_hooks.append(self._on_unlink)
+        self._snapshot: Optional[bytes] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self.connections = 0
+        # cas bookkeeping: every successful store bumps the key's unique id.
+        self._cas_counter = 0
+        self._cas: Dict[str, int] = {}
+
+    # ------------------------------------------------------------- digest
+
+    def _on_link(self, item: CacheItem) -> None:
+        self.digest.add(item.key)
+
+    def _on_unlink(self, item: CacheItem, reason: str) -> None:
+        self.digest.remove(item.key)
+
+    def take_snapshot(self) -> bytes:
+        """Freeze the digest into a bit array (``get SET_BLOOM_FILTER``)."""
+        self._snapshot = self.digest.snapshot().to_bytes()
+        return self._snapshot
+
+    # ------------------------------------------------------------ lifecycle
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> int:
+        """Begin serving; returns the bound port."""
+        self._server = await asyncio.start_server(self._handle, host, port)
+        return self.port
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (after :meth:`start`)."""
+        if self._server is None:
+            raise RuntimeError("server not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        """Stop accepting and close the listener."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # ------------------------------------------------------------- serving
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.connections += 1
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    request = proto.parse_command_line(line)
+                except ProtocolError as exc:
+                    writer.write(proto.client_error_response(str(exc)))
+                    await writer.drain()
+                    continue
+                if request.command in (
+                    "set", "add", "replace", "append", "prepend", "cas"
+                ):
+                    try:
+                        request.value = await self._read_block(
+                            reader, request.num_bytes
+                        )
+                    except ProtocolError as exc:
+                        # The stream is desynchronized past a bad data
+                        # block; reply and drop the connection, as
+                        # memcached does.
+                        writer.write(proto.client_error_response(str(exc)))
+                        await writer.drain()
+                        break
+                if request.command == "quit":
+                    break
+                response = self._dispatch(request)
+                if response and not request.noreply:
+                    writer.write(response)
+                    await writer.drain()
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                # Teardown races (peer gone, loop shutting down) are benign.
+                pass
+
+    async def _read_block(self, reader: asyncio.StreamReader, count: int) -> bytes:
+        data = await reader.readexactly(count + 2)  # + CRLF
+        if data[-2:] != proto.CRLF:
+            raise ProtocolError("data block not terminated by CRLF")
+        return data[:-2]
+
+    # ------------------------------------------------------------ commands
+
+    def _dispatch(self, request: proto.Request) -> bytes:
+        command = request.command
+        if command in ("get", "gets"):
+            return self._do_get(request)
+        if command in ("set", "add", "replace", "cas"):
+            return self._do_store(request)
+        if command in ("append", "prepend"):
+            return self._do_concat(request)
+        if command in ("incr", "decr"):
+            return self._do_arith(request)
+        if command == "touch":
+            return self._do_touch(request)
+        if command == "delete":
+            return self._do_delete(request)
+        if command == "stats":
+            if request.keys and request.keys[0] == "slabs":
+                return self._do_stats_slabs()
+            return proto.stats_response(self._stats_dict())
+        if command == "flush_all":
+            self.store.flush()
+            return b"OK" + proto.CRLF
+        if command == "version":
+            return b"VERSION proteus-repro 1.0.0" + proto.CRLF
+        return proto.error_response()
+
+    def _do_get(self, request: proto.Request) -> bytes:
+        now = self._clock()
+        chunks = []
+        for key in request.keys:
+            if key == proto.KEY_SNAPSHOT:
+                # Reserved key: snapshot the digest, acknowledge with a
+                # 1-byte value so stock clients see a normal hit.
+                self.take_snapshot()
+                chunks.append(proto.value_response(key, 0, b"1"))
+                continue
+            if key == proto.KEY_FETCH_DIGEST:
+                if self._snapshot is not None:
+                    chunks.append(proto.value_response(key, 0, self._snapshot))
+                continue
+            value = self.store.get(key, now)
+            if value is not None:
+                item = self.store.peek(key)
+                flags = item.flags if item is not None else 0
+                cas = self._cas.get(key) if request.command == "gets" else None
+                chunks.append(proto.value_response(key, flags, value, cas=cas))
+        chunks.append(proto.end_response())
+        return b"".join(chunks)
+
+    def _do_store(self, request: proto.Request) -> bytes:
+        key = request.keys[0]
+        if key in (proto.KEY_SNAPSHOT, proto.KEY_FETCH_DIGEST):
+            return proto.client_error_response(f"{key} is reserved")
+        now = self._clock()
+        current = self.store.peek(key)
+        exists = current is not None and not current.expired(now)
+        if request.command == "add" and exists:
+            return proto.not_stored_response()
+        if request.command == "replace" and not exists:
+            return proto.not_stored_response()
+        if request.command == "cas":
+            if not exists:
+                return proto.not_found_response()
+            if self._cas.get(key) != request.cas:
+                return proto.exists_response()
+        ttl = float(request.exptime) if request.exptime > 0 else None
+        try:
+            self.store.set(
+                key,
+                request.value,
+                now=now,
+                size=len(request.value),
+                ttl=ttl,
+                flags=request.flags,
+            )
+        except CapacityError as exc:
+            return proto.error_response(str(exc))
+        self._bump_cas(key)
+        return proto.stored_response()
+
+    def _bump_cas(self, key: str) -> None:
+        self._cas_counter += 1
+        self._cas[key] = self._cas_counter
+
+    def _do_concat(self, request: proto.Request) -> bytes:
+        key = request.keys[0]
+        if key in (proto.KEY_SNAPSHOT, proto.KEY_FETCH_DIGEST):
+            return proto.client_error_response(f"{key} is reserved")
+        now = self._clock()
+        item = self.store.peek(key)
+        if item is None or item.expired(now):
+            return proto.not_stored_response()
+        if request.command == "append":
+            merged = bytes(item.value) + request.value
+        else:
+            merged = request.value + bytes(item.value)
+        expires = item.expires_at
+        self.store.set(
+            key, merged, now=now, size=len(merged), flags=item.flags,
+            ttl=None if expires is None else max(0.0, expires - now),
+        )
+        self._bump_cas(key)
+        return proto.stored_response()
+
+    def _do_arith(self, request: proto.Request) -> bytes:
+        key = request.keys[0]
+        now = self._clock()
+        value = self.store.get(key, now)
+        if value is None:
+            return proto.not_found_response()
+        try:
+            number = int(bytes(value).decode("ascii"))
+        except (UnicodeDecodeError, ValueError):
+            return proto.client_error_response(
+                "cannot increment or decrement non-numeric value"
+            )
+        if request.command == "incr":
+            number = (number + request.delta) % (1 << 64)
+        else:
+            number = max(0, number - request.delta)  # decr clamps at zero
+        item = self.store.peek(key)
+        encoded = str(number).encode("ascii")
+        expires = item.expires_at if item is not None else None
+        self.store.set(
+            key, encoded, now=now, size=len(encoded),
+            flags=item.flags if item is not None else 0,
+            ttl=None if expires is None else max(0.0, expires - now),
+        )
+        self._bump_cas(key)
+        return proto.number_response(number)
+
+    def _do_touch(self, request: proto.Request) -> bytes:
+        key = request.keys[0]
+        now = self._clock()
+        item = self.store.peek(key)
+        if item is None or item.expired(now):
+            return proto.not_found_response()
+        item.expires_at = (
+            None if request.exptime <= 0 else now + float(request.exptime)
+        )
+        item.touch(now)
+        return proto.touched_response()
+
+    def _do_delete(self, request: proto.Request) -> bytes:
+        if self.store.delete(request.keys[0], self._clock()):
+            return proto.deleted_response()
+        return proto.not_found_response()
+
+    def _do_stats_slabs(self) -> bytes:
+        if not isinstance(self.store, SlabStore):
+            return proto.stats_response({})
+        stats: Dict[str, object] = {}
+        for row in self.store.slab_stats():
+            prefix = str(row["class"])
+            stats[f"{prefix}:chunk_size"] = row["chunk_size"]
+            stats[f"{prefix}:total_pages"] = row["pages"]
+            stats[f"{prefix}:used_chunks"] = row["used_chunks"]
+            stats[f"{prefix}:free_chunks"] = row["free_chunks"]
+        return proto.stats_response(stats)
+
+    def _stats_dict(self) -> Dict[str, object]:
+        stats = self.store.stats
+        return {
+            "cmd_get": stats.gets,
+            "get_hits": stats.hits,
+            "get_misses": stats.misses,
+            "cmd_set": stats.sets,
+            "evictions": stats.evictions,
+            "expired_unfetched": stats.expirations,
+            "curr_items": len(self.store),
+            "bytes": self.store.used_bytes,
+            "digest_keys": self.digest.count,
+            "digest_overflows": self.digest.overflow_events,
+            "digest_bytes": self.digest.size_bytes(),
+            "curr_connections": self.connections,
+        }

@@ -1,0 +1,189 @@
+"""An asyncio web tier running Algorithm 2 against live memcached servers.
+
+Completes the runnable substrate: where :mod:`repro.web.frontend` executes
+the paper's retrieval logic inside the simulator,
+:class:`AsyncProteusFrontend` executes it over real TCP against
+:class:`~repro.net.server.MemcachedServer` (or stock memcached, for the
+standard commands) endpoints:
+
+* routing by the deterministic Proteus placement;
+* smooth scale-down/up: ``get SET_BLOOM_FILTER`` + ``get BLOOM_FILTER`` on
+  every old owner (the digest broadcast, over the wire), then Algorithm 2
+  per request until the TTL deadline passes;
+* the backing database is an async callable, so tests plug in a dict and a
+  deployment plugs in a real pool.
+
+One frontend instance is single-tasked per connection (like one servlet
+thread with its pooled connections); run several instances for concurrency.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Awaitable, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.bloom.bloom import BloomFilter
+from repro.bloom.config import BloomConfig
+from repro.core.router import ProteusRouter
+from repro.errors import ConfigurationError, TransitionError
+from repro.net.client import MemcachedClient
+
+#: async database fetch: key -> value bytes (authoritative, never misses)
+DatabaseFetch = Callable[[str], Awaitable[bytes]]
+
+
+class AsyncTransition:
+    """The live-cluster analogue of :class:`repro.core.transition.Transition`."""
+
+    def __init__(
+        self,
+        n_old: int,
+        n_new: int,
+        deadline: float,
+        digests: Dict[int, BloomFilter],
+    ) -> None:
+        self.n_old = n_old
+        self.n_new = n_new
+        self.deadline = deadline
+        self.digests = digests
+
+    def expired(self, now: float) -> bool:
+        return now >= self.deadline
+
+
+class AsyncProteusFrontend:
+    """Algorithm 2 over TCP memcached endpoints.
+
+    Args:
+        endpoints: ``(host, port)`` per cache server, in provisioning order.
+        bloom_config: the cluster-wide digest geometry (web servers know it
+            out of band, as in the paper).
+        database: async authoritative fetch.
+        initial_active: ``n(0)``.
+        clock: time source for TTL deadlines (injectable in tests).
+    """
+
+    def __init__(
+        self,
+        endpoints: Sequence[Tuple[str, int]],
+        bloom_config: BloomConfig,
+        database: DatabaseFetch,
+        initial_active: Optional[int] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if not endpoints:
+            raise ConfigurationError("need at least one cache endpoint")
+        self.endpoints = list(endpoints)
+        self.bloom_config = bloom_config
+        self.database = database
+        self.router = ProteusRouter(len(self.endpoints))
+        self._clock = clock
+        self._clients: List[Optional[MemcachedClient]] = [None] * len(endpoints)
+        self.n_active = (
+            len(self.endpoints) if initial_active is None else initial_active
+        )
+        if not 1 <= self.n_active <= len(self.endpoints):
+            raise ConfigurationError(
+                f"initial_active out of range: {self.n_active}"
+            )
+        self._transition: Optional[AsyncTransition] = None
+        #: per-path counters, same labels as the simulator's FetchPath
+        self.stats: Dict[str, int] = {
+            "hit_new": 0, "hit_old": 0, "false_positive_db": 0, "miss_db": 0,
+        }
+
+    # ----------------------------------------------------------- lifecycle
+
+    async def connect(self) -> "AsyncProteusFrontend":
+        """Open one connection per endpoint."""
+        for index, (host, port) in enumerate(self.endpoints):
+            if self._clients[index] is None:
+                self._clients[index] = await MemcachedClient(host, port).connect()
+        return self
+
+    async def close(self) -> None:
+        for index, client in enumerate(self._clients):
+            if client is not None:
+                await client.close()
+                self._clients[index] = None
+
+    async def __aenter__(self) -> "AsyncProteusFrontend":
+        return await self.connect()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    def _client(self, server_id: int) -> MemcachedClient:
+        client = self._clients[server_id]
+        if client is None:
+            raise ConfigurationError(
+                f"no connection to cache server {server_id}; call connect()"
+            )
+        return client
+
+    # ----------------------------------------------------------- transitions
+
+    def _current_transition(self) -> Optional[AsyncTransition]:
+        if self._transition is not None and self._transition.expired(self._clock()):
+            self._transition = None
+        return self._transition
+
+    async def scale_to(self, n_new: int, ttl: float) -> AsyncTransition:
+        """Begin a smooth transition: broadcast digests, flip routing.
+
+        The caller is responsible for actually powering servers up/down at
+        the deadline (the actuator's job); the frontend only needs the
+        routing epochs and the digests.
+        """
+        if not 1 <= n_new <= len(self.endpoints):
+            raise TransitionError(f"n_new out of range: {n_new}")
+        if self._current_transition() is not None:
+            raise TransitionError("previous drain window still open")
+        if n_new == self.n_active:
+            raise TransitionError("already at the requested size")
+        n_old = self.n_active
+        digests: Dict[int, BloomFilter] = {}
+        for server_id in range(n_old):
+            client = self._client(server_id)
+            await client.snapshot_digest()
+            digests[server_id] = await client.fetch_digest(
+                self.bloom_config.num_counters, self.bloom_config.num_hashes
+            )
+        transition = AsyncTransition(
+            n_old=n_old, n_new=n_new,
+            deadline=self._clock() + ttl, digests=digests,
+        )
+        self._transition = transition
+        self.n_active = n_new
+        return transition
+
+    # ------------------------------------------------------------ Algorithm 2
+
+    async def fetch(self, key: str) -> Tuple[bytes, str]:
+        """Retrieve *key*; returns ``(value, path)`` with simulator-compatible
+        path labels."""
+        transition = self._current_transition()
+        new_id = self.router.route(key, self.n_active)
+        new_client = self._client(new_id)
+        value = await new_client.get(key)
+        if value is not None:
+            self.stats["hit_new"] += 1
+            return value, "hit_new"
+
+        path = "miss_db"
+        if transition is not None:
+            old_id = self.router.route(key, transition.n_old)
+            digest = transition.digests.get(old_id)
+            if old_id != new_id and digest is not None and digest.contains(key):
+                value = await self._client(old_id).get(key)
+                path = "hit_old" if value is not None else "false_positive_db"
+
+        if value is None:
+            value = await self.database(key)
+        await new_client.set(key, value)
+        self.stats[path] += 1
+        return value, path
+
+    async def put(self, key: str, value: bytes) -> None:
+        """Write-through to the authoritative owner under the new mapping."""
+        await self._client(self.router.route(key, self.n_active)).set(key, value)

@@ -1,0 +1,43 @@
+"""Provisioning: policies, the delay-feedback controller, and the actuator."""
+
+from repro.provisioning.actuator import AppliedTransition, ProvisioningActuator
+from repro.provisioning.controller import (
+    DEFAULT_DELAY_BOUND,
+    DEFAULT_DELAY_REFERENCE,
+    DelayFeedbackController,
+    run_feedback_loop,
+)
+from repro.provisioning.migrator import BackgroundMigrator, MigrationProgress
+from repro.provisioning.order import (
+    OrderedFleet,
+    ServerSpec,
+    efficiency_order,
+    random_order,
+)
+from repro.provisioning.policies import (
+    DEFAULT_SLOT_SECONDS,
+    ProvisioningSchedule,
+    limit_step_size,
+    load_proportional_schedule,
+    static_schedule,
+)
+
+__all__ = [
+    "AppliedTransition",
+    "BackgroundMigrator",
+    "MigrationProgress",
+    "DEFAULT_DELAY_BOUND",
+    "DEFAULT_DELAY_REFERENCE",
+    "DEFAULT_SLOT_SECONDS",
+    "DelayFeedbackController",
+    "OrderedFleet",
+    "ProvisioningActuator",
+    "ProvisioningSchedule",
+    "ServerSpec",
+    "efficiency_order",
+    "limit_step_size",
+    "load_proportional_schedule",
+    "random_order",
+    "run_feedback_loop",
+    "static_schedule",
+]

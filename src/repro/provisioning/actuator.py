@@ -1,0 +1,136 @@
+"""The provisioning actuator — Proteus itself, as the paper frames it.
+
+"Our goal is to design a provisioning actuator that executes decisions
+according to server provisioning policy without degrading the system
+performance" (Section II).  The actuator takes the policy's ``n(t)``
+schedule and drives the cache cluster through it, either smoothly (digest
+broadcast + TTL drain; the Proteus scenario) or abruptly (the Naive /
+Consistent scenarios).
+
+When given an :class:`~repro.sim.events.EventLoop`, the actuator schedules
+its own slot-boundary applications and the TTL-expiry finalization, so
+experiment drivers only call :meth:`install`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+from repro.cache.cluster import CacheCluster
+from repro.errors import ProvisioningError
+from repro.provisioning.policies import ProvisioningSchedule
+
+if TYPE_CHECKING:  # avoid a circular import with repro.sim.cluster
+    from repro.sim.events import EventLoop
+
+
+@dataclass
+class AppliedTransition:
+    """Record of one executed provisioning action."""
+
+    when: float
+    n_old: int
+    n_new: int
+    smooth: bool
+
+
+class ProvisioningActuator:
+    """Executes a provisioning schedule against a cache cluster.
+
+    Args:
+        cluster: the cache tier to drive.
+        smooth: True = Proteus transitions (digests + TTL drain);
+            False = abrupt power changes (Naive / Consistent).
+        push_migration: additionally install a
+            :class:`~repro.provisioning.migrator.BackgroundMigrator` on
+            every smooth transition (the push-assisted extension); only
+            effective when driven through :meth:`install` (it needs the
+            event loop to schedule push ticks).
+        push_batch / push_interval: the migrator's rate limit.
+    """
+
+    def __init__(
+        self,
+        cluster: CacheCluster,
+        smooth: bool = True,
+        push_migration: bool = False,
+        push_batch: int = 100,
+        push_interval: float = 1.0,
+    ) -> None:
+        self.cluster = cluster
+        self.smooth = smooth
+        self.push_migration = push_migration
+        self.push_batch = push_batch
+        self.push_interval = push_interval
+        self.applied: List[AppliedTransition] = []
+        #: migrators created for smooth transitions (inspection/tests)
+        self.migrators: List = []
+
+    def apply(self, n_new: int, now: float) -> Optional[AppliedTransition]:
+        """Move the cluster to *n_new* active servers at time *now*.
+
+        Returns the record of the action, or ``None`` for a no-op.  With
+        ``smooth=True`` the caller (or the event loop wiring in
+        :meth:`install`) must later invoke
+        ``cluster.finalize_expired(deadline)`` to close the drain window.
+        """
+        n_old = self.cluster.active_count
+        if n_new == n_old:
+            return None
+        if self.smooth:
+            # One window at a time: if the previous one is still open the
+            # TransitionManager raises; surface that as a schedule error.
+            transition = self.cluster.scale_to(n_new, now)
+        else:
+            transition = self.cluster.abrupt_scale_to(n_new, now)
+        if transition is None:
+            return None
+        record = AppliedTransition(
+            when=now, n_old=n_old, n_new=n_new, smooth=self.smooth
+        )
+        self.applied.append(record)
+        return record
+
+    def install(
+        self, schedule: ProvisioningSchedule, loop: "EventLoop"
+    ) -> List[Tuple[float, int]]:
+        """Schedule every slot-boundary change of *schedule* on *loop*.
+
+        Also arms the TTL finalization event after each smooth scale-down.
+        Returns the ``(time, n_new)`` pairs that were armed.
+        """
+        armed: List[Tuple[float, int]] = []
+        for when, _n_old, n_new in schedule.transitions():
+            if when < loop.now:
+                raise ProvisioningError(
+                    f"schedule transition at {when} is in the loop's past "
+                    f"({loop.now})"
+                )
+            loop.schedule_at(when, self._apply_and_arm, n_new, loop)
+            armed.append((when, n_new))
+        return armed
+
+    def _apply_and_arm(self, n_new: int, loop: "EventLoop") -> None:
+        record = self.apply(n_new, loop.now)
+        if record is None or not self.smooth:
+            return
+        transition = self.cluster.transitions.current(loop.now)
+        if transition is not None:
+            # +epsilon so the expiry check sees now >= deadline.
+            loop.schedule_at(
+                transition.deadline + 1e-9,
+                self.cluster.finalize_expired,
+                transition.deadline + 1e-9,
+            )
+            if self.push_migration:
+                from repro.provisioning.migrator import BackgroundMigrator
+
+                migrator = BackgroundMigrator(
+                    self.cluster,
+                    transition,
+                    batch_size=self.push_batch,
+                    interval=self.push_interval,
+                )
+                migrator.install(loop)
+                self.migrators.append(migrator)

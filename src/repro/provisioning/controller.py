@@ -1,0 +1,180 @@
+"""Delay-feedback provisioning controller.
+
+The paper runs "the feedback control algorithm along with Proteus with the
+delay bound set to 0.5 second [and] the feedback loop reference point ... to
+0.4 second to tolerate overshot.  The loop updates its status every 30
+minutes" (Section VI) — but omits the algorithm itself as out of scope.
+
+We implement a conservative controller with those knobs:
+
+* measure a per-slot delay statistic (the paper uses high percentiles);
+* above the **bound**: scale up aggressively (proportional to overshoot);
+* above the **reference** but under the bound: scale up by one;
+* comfortably under the reference with headroom: scale down by one.
+
+Headroom for scale-down is checked against rated load: a server is dropped
+only when the per-server arrival rate after removal stays below 90% of
+``per_server_rate`` *and* the M/M/1 projection stays under the reference —
+delay alone is a bad down-trigger because an M/M/1 runs at low delay right
+up to the saturation cliff.  This keeps the output series
+shaped like the paper's Fig. 4 circles: it tracks the diurnal workload with
+a small lag and never oscillates on noise.  (DESIGN.md records this as a
+substitution: same interface and knobs, reconstructed internals.)
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import ConfigurationError
+from repro.provisioning.policies import DEFAULT_SLOT_SECONDS, ProvisioningSchedule
+from repro.sim.latency import mm1_response_time
+
+#: Paper settings (Section VI).
+DEFAULT_DELAY_BOUND = 0.5
+DEFAULT_DELAY_REFERENCE = 0.4
+
+
+@dataclass
+class DelayFeedbackController:
+    """Per-slot active-count controller keyed to a delay reference.
+
+    Attributes:
+        num_servers: fleet size ``N``.
+        delay_bound: hard bound (paper: 0.5 s).
+        delay_reference: set point with overshoot margin (paper: 0.4 s).
+        min_servers: scale-down floor.
+        per_server_rate: requests/s one cache server absorbs at acceptable
+            delay (used for the scale-down headroom check).
+        scale_down_margin: only drop a server when the projected delay stays
+            below ``delay_reference * scale_down_margin``.
+    """
+
+    num_servers: int
+    delay_bound: float = DEFAULT_DELAY_BOUND
+    delay_reference: float = DEFAULT_DELAY_REFERENCE
+    min_servers: int = 1
+    per_server_rate: float = 200.0
+    scale_down_margin: float = 0.75
+    _n: int = field(init=False)
+    history: List[int] = field(init=False, default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.num_servers < 1:
+            raise ConfigurationError(
+                f"num_servers must be >= 1, got {self.num_servers}"
+            )
+        if not 0 < self.delay_reference <= self.delay_bound:
+            raise ConfigurationError(
+                "need 0 < delay_reference <= delay_bound, got "
+                f"({self.delay_reference}, {self.delay_bound})"
+            )
+        if not 1 <= self.min_servers <= self.num_servers:
+            raise ConfigurationError(
+                f"min_servers out of range: {self.min_servers}"
+            )
+        self._n = self.num_servers
+        self.history = [self._n]
+
+    @property
+    def current(self) -> int:
+        """The active count currently commanded."""
+        return self._n
+
+    def _projected_delay(self, arrival_rate: float, servers: int) -> float:
+        """M/M/1 projection of per-request delay with *servers* active."""
+        per_server = arrival_rate / max(1, servers)
+        # Service rate: a server at its rated load runs at ~70% utilization.
+        service_rate = self.per_server_rate / 0.7
+        return mm1_response_time(per_server, service_rate)
+
+    def update(self, measured_delay: float, arrival_rate: float) -> int:
+        """One 30-minute loop iteration.
+
+        Args:
+            measured_delay: the slot's delay statistic (seconds).
+            arrival_rate: the slot's request rate (req/s), used as the
+                feed-forward term for sizing steps and headroom.
+
+        Returns:
+            The new active count for the next slot.
+        """
+        if measured_delay < 0:
+            raise ConfigurationError(
+                f"measured_delay must be >= 0, got {measured_delay}"
+            )
+        if arrival_rate < 0:
+            raise ConfigurationError(
+                f"arrival_rate must be >= 0, got {arrival_rate}"
+            )
+        n = self._n
+        if measured_delay > self.delay_bound:
+            # Emergency: add capacity proportional to the overshoot.
+            overshoot = measured_delay / self.delay_bound
+            step = max(1, min(self.num_servers - n, round(overshoot)))
+            n += step
+        elif measured_delay > self.delay_reference:
+            n += 1
+        elif measured_delay < self.delay_reference * self.scale_down_margin:
+            if n > self.min_servers:
+                headroom_ok = (
+                    arrival_rate / (n - 1) <= 0.9 * self.per_server_rate
+                )
+                projected = self._projected_delay(arrival_rate, n - 1)
+                if headroom_ok and projected < self.delay_reference:
+                    n -= 1
+        n = min(self.num_servers, max(self.min_servers, n))
+        self._n = n
+        self.history.append(n)
+        return n
+
+    def as_schedule(
+        self, slot_seconds: float = DEFAULT_SLOT_SECONDS
+    ) -> ProvisioningSchedule:
+        """The decision history as a replayable schedule (Fig. 4 circles)."""
+        return ProvisioningSchedule(slot_seconds, list(self.history))
+
+
+def run_feedback_loop(
+    slot_rates: List[float],
+    num_servers: int,
+    per_server_rate: float = 200.0,
+    initial: Optional[int] = None,
+    slot_seconds: float = DEFAULT_SLOT_SECONDS,
+    delay_bound: float = DEFAULT_DELAY_BOUND,
+    delay_reference: float = DEFAULT_DELAY_REFERENCE,
+) -> ProvisioningSchedule:
+    """Drive the controller over a workload, simulating the delay it reacts to.
+
+    This reproduces the paper's preparatory experiment: run the loop once
+    over the trace, keep the resulting ``n(t)`` (Fig. 4), then replay that
+    series in every scenario.  The measured delay fed back is the M/M/1
+    projection at the *current* size plus the rate — a stand-in for the real
+    measurement the paper's loop observed.
+    """
+    controller = DelayFeedbackController(
+        num_servers=num_servers,
+        per_server_rate=per_server_rate,
+        delay_bound=delay_bound,
+        delay_reference=delay_reference,
+    )
+    if initial is None:
+        # Start sized to the first slot's load rather than at full fleet, as
+        # the paper's loop had converged before its recorded day began.
+        initial = min(
+            num_servers,
+            max(1, math.ceil(slot_rates[0] / per_server_rate) if slot_rates else 1),
+        )
+    controller._n = initial
+    controller.history[:] = [initial]
+    for rate in slot_rates:
+        projected = controller._projected_delay(rate, controller.current)
+        # A saturated M/M/1 projects infinity; feed the controller a finite
+        # over-bound signal so its proportional step stays bounded.
+        measured = min(projected, delay_bound * 4)
+        controller.update(measured, rate)
+    # history has one leading entry (initial) plus one per slot; drop the
+    # initial so the schedule aligns 1:1 with slot_rates.
+    return ProvisioningSchedule(slot_seconds, controller.history[1:])

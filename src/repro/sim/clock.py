@@ -1,0 +1,44 @@
+"""Simulated time.
+
+All times in the simulation are float seconds from epoch 0.  The clock only
+moves forward; components take ``now`` as an argument (pure functions of
+time) or hold a reference to a :class:`SimClock` owned by the event loop.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+
+class SimClock:
+    """A monotonically non-decreasing simulation clock."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    def advance_to(self, when: float) -> None:
+        """Move the clock to *when*.
+
+        Raises:
+            SimulationError: *when* is in the past (events must be processed
+                in timestamp order).
+        """
+        if when < self._now:
+            raise SimulationError(
+                f"clock cannot move backwards: {when} < {self._now}"
+            )
+        self._now = when
+
+    def advance_by(self, delta: float) -> None:
+        """Move the clock forward by *delta* seconds (must be >= 0)."""
+        if delta < 0:
+            raise SimulationError(f"delta must be >= 0, got {delta}")
+        self._now += delta
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimClock(now={self._now})"

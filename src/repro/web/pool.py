@@ -1,0 +1,98 @@
+"""Connection-pool accounting (the Apache Commons Pool of Section V-A2).
+
+The paper's servlets keep singleton pools of memcached and MySQL connections
+so request threads never pay connection setup.  In the simulation a "pool"
+is a token bucket: acquiring beyond capacity either waits (adds latency) or
+creates a new connection (adds the setup cost once).  The pool exists so the
+ablation benches can show what connection churn would add to the Fig. 9
+curves, and so the asyncio net layer has a natural client-side limiter.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import ConfigurationError
+
+
+class ConnectionPool:
+    """Token-bucket pool of connections to one backend.
+
+    Args:
+        capacity: maximum pooled (idle + busy) connections.
+        setup_cost: seconds to establish a fresh connection when the pool is
+            empty and below capacity.
+    """
+
+    def __init__(self, capacity: int = 32, setup_cost: float = 0.001) -> None:
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        if setup_cost < 0:
+            raise ConfigurationError(f"setup_cost must be >= 0, got {setup_cost}")
+        self.capacity = capacity
+        self.setup_cost = setup_cost
+        self._idle = 0
+        self._busy = 0
+        #: connections created over the pool's lifetime
+        self.created = 0
+        #: acquisitions that found an idle pooled connection
+        self.reused = 0
+        #: acquisitions that had to wait for a busy connection
+        self.waited = 0
+
+    @property
+    def busy(self) -> int:
+        return self._busy
+
+    @property
+    def idle(self) -> int:
+        return self._idle
+
+    def acquire(self) -> float:
+        """Take a connection; returns the latency cost of acquiring it.
+
+        Idle connection: free.  Below capacity: pay ``setup_cost``.  At
+        capacity: modelled as an immediate reuse of the oldest busy
+        connection with zero extra cost but counted in ``waited`` (the
+        simulator's request flows are sequential per user, so true blocking
+        is rare; the counter makes contention visible).
+        """
+        if self._idle > 0:
+            self._idle -= 1
+            self._busy += 1
+            self.reused += 1
+            return 0.0
+        if self._busy < self.capacity:
+            self._busy += 1
+            self.created += 1
+            return self.setup_cost
+        self.waited += 1
+        return 0.0
+
+    def release(self) -> None:
+        """Return a connection to the pool."""
+        if self._busy == 0:
+            raise ConfigurationError("release without matching acquire")
+        self._busy -= 1
+        self._idle += 1
+
+
+class PoolRegistry:
+    """Singleton-per-backend pools, as the paper's servlets hold them."""
+
+    def __init__(self, capacity: int = 32, setup_cost: float = 0.001) -> None:
+        self.capacity = capacity
+        self.setup_cost = setup_cost
+        self._pools: Dict[str, ConnectionPool] = {}
+
+    def pool(self, backend: str) -> ConnectionPool:
+        """The pool for *backend*, created on first use."""
+        existing = self._pools.get(backend)
+        if existing is None:
+            existing = ConnectionPool(self.capacity, self.setup_cost)
+            self._pools[backend] = existing
+        return existing
+
+    def total_created(self) -> int:
+        """Connections created across all backends."""
+        return sum(p.created for p in self._pools.values())

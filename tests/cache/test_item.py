@@ -1,0 +1,41 @@
+"""Tests for cache items."""
+
+import pytest
+
+from repro.cache.item import DEFAULT_ITEM_SIZE, CacheItem
+
+
+class TestCacheItem:
+    def test_defaults(self):
+        item = CacheItem("k", "v")
+        assert item.size == DEFAULT_ITEM_SIZE == 4096
+        assert item.expires_at is None
+
+    def test_rejects_negative_size(self):
+        with pytest.raises(ValueError):
+            CacheItem("k", "v", size=-1)
+
+    def test_last_access_clamped_to_creation(self):
+        item = CacheItem("k", "v", created_at=10.0)
+        assert item.last_access == 10.0
+
+    def test_expiry(self):
+        item = CacheItem("k", "v", created_at=0.0, expires_at=5.0)
+        assert not item.expired(4.9)
+        assert item.expired(5.0)
+
+    def test_no_expiry_never_expires(self):
+        assert not CacheItem("k", "v").expired(1e12)
+
+    def test_touch_updates_last_access(self):
+        item = CacheItem("k", "v", created_at=0.0)
+        item.touch(7.0)
+        assert item.last_access == 7.0
+        assert item.idle_time(10.0) == 3.0
+
+    def test_hotness_is_the_section2_definition(self):
+        # "hot" = touched at least once during the past TTL seconds
+        item = CacheItem("k", "v", created_at=0.0)
+        item.touch(100.0)
+        assert item.is_hot(now=150.0, ttl=60.0)
+        assert not item.is_hot(now=161.0, ttl=60.0)

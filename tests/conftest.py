@@ -1,0 +1,47 @@
+"""Shared fixtures for the proteus-repro test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.router import ProteusRouter
+from repro.provisioning.policies import ProvisioningSchedule
+from repro.workload.trace import TraceRecord
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic RNG for sampling in tests."""
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture
+def proteus6() -> ProteusRouter:
+    """A small Proteus router (shared because placement is deterministic)."""
+    return ProteusRouter(6, ring_size=2 ** 20)
+
+
+@pytest.fixture
+def tiny_schedule() -> ProvisioningSchedule:
+    """A 4-slot schedule with one scale-down and one scale-up."""
+    return ProvisioningSchedule(10.0, [3, 2, 2, 3])
+
+
+@pytest.fixture
+def small_trace() -> list:
+    """A deterministic 400-record trace over 40 seconds and 60 keys."""
+    rng = random.Random(7)
+    records = []
+    for i in range(400):
+        when = i * 0.1
+        key = f"page:{rng.randrange(60)}"
+        records.append(TraceRecord(when, key))
+    return records
+
+
+def make_keys(count: int, prefix: str = "key", seed: int = 0) -> list:
+    """Deterministic distinct keys for digest/routing tests."""
+    rng = random.Random(seed)
+    return [f"{prefix}:{rng.getrandbits(48):012x}:{i}" for i in range(count)]

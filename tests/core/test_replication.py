@@ -1,0 +1,86 @@
+"""Tests for Section III-E replication (Eq. 3)."""
+
+import pytest
+
+from repro.core.replication import ReplicatedProteusRouter, no_conflict_probability
+from repro.errors import ConfigurationError, RoutingError
+from tests.conftest import make_keys
+
+
+class TestEq3:
+    def test_formula(self):
+        # P_nc = prod (n - i)/n
+        assert no_conflict_probability(1, 10) == 1.0
+        assert no_conflict_probability(2, 10) == pytest.approx(0.9)
+        assert no_conflict_probability(3, 10) == pytest.approx(0.9 * 0.8)
+
+    def test_more_replicas_than_servers_gives_zero(self):
+        assert no_conflict_probability(4, 3) == 0.0
+
+    def test_large_n_approaches_one(self):
+        assert no_conflict_probability(3, 1000) > 0.99
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ConfigurationError):
+            no_conflict_probability(0, 5)
+        with pytest.raises(ConfigurationError):
+            no_conflict_probability(2, 0)
+
+
+class TestReplicatedRouter:
+    def test_replica_count(self):
+        router = ReplicatedProteusRouter(8, replicas=3)
+        owners = router.replica_servers("k", 8)
+        assert len(owners) == 3
+        assert all(0 <= s < 8 for s in owners)
+
+    def test_route_is_primary_ring(self):
+        router = ReplicatedProteusRouter(8, replicas=3)
+        assert router.route("k", 6) == router.replica_servers("k", 6)[0]
+
+    def test_replicas_respect_active_prefix(self):
+        router = ReplicatedProteusRouter(10, replicas=2)
+        for key in make_keys(200):
+            assert all(s < 4 for s in router.replica_servers(key, 4))
+
+    def test_distinct_replicas_dedupes(self):
+        router = ReplicatedProteusRouter(2, replicas=3)
+        for key in make_keys(50):
+            distinct = router.distinct_replica_servers(key, 2)
+            assert len(distinct) == len(set(distinct)) <= 2
+
+    def test_empirical_conflict_matches_eq3(self):
+        router = ReplicatedProteusRouter(10, replicas=2)
+        measured_nc = 1.0 - router.empirical_conflict_rate(10, num_samples=6000)
+        predicted = no_conflict_probability(2, 10)
+        assert measured_nc == pytest.approx(predicted, abs=0.02)
+
+    def test_read_targets_excludes_failed(self):
+        router = ReplicatedProteusRouter(6, replicas=2)
+        for key in make_keys(100):
+            owners = router.distinct_replica_servers(key, 6)
+            if len(owners) == 2:
+                targets = router.read_targets(key, 6, exclude=[owners[0]])
+                assert targets == [owners[1]]
+
+    def test_read_targets_all_failed_raises(self):
+        router = ReplicatedProteusRouter(4, replicas=2)
+        key = make_keys(1)[0]
+        owners = router.distinct_replica_servers(key, 4)
+        with pytest.raises(RoutingError):
+            router.read_targets(key, 4, exclude=owners)
+
+    def test_replicated_routing_is_balanced(self):
+        import collections
+
+        router = ReplicatedProteusRouter(5, replicas=2)
+        counts = collections.Counter()
+        for key in make_keys(20_000):
+            for server in router.replica_servers(key, 5):
+                counts[server] += 1
+        values = [counts[s] for s in range(5)]
+        assert min(values) / max(values) > 0.9
+
+    def test_rejects_bad_replicas(self):
+        with pytest.raises(ConfigurationError):
+            ReplicatedProteusRouter(4, replicas=0)

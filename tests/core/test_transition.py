@@ -1,0 +1,139 @@
+"""Tests for the smooth-transition state machine (Section IV)."""
+
+import pytest
+
+from repro.bloom.bloom import BloomFilter
+from repro.core.transition import Transition, TransitionManager
+from repro.errors import TransitionError
+
+
+def digest_with(keys):
+    bf = BloomFilter(4096, num_hashes=4)
+    bf.update(keys)
+    return bf
+
+
+class TestTransition:
+    def test_deadline(self):
+        t = Transition(n_old=5, n_new=4, started_at=100.0, ttl=60.0)
+        assert t.deadline == 160.0
+        assert not t.expired(159.9)
+        assert t.expired(160.0)
+
+    def test_direction_flags(self):
+        down = Transition(5, 4, 0.0, 60.0)
+        up = Transition(4, 5, 0.0, 60.0)
+        assert down.is_scale_down and not down.is_scale_up
+        assert up.is_scale_up and not up.is_scale_down
+
+    def test_draining_servers_scale_down(self):
+        t = Transition(6, 3, 0.0, 60.0)
+        assert t.draining_servers() == [3, 4, 5]
+
+    def test_draining_servers_scale_up_is_empty(self):
+        assert Transition(3, 6, 0.0, 60.0).draining_servers() == []
+
+    def test_digest_hit(self):
+        t = Transition(3, 2, 0.0, 60.0, digests={2: digest_with(["hot"])})
+        assert t.digest_hit(2, "hot")
+        assert not t.digest_hit(2, "cold")
+        assert not t.digest_hit(0, "hot")  # no digest for server 0
+
+
+class TestTransitionManager:
+    def test_initial_state(self):
+        mgr = TransitionManager(4, ttl=30.0)
+        assert mgr.active_count == 4
+        assert mgr.current(0.0) is None
+        assert not mgr.in_transition(0.0)
+
+    def test_begin_scale_down(self):
+        mgr = TransitionManager(4, ttl=30.0)
+        t = mgr.begin(3, now=10.0)
+        assert t is not None and t.n_old == 4 and t.n_new == 3
+        assert mgr.active_count == 3  # new count committed immediately
+        assert mgr.in_transition(10.0)
+
+    def test_noop_transition_returns_none(self):
+        mgr = TransitionManager(4)
+        assert mgr.begin(4, now=0.0) is None
+
+    def test_window_auto_expires(self):
+        mgr = TransitionManager(4, ttl=30.0)
+        mgr.begin(3, now=0.0)
+        assert mgr.in_transition(29.9)
+        assert not mgr.in_transition(30.0)
+        assert len(mgr.history) == 1
+
+    def test_overlapping_transition_rejected(self):
+        mgr = TransitionManager(4, ttl=30.0)
+        mgr.begin(3, now=0.0)
+        with pytest.raises(TransitionError):
+            mgr.begin(2, now=15.0)
+
+    def test_sequential_transitions_allowed(self):
+        mgr = TransitionManager(4, ttl=30.0)
+        mgr.begin(3, now=0.0)
+        t = mgr.begin(2, now=31.0)  # previous window closed at 30
+        assert t is not None and t.n_old == 3
+
+    def test_power_off_callback_fires_on_scale_down(self):
+        mgr = TransitionManager(5, ttl=10.0)
+        events = []
+        mgr.on_power_off.append(lambda ids, when: events.append((ids, when)))
+        mgr.begin(3, now=0.0)
+        mgr.current(10.0)  # poll past the deadline
+        assert events == [([3, 4], 10.0)]
+
+    def test_no_power_off_callback_on_scale_up(self):
+        mgr = TransitionManager(3, ttl=10.0)
+        events = []
+        mgr.on_power_off.append(lambda ids, when: events.append(ids))
+        mgr.begin(5, now=0.0)
+        mgr.current(20.0)
+        assert events == []
+
+    def test_force_complete(self):
+        mgr = TransitionManager(4, ttl=1000.0)
+        mgr.begin(3, now=0.0)
+        mgr.force_complete(5.0)
+        assert not mgr.in_transition(5.0)
+        assert len(mgr.history) == 1
+
+    def test_force_complete_without_transition_raises(self):
+        with pytest.raises(TransitionError):
+            TransitionManager(4).force_complete(0.0)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(TransitionError):
+            TransitionManager(0)
+        with pytest.raises(TransitionError):
+            TransitionManager(4, ttl=0.0)
+        mgr = TransitionManager(4)
+        with pytest.raises(TransitionError):
+            mgr.begin(0, now=0.0)
+
+
+class TestRoutingEpochs:
+    def test_no_transition(self):
+        mgr = TransitionManager(4, ttl=30.0)
+        epochs = mgr.routing_counts(0.0)
+        assert epochs.new == 4
+        assert epochs.old is None
+        assert not epochs.in_transition
+
+    def test_during_transition(self):
+        mgr = TransitionManager(4, ttl=30.0)
+        mgr.begin(3, now=0.0, digests={3: digest_with(["k"])})
+        epochs = mgr.routing_counts(15.0)
+        assert epochs.new == 3
+        assert epochs.old == 4
+        assert epochs.in_transition
+        assert epochs.transition.digest_hit(3, "k")
+
+    def test_after_expiry(self):
+        mgr = TransitionManager(4, ttl=30.0)
+        mgr.begin(3, now=0.0)
+        epochs = mgr.routing_counts(31.0)
+        assert epochs.new == 3
+        assert epochs.old is None

@@ -1,0 +1,44 @@
+"""Integration: push-assisted migration through the full experiment stack."""
+
+import pytest
+
+from repro.experiments.cluster import ClusterExperiment, ExperimentConfig, ScenarioSpec
+from repro.provisioning.policies import ProvisioningSchedule
+
+
+def config(push: bool):
+    return ExperimentConfig(
+        schedule=ProvisioningSchedule(40.0, [4, 3, 3, 4]),
+        users_per_slot=[40, 30, 30, 40],
+        num_cache_servers=4,
+        num_web_servers=2,
+        num_db_shards=2,
+        catalogue_size=2500,
+        cache_capacity_bytes=4096 * 1500,
+        ttl=15.0,
+        plot_slots=8,
+        pages_per_user=40,  # revisit interval ~20 s > TTL: residue exists
+        seed=9,
+        warmup_seconds=10.0,
+        push_migration=push,
+    )
+
+
+class TestPushThroughActuator:
+    def test_actuator_creates_migrators_for_smooth_transitions(self):
+        experiment = ClusterExperiment(ScenarioSpec.proteus(), config(True))
+        experiment.run()
+        assert len(experiment.actuator.migrators) == 2  # 4->3 and 3->4
+        assert all(m.done for m in experiment.actuator.migrators)
+        assert sum(m.progress.pushed for m in experiment.actuator.migrators) > 0
+
+    def test_push_reduces_db_pressure(self):
+        without = ClusterExperiment(ScenarioSpec.proteus(), config(False)).run()
+        with_push = ClusterExperiment(ScenarioSpec.proteus(), config(True)).run()
+        assert with_push.db_requests <= without.db_requests
+        assert with_push.hit_ratio >= without.hit_ratio - 0.005
+
+    def test_abrupt_scenarios_never_push(self):
+        experiment = ClusterExperiment(ScenarioSpec.naive(), config(True))
+        experiment.run()
+        assert experiment.actuator.migrators == []

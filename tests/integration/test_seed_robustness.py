@@ -1,0 +1,64 @@
+"""The headline orderings must hold across seeds, not on one lucky draw."""
+
+import pytest
+
+from repro.experiments.cluster import ExperimentConfig, run_scenarios
+from repro.provisioning.policies import ProvisioningSchedule
+
+SEEDS = (101, 202)
+
+
+def tiny_config(seed: int) -> ExperimentConfig:
+    return ExperimentConfig(
+        schedule=ProvisioningSchedule(45.0, [4, 3, 4]),
+        users_per_slot=[48, 36, 48],
+        num_cache_servers=4,
+        num_web_servers=2,
+        num_db_shards=2,
+        catalogue_size=3000,
+        cache_capacity_bytes=4096 * 1200,
+        ttl=20.0,
+        plot_slots=9,
+        pages_per_user=25,
+        seed=seed,
+        warmup_seconds=10.0,
+    )
+
+
+@pytest.fixture(scope="module")
+def all_reports():
+    return {seed: run_scenarios(tiny_config(seed)) for seed in SEEDS}
+
+
+class TestOrderingsAcrossSeeds:
+    def test_naive_spikes_worst_every_seed(self, all_reports):
+        for seed, reports in all_reports.items():
+            assert (
+                reports["Naive"].peak_latency(99.0)
+                > reports["Proteus"].peak_latency(99.0)
+            ), f"seed {seed}"
+
+    def test_proteus_db_pressure_lowest_dynamic_every_seed(self, all_reports):
+        for seed, reports in all_reports.items():
+            assert (
+                reports["Proteus"].db_requests
+                < reports["Naive"].db_requests
+            ), f"seed {seed}"
+            assert (
+                reports["Proteus"].db_requests
+                <= reports["Consistent"].db_requests
+            ), f"seed {seed}"
+
+    def test_energy_savings_every_seed(self, all_reports):
+        for seed, reports in all_reports.items():
+            static = reports["Static"].energy_kwh["cache"]
+            for name in ("Naive", "Consistent", "Proteus"):
+                assert reports[name].energy_kwh["cache"] < static, (
+                    f"seed {seed}, scenario {name}"
+                )
+
+    def test_hit_ratio_ordering_every_seed(self, all_reports):
+        for seed, reports in all_reports.items():
+            assert (
+                reports["Proteus"].hit_ratio > reports["Naive"].hit_ratio
+            ), f"seed {seed}"

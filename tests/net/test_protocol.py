@@ -1,0 +1,132 @@
+"""Tests for memcached text-protocol framing."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.net import protocol as proto
+
+
+class TestParseGet:
+    def test_single_key(self):
+        req = proto.parse_command_line(b"get foo\r\n")
+        assert req.command == "get" and req.keys == ["foo"]
+
+    def test_multi_key(self):
+        req = proto.parse_command_line(b"get a b c\r\n")
+        assert req.keys == ["a", "b", "c"]
+
+    def test_gets_variant(self):
+        assert proto.parse_command_line(b"gets foo\r\n").command == "gets"
+
+    def test_missing_key_rejected(self):
+        with pytest.raises(ProtocolError):
+            proto.parse_command_line(b"get\r\n")
+
+
+class TestParseStorage:
+    def test_set(self):
+        req = proto.parse_command_line(b"set key 7 60 5\r\n")
+        assert req.command == "set"
+        assert req.keys == ["key"]
+        assert req.flags == 7 and req.exptime == 60 and req.num_bytes == 5
+        assert not req.noreply
+
+    def test_noreply(self):
+        req = proto.parse_command_line(b"set key 0 0 3 noreply\r\n")
+        assert req.noreply
+
+    def test_add_replace(self):
+        assert proto.parse_command_line(b"add k 0 0 1\r\n").command == "add"
+        assert proto.parse_command_line(b"replace k 0 0 1\r\n").command == "replace"
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ProtocolError):
+            proto.parse_command_line(b"set key 0 0\r\n")
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(ProtocolError):
+            proto.parse_command_line(b"set key x 0 5\r\n")
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ProtocolError):
+            proto.parse_command_line(b"set key 0 0 -1\r\n")
+
+
+class TestParseOther:
+    def test_delete(self):
+        req = proto.parse_command_line(b"delete key\r\n")
+        assert req.command == "delete" and req.keys == ["key"]
+
+    def test_delete_noreply(self):
+        assert proto.parse_command_line(b"delete key noreply\r\n").noreply
+
+    def test_admin_commands(self):
+        for cmd in (b"stats", b"version", b"quit", b"flush_all"):
+            assert proto.parse_command_line(cmd + b"\r\n").command == cmd.decode()
+
+    def test_unknown_command(self):
+        with pytest.raises(ProtocolError):
+            proto.parse_command_line(b"increment key\r\n")
+
+    def test_empty_line(self):
+        with pytest.raises(ProtocolError):
+            proto.parse_command_line(b"\r\n")
+
+    def test_non_utf8(self):
+        with pytest.raises(ProtocolError):
+            proto.parse_command_line(b"get \xff\xfe\r\n")
+
+
+class TestValidateKey:
+    def test_accepts_normal_keys(self):
+        proto.validate_key("page:Alan_Turing")
+
+    def test_rejects_whitespace(self):
+        with pytest.raises(ProtocolError):
+            proto.validate_key("has space")
+
+    def test_rejects_control_chars(self):
+        with pytest.raises(ProtocolError):
+            proto.validate_key("has\ttab")
+
+    def test_rejects_overlong(self):
+        with pytest.raises(ProtocolError):
+            proto.validate_key("x" * 251)
+        proto.validate_key("x" * 250)  # boundary OK
+
+    def test_rejects_empty(self):
+        with pytest.raises(ProtocolError):
+            proto.validate_key("")
+
+
+class TestResponses:
+    def test_value_response(self):
+        assert (
+            proto.value_response("k", 3, b"abc")
+            == b"VALUE k 3 3\r\nabc\r\n"
+        )
+
+    def test_value_response_with_cas(self):
+        assert b" 42\r\n" in proto.value_response("k", 0, b"", cas=42)
+
+    def test_fixed_responses(self):
+        assert proto.end_response() == b"END\r\n"
+        assert proto.stored_response() == b"STORED\r\n"
+        assert proto.deleted_response() == b"DELETED\r\n"
+        assert proto.not_found_response() == b"NOT_FOUND\r\n"
+        assert proto.not_stored_response() == b"NOT_STORED\r\n"
+
+    def test_errors(self):
+        assert proto.error_response() == b"ERROR\r\n"
+        assert proto.error_response("boom") == b"SERVER_ERROR boom\r\n"
+        assert proto.client_error_response("bad") == b"CLIENT_ERROR bad\r\n"
+
+    def test_stats_response(self):
+        payload = proto.stats_response({"cmd_get": 3})
+        assert payload == b"STAT cmd_get 3\r\nEND\r\n"
+        assert proto.stats_response({}) == b"END\r\n"
+
+    def test_reserved_key_names(self):
+        # Section V-A3 spelling, exactly.
+        assert proto.KEY_SNAPSHOT == "SET_BLOOM_FILTER"
+        assert proto.KEY_FETCH_DIGEST == "BLOOM_FILTER"

@@ -1,0 +1,253 @@
+"""Live TCP tests: the asyncio memcached server + client pair."""
+
+import asyncio
+
+import pytest
+
+from repro.bloom.config import optimal_config
+from repro.errors import ProtocolError
+from repro.net.client import MemcachedClient
+from repro.net.server import MemcachedServer
+
+CFG = optimal_config(2000)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def with_server(test_body, **server_kwargs):
+    server_kwargs.setdefault("bloom_config", CFG)
+    server = MemcachedServer(**server_kwargs)
+    await server.start()
+    try:
+        async with MemcachedClient("127.0.0.1", server.port) as client:
+            await test_body(server, client)
+    finally:
+        await server.stop()
+
+
+class TestBasicCommands:
+    def test_set_get_delete(self):
+        async def body(server, client):
+            assert await client.set("k", b"v") is True
+            assert await client.get("k") == b"v"
+            assert await client.delete("k") is True
+            assert await client.get("k") is None
+            assert await client.delete("k") is False
+
+        run(with_server(body))
+
+    def test_binary_values_roundtrip(self):
+        async def body(server, client):
+            payload = bytes(range(256)) * 16
+            await client.set("bin", payload)
+            assert await client.get("bin") == payload
+
+        run(with_server(body))
+
+    def test_value_with_crlf_inside(self):
+        async def body(server, client):
+            payload = b"line1\r\nline2\r\n"
+            await client.set("tricky", payload)
+            assert await client.get("tricky") == payload
+
+        run(with_server(body))
+
+    def test_add_and_replace_semantics(self):
+        async def body(server, client):
+            assert await client.add("k", b"1") is True
+            assert await client.add("k", b"2") is False
+            assert await client.get("k") == b"1"
+            await client.delete("k")
+            # replace on absent key fails
+            header = b"replace k 0 0 1\r\nx\r\n"
+            client._writer.write(header)
+            await client._writer.drain()
+            assert await client._read_line() == b"NOT_STORED"
+
+        run(with_server(body))
+
+    def test_expiry(self):
+        async def body(server, client):
+            fake_now = {"t": 0.0}
+            server._clock = lambda: fake_now["t"]
+            await client.set("k", b"v", exptime=10)
+            assert await client.get("k") == b"v"
+            fake_now["t"] = 11.0
+            assert await client.get("k") is None
+
+        run(with_server(body))
+
+    def test_stats_and_version_and_flush(self):
+        async def body(server, client):
+            await client.set("a", b"1")
+            await client.get("a")
+            await client.get("missing")
+            stats = await client.stats()
+            assert stats["cmd_set"] == "1"
+            assert stats["get_hits"] == "1"
+            assert stats["get_misses"] == "1"
+            assert "proteus-repro" in await client.version()
+            await client.flush_all()
+            assert await client.get("a") is None
+
+        run(with_server(body))
+
+    def test_lru_eviction_over_tcp(self):
+        async def body(server, client):
+            for i in range(10):
+                await client.set(f"k{i}", b"x" * 100)
+            stats = await client.stats()
+            assert int(stats["evictions"]) > 0
+            assert int(stats["bytes"]) <= 500
+
+        run(with_server(body, capacity_bytes=500))
+
+    def test_malformed_command_gets_client_error(self):
+        async def body(server, client):
+            client._writer.write(b"bogus nonsense\r\n")
+            await client._writer.drain()
+            reply = await client._read_line()
+            assert reply.startswith(b"CLIENT_ERROR")
+
+        run(with_server(body))
+
+
+class TestDigestOverTcp:
+    def test_snapshot_and_fetch(self):
+        async def body(server, client):
+            for i in range(300):
+                await client.set(f"k{i}", b"v")
+            await client.snapshot_digest()
+            digest = await client.fetch_digest(
+                server.bloom_config.num_counters, server.bloom_config.num_hashes
+            )
+            assert all(digest.contains(f"k{i}") for i in range(300))
+
+        run(with_server(body))
+
+    def test_snapshot_is_frozen_until_next_snapshot(self):
+        async def body(server, client):
+            await client.set("early", b"1")
+            await client.snapshot_digest()
+            await client.set("late", b"1")
+            digest = await client.fetch_digest(CFG.num_counters, CFG.num_hashes)
+            assert digest.contains("early")
+            assert not digest.contains("late")
+            await client.snapshot_digest()
+            digest = await client.fetch_digest(CFG.num_counters, CFG.num_hashes)
+            assert digest.contains("late")
+
+        run(with_server(body))
+
+    def test_fetch_without_snapshot_raises(self):
+        async def body(server, client):
+            with pytest.raises(ProtocolError):
+                await client.fetch_digest(CFG.num_counters)
+
+        run(with_server(body))
+
+    def test_digest_tracks_deletes_over_tcp(self):
+        async def body(server, client):
+            await client.set("gone", b"1")
+            await client.delete("gone")
+            await client.snapshot_digest()
+            digest = await client.fetch_digest(CFG.num_counters, CFG.num_hashes)
+            assert not digest.contains("gone")
+
+        run(with_server(body))
+
+    def test_reserved_keys_cannot_be_stored(self):
+        async def body(server, client):
+            header = b"set SET_BLOOM_FILTER 0 0 1\r\nx\r\n"
+            client._writer.write(header)
+            await client._writer.drain()
+            assert (await client._read_line()).startswith(b"CLIENT_ERROR")
+
+        run(with_server(body))
+
+
+class TestConcurrency:
+    def test_multiple_clients(self):
+        async def body():
+            server = MemcachedServer(bloom_config=CFG)
+            await server.start()
+            try:
+                async def worker(worker_id):
+                    async with MemcachedClient("127.0.0.1", server.port) as c:
+                        for i in range(50):
+                            await c.set(f"w{worker_id}:k{i}", b"v")
+                        hits = 0
+                        for i in range(50):
+                            if await c.get(f"w{worker_id}:k{i}") == b"v":
+                                hits += 1
+                        return hits
+
+                results = await asyncio.gather(*(worker(w) for w in range(5)))
+                assert results == [50] * 5
+                assert server.connections == 5
+            finally:
+                await server.stop()
+
+        run(body())
+
+    def test_client_methods_require_connection(self):
+        client = MemcachedClient("127.0.0.1", 1)
+        with pytest.raises(ProtocolError):
+            run(client._command(b"get x\r\n"))
+
+
+class TestMalformedDataBlock:
+    def test_bad_block_terminator_replies_and_closes(self):
+        async def body():
+            from repro.bloom.config import optimal_config
+
+            server = MemcachedServer(bloom_config=optimal_config(500))
+            await server.start()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                # 3-byte block whose terminator is not CRLF.
+                writer.write(b"set k 0 0 3\r\nabcXY")
+                await writer.drain()
+                reply = await reader.readline()
+                assert reply.startswith(b"CLIENT_ERROR")
+                # The server closes the desynchronized connection.
+                assert await reader.read() == b""
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionError, OSError):
+                    pass
+            finally:
+                await server.stop()
+
+        run(body())
+
+    def test_short_block_then_eof_is_handled(self):
+        async def body():
+            from repro.bloom.config import optimal_config
+
+            server = MemcachedServer(bloom_config=optimal_config(500))
+            await server.start()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                writer.write(b"set k 0 0 100\r\nshort")
+                await writer.drain()
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionError, OSError):
+                    pass
+                # Server must survive the half-written request...
+                async with MemcachedClient("127.0.0.1", server.port) as c:
+                    assert await c.set("ok", b"1")
+                    assert await c.get("ok") == b"1"
+            finally:
+                await server.stop()
+
+        run(body())

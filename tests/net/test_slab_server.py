@@ -1,0 +1,117 @@
+"""Tests for the slab-allocated TCP server backend."""
+
+import asyncio
+
+import pytest
+
+from repro.bloom.config import optimal_config
+from repro.errors import ConfigurationError
+from repro.net.client import MemcachedClient
+from repro.net.server import MemcachedServer
+
+CFG = optimal_config(2000)
+MB = 1 << 20
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def with_slab_server(test_body, capacity=4 * MB):
+    server = MemcachedServer(
+        capacity_bytes=capacity, bloom_config=CFG, use_slabs=True
+    )
+    await server.start()
+    try:
+        async with MemcachedClient("127.0.0.1", server.port) as client:
+            await test_body(server, client)
+    finally:
+        await server.stop()
+
+
+class TestSlabBackend:
+    def test_requires_capacity(self):
+        with pytest.raises(ConfigurationError):
+            MemcachedServer(use_slabs=True, bloom_config=CFG)
+
+    def test_roundtrip(self):
+        async def body(server, client):
+            await client.set("k", b"v" * 300)
+            assert await client.get("k") == b"v" * 300
+            assert await client.delete("k")
+
+        run(with_slab_server(body))
+
+    async def _read_stats_slabs(self, client):
+        client._writer.write(b"stats slabs\r\n")
+        await client._writer.drain()
+        rows = {}
+        while True:
+            line = await client._read_line()
+            if line == b"END":
+                return rows
+            _stat, name, value = line.decode().split(" ")
+            rows[name] = int(value)
+
+    def test_stats_slabs_reports_classes(self):
+        async def body(server, client):
+            await client.set("small", b"x" * 100)
+            await client.set("big", b"y" * 10_000)
+            rows = await self._read_stats_slabs(client)
+            chunk_sizes = {
+                int(name.split(":")[0]): value
+                for name, value in rows.items() if name.endswith("chunk_size")
+            }
+            assert len(chunk_sizes) == 2  # two distinct classes in use
+            assert any(value >= 10_000 for value in chunk_sizes.values())
+
+        run(with_slab_server(body))
+
+    def test_stats_slabs_empty_on_plain_backend(self):
+        async def body():
+            server = MemcachedServer(bloom_config=CFG)
+            await server.start()
+            try:
+                async with MemcachedClient("127.0.0.1", server.port) as client:
+                    client._writer.write(b"stats slabs\r\n")
+                    await client._writer.drain()
+                    assert await client._read_line() == b"END"
+            finally:
+                await server.stop()
+
+        run(body())
+
+    def test_digest_still_consistent_with_slab_store(self):
+        async def body(server, client):
+            for i in range(50):
+                await client.set(f"k{i}", b"v" * 200)
+            await client.delete("k0")
+            await client.snapshot_digest()
+            digest = await client.fetch_digest(CFG.num_counters, CFG.num_hashes)
+            assert not digest.contains("k0")
+            assert digest.contains("k1")
+
+        run(with_slab_server(body))
+
+    def test_per_class_eviction_over_tcp(self):
+        async def body(server, client):
+            # One-page budget per class: fill the small class, overflow it.
+            for i in range(10):
+                await client.set(f"big{i}", b"z" * 500_000)  # large class
+            stats = await client.stats()
+            assert int(stats["evictions"]) > 0
+            # Data remains servable.
+            hits = 0
+            for i in range(10):
+                if await client.get(f"big{i}") is not None:
+                    hits += 1
+            assert hits > 0
+
+        run(with_slab_server(body, capacity=2 * MB))
+
+    def test_incr_works_on_slab_backend(self):
+        async def body(server, client):
+            await client.set("n", b"41")
+            assert await client.incr("n", 1) == 42
+
+        run(with_slab_server(body))

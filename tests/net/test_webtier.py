@@ -1,0 +1,225 @@
+"""Tests for the asyncio web tier (Algorithm 2 over live TCP)."""
+
+import asyncio
+
+import pytest
+
+from repro.bloom.config import optimal_config
+from repro.errors import ConfigurationError, TransitionError
+from repro.net.server import MemcachedServer
+from repro.net.webtier import AsyncProteusFrontend
+
+CFG = optimal_config(2000)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class CountingDatabase:
+    """Async dict-backed authoritative store with a read counter."""
+
+    def __init__(self):
+        self.reads = 0
+
+    async def fetch(self, key: str) -> bytes:
+        self.reads += 1
+        return f"db-value-of-{key}".encode()
+
+
+async def start_cluster(num_servers: int):
+    servers = [MemcachedServer(bloom_config=CFG) for _ in range(num_servers)]
+    endpoints = []
+    for server in servers:
+        port = await server.start()
+        endpoints.append(("127.0.0.1", port))
+    return servers, endpoints
+
+
+async def stop_cluster(servers):
+    for server in servers:
+        await server.stop()
+
+
+class TestSteadyState:
+    def test_fetch_miss_then_hit(self):
+        async def body():
+            servers, endpoints = await start_cluster(3)
+            db = CountingDatabase()
+            try:
+                async with AsyncProteusFrontend(endpoints, CFG, db.fetch) as web:
+                    value, path = await web.fetch("page:1")
+                    assert path == "miss_db" and value == b"db-value-of-page:1"
+                    value, path = await web.fetch("page:1")
+                    assert path == "hit_new"
+                    assert db.reads == 1
+            finally:
+                await stop_cluster(servers)
+
+        run(body())
+
+    def test_routing_matches_simulator_router(self):
+        async def body():
+            servers, endpoints = await start_cluster(4)
+            db = CountingDatabase()
+            try:
+                async with AsyncProteusFrontend(endpoints, CFG, db.fetch) as web:
+                    for i in range(40):
+                        key = f"page:{i}"
+                        await web.fetch(key)
+                        owner = web.router.route(key, 4)
+                        # The item physically lives on the routed server.
+                        assert key in servers[owner].store
+            finally:
+                await stop_cluster(servers)
+
+        run(body())
+
+    def test_put_write_through(self):
+        async def body():
+            servers, endpoints = await start_cluster(3)
+            db = CountingDatabase()
+            try:
+                async with AsyncProteusFrontend(endpoints, CFG, db.fetch) as web:
+                    await web.put("k", b"direct")
+                    value, path = await web.fetch("k")
+                    assert value == b"direct" and path == "hit_new"
+                    assert db.reads == 0
+            finally:
+                await stop_cluster(servers)
+
+        run(body())
+
+    def test_requires_connect(self):
+        web = AsyncProteusFrontend([("127.0.0.1", 1)], CFG, CountingDatabase().fetch)
+        with pytest.raises(ConfigurationError):
+            run(web.fetch("k"))
+
+    def test_validation(self):
+        db = CountingDatabase()
+        with pytest.raises(ConfigurationError):
+            AsyncProteusFrontend([], CFG, db.fetch)
+        with pytest.raises(ConfigurationError):
+            AsyncProteusFrontend([("h", 1)], CFG, db.fetch, initial_active=2)
+
+
+class TestSmoothTransition:
+    def test_scale_down_zero_db_reads_for_hot_keys(self):
+        async def body():
+            servers, endpoints = await start_cluster(4)
+            db = CountingDatabase()
+            try:
+                async with AsyncProteusFrontend(endpoints, CFG, db.fetch) as web:
+                    keys = [f"page:{i}" for i in range(150)]
+                    for key in keys:
+                        await web.fetch(key)
+                    reads_before = db.reads
+                    await web.scale_to(3, ttl=60.0)
+                    paths = [
+                        (await web.fetch(key))[1] for key in keys
+                    ]
+                    assert db.reads == reads_before
+                    assert paths.count("hit_old") > 0
+                    assert "miss_db" not in paths
+                    # Property 1: second pass is all authoritative hits.
+                    second = [(await web.fetch(key))[1] for key in keys]
+                    assert set(second) == {"hit_new"}
+            finally:
+                await stop_cluster(servers)
+
+        run(body())
+
+    def test_scale_up_pulls_from_ceding_owners(self):
+        async def body():
+            servers, endpoints = await start_cluster(4)
+            db = CountingDatabase()
+            try:
+                web = AsyncProteusFrontend(
+                    endpoints, CFG, db.fetch, initial_active=3
+                )
+                await web.connect()
+                keys = [f"page:{i}" for i in range(150)]
+                for key in keys:
+                    await web.fetch(key)
+                reads_before = db.reads
+                await web.scale_to(4, ttl=60.0)
+                paths = [(await web.fetch(key))[1] for key in keys]
+                assert db.reads == reads_before
+                assert paths.count("hit_old") > 0
+                await web.close()
+            finally:
+                await stop_cluster(servers)
+
+        run(body())
+
+    def test_window_expires_by_clock(self):
+        async def body():
+            servers, endpoints = await start_cluster(3)
+            db = CountingDatabase()
+            fake = {"t": 0.0}
+            try:
+                web = AsyncProteusFrontend(
+                    endpoints, CFG, db.fetch, clock=lambda: fake["t"]
+                )
+                await web.connect()
+                await web.fetch("page:1")
+                await web.scale_to(2, ttl=10.0)
+                assert web._current_transition() is not None
+                fake["t"] = 10.0
+                assert web._current_transition() is None
+                # After expiry, cold remapped keys go to the DB.
+                await web.close()
+            finally:
+                await stop_cluster(servers)
+
+        run(body())
+
+    def test_overlapping_transition_rejected(self):
+        async def body():
+            servers, endpoints = await start_cluster(3)
+            db = CountingDatabase()
+            try:
+                async with AsyncProteusFrontend(endpoints, CFG, db.fetch) as web:
+                    await web.scale_to(2, ttl=100.0)
+                    with pytest.raises(TransitionError):
+                        await web.scale_to(3, ttl=100.0)
+            finally:
+                await stop_cluster(servers)
+
+        run(body())
+
+    def test_noop_scale_rejected(self):
+        async def body():
+            servers, endpoints = await start_cluster(2)
+            db = CountingDatabase()
+            try:
+                async with AsyncProteusFrontend(endpoints, CFG, db.fetch) as web:
+                    with pytest.raises(TransitionError):
+                        await web.scale_to(2, ttl=10.0)
+            finally:
+                await stop_cluster(servers)
+
+        run(body())
+
+
+class TestMultipleFrontends:
+    def test_independent_frontends_agree(self):
+        # The consistency objective over real sockets: two frontends with no
+        # shared state route identically and see each other's writes.
+        async def body():
+            servers, endpoints = await start_cluster(4)
+            db = CountingDatabase()
+            try:
+                async with AsyncProteusFrontend(endpoints, CFG, db.fetch) as a:
+                    async with AsyncProteusFrontend(endpoints, CFG, db.fetch) as b:
+                        for i in range(30):
+                            await a.fetch(f"page:{i}")
+                        reads_after_a = db.reads
+                        for i in range(30):
+                            value, path = await b.fetch(f"page:{i}")
+                            assert path == "hit_new"
+                        assert db.reads == reads_after_a
+            finally:
+                await stop_cluster(servers)
+
+        run(body())

@@ -1,0 +1,94 @@
+"""Property-based tests for migration plans and provisioning schedules."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.migration import migration_lower_bound, plan_migration
+from repro.core.router import ProteusRouter
+from repro.provisioning.policies import ProvisioningSchedule, limit_step_size
+
+ROUTER = ProteusRouter(8, ring_size=2 ** 24)  # shared: placement is pure
+
+
+@given(
+    n_old=st.integers(min_value=1, max_value=8),
+    n_new=st.integers(min_value=1, max_value=8),
+    num_keys=st.integers(min_value=0, max_value=120),
+)
+@settings(max_examples=60, deadline=None)
+def test_migration_plan_invariants(n_old, n_new, num_keys):
+    keys = [f"prop:{i}" for i in range(num_keys)]
+    plan = plan_migration(ROUTER, keys, n_old, n_new)
+    # Conservation: every key is either stationary or in exactly one move
+    # bucket.
+    assert plan.moved + plan.stationary == num_keys
+    for (src, dst), bucket in plan.moves.items():
+        assert src != dst
+        assert bucket  # no empty buckets
+        # Every recorded move matches the router's own answers.
+        for key in bucket:
+            assert ROUTER.route(key, n_old) == src
+            assert ROUTER.route(key, n_new) == dst
+    if n_old == n_new:
+        assert plan.moved == 0
+    # Scale-down: sources only among powered-off servers; scale-up:
+    # destinations only among powered-on ones.
+    if n_new < n_old:
+        assert all(src >= n_new for src in plan.sources())
+    elif n_new > n_old:
+        assert all(dst >= n_old for dst in plan.destinations())
+
+
+@given(
+    n_old=st.integers(min_value=1, max_value=8),
+    n_new=st.integers(min_value=1, max_value=8),
+)
+@settings(max_examples=40, deadline=None)
+def test_plan_fraction_respects_lower_bound_asymptotically(n_old, n_new):
+    keys = [f"frac:{i}" for i in range(1500)]
+    plan = plan_migration(ROUTER, keys, n_old, n_new)
+    bound = float(migration_lower_bound(n_old, n_new))
+    # Proteus moves the bound's fraction, within sampling noise.
+    assert abs(plan.remap_fraction - bound) < 0.05
+
+
+@given(
+    counts=st.lists(st.integers(min_value=1, max_value=20), min_size=1,
+                    max_size=30),
+    max_step=st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=80, deadline=None)
+def test_limit_step_size_properties(counts, max_step):
+    schedule = ProvisioningSchedule(10.0, counts)
+    smoothed = limit_step_size(schedule, max_step=max_step)
+    # Same length, same start, every step bounded, all counts >= 1.
+    assert smoothed.num_slots == schedule.num_slots
+    assert smoothed.counts[0] == counts[0]
+    for a, b in zip(smoothed.counts, smoothed.counts[1:]):
+        assert abs(b - a) <= max_step
+    assert all(c >= 1 for c in smoothed.counts)
+    # Smoothing moves toward the target each slot (never overshoots).
+    for target, previous, value in zip(
+        counts[1:], smoothed.counts, smoothed.counts[1:]
+    ):
+        low, high = sorted((previous, target))
+        assert low <= value <= high
+
+
+@given(
+    counts=st.lists(st.integers(min_value=1, max_value=10), min_size=2,
+                    max_size=20),
+)
+@settings(max_examples=60, deadline=None)
+def test_schedule_transitions_reconstruct_counts(counts):
+    schedule = ProvisioningSchedule(5.0, counts)
+    # Replaying the transitions over the initial count reproduces n_at.
+    current = counts[0]
+    series = {0.0: current}
+    for when, n_old, n_new in schedule.transitions():
+        assert n_old == current
+        current = n_new
+        series[when] = current
+    # n_at agrees at every slot start.
+    for slot, expected in enumerate(counts):
+        assert schedule.n_at(slot * 5.0) == expected

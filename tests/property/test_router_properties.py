@@ -1,0 +1,67 @@
+"""Property-based tests for routing invariants shared by all scenarios."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.migration import migration_lower_bound
+from repro.core.router import NaiveRouter, ProteusRouter
+
+keys = st.text(min_size=1, max_size=30)
+
+
+@given(key=keys, data=st.data())
+@settings(max_examples=80, deadline=None)
+def test_routes_always_land_on_an_active_server(key, data):
+    num_servers = data.draw(st.integers(min_value=1, max_value=12))
+    n = data.draw(st.integers(min_value=1, max_value=num_servers))
+    router = ProteusRouter(num_servers, ring_size=2 ** 24)
+    assert 0 <= router.route(key, n) < n
+
+
+@given(key=keys, data=st.data())
+@settings(max_examples=80, deadline=None)
+def test_routing_is_deterministic(key, data):
+    num_servers = data.draw(st.integers(min_value=1, max_value=10))
+    n = data.draw(st.integers(min_value=1, max_value=num_servers))
+    a = ProteusRouter(num_servers, ring_size=2 ** 24)
+    b = ProteusRouter(num_servers, ring_size=2 ** 24)
+    # Two independently built routers (different web servers) must agree.
+    assert a.route(key, n) == b.route(key, n)
+
+
+@given(data=st.data())
+@settings(max_examples=30, deadline=None)
+def test_proteus_monotone_routing_under_scale_down(data):
+    # Scale-down n -> m (m < n) may only move keys whose owner powered off
+    # (owner id >= m).  Keys owned by a surviving server never move.
+    num_servers = data.draw(st.integers(min_value=2, max_value=10))
+    n = data.draw(st.integers(min_value=2, max_value=num_servers))
+    m = data.draw(st.integers(min_value=1, max_value=n - 1))
+    router = ProteusRouter(num_servers, ring_size=2 ** 24)
+    for i in range(40):
+        key = f"key-{i}"
+        before = router.route(key, n)
+        after = router.route(key, m)
+        if before < m:
+            assert after == before
+        else:
+            assert after < m
+
+
+@given(
+    n_old=st.integers(min_value=1, max_value=20),
+    n_new=st.integers(min_value=1, max_value=20),
+)
+@settings(max_examples=60, deadline=None)
+def test_lower_bound_is_symmetric_and_bounded(n_old, n_new):
+    bound = migration_lower_bound(n_old, n_new)
+    assert bound == migration_lower_bound(n_new, n_old)
+    assert 0 <= bound < 1
+
+
+@given(key=keys, data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_naive_router_in_range(key, data):
+    num_servers = data.draw(st.integers(min_value=1, max_value=12))
+    n = data.draw(st.integers(min_value=1, max_value=num_servers))
+    assert 0 <= NaiveRouter(num_servers).route(key, n) < n

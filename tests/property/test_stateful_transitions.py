@@ -1,0 +1,121 @@
+"""Hypothesis stateful test: the cache-cluster scaling state machine.
+
+Random interleavings of smooth scale requests, abrupt scale requests, time
+advances, crashes, and repairs must preserve the lifecycle invariants:
+
+* servers in the active prefix are ON (unless crashed); servers beyond the
+  prefix are OFF or DRAINING (draining only inside an open window);
+* at most one drain window is open, and it closes by its deadline;
+* a closed scale-down window leaves the drained servers OFF and empty;
+* the committed active count always matches the last accepted request.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.bloom.config import BloomConfig
+from repro.cache.cluster import CacheCluster
+from repro.cache.server import PowerState
+from repro.core.router import ProteusRouter
+from repro.errors import TransitionError
+
+N = 5
+TTL = 10.0
+CFG = BloomConfig(
+    num_counters=2048, counter_bits=8, num_hashes=4, kappa=100,
+    fp_bound=0.0, fn_bound=0.0,
+)
+
+
+class ClusterMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.cluster = CacheCluster(
+            ProteusRouter(N, ring_size=2 ** 20),
+            capacity_bytes=4096 * 50,
+            initial_active=N,
+            ttl=TTL,
+            bloom_config=CFG,
+        )
+        self.now = 0.0
+
+    @rule(target_n=st.integers(min_value=1, max_value=N))
+    def smooth_scale(self, target_n):
+        try:
+            self.cluster.scale_to(target_n, self.now)
+        except TransitionError:
+            # a window is still open — legal rejection, state unchanged
+            assert self.cluster.transitions.in_transition(self.now)
+
+    @rule(target_n=st.integers(min_value=1, max_value=N))
+    def abrupt_scale(self, target_n):
+        try:
+            self.cluster.abrupt_scale_to(target_n, self.now)
+        except TransitionError:
+            assert self.cluster.transitions.in_transition(self.now)
+
+    @rule(server=st.integers(min_value=0, max_value=N - 1))
+    def crash(self, server):
+        self.cluster.fail_server(server, self.now)
+
+    @rule(server=st.integers(min_value=0, max_value=N - 1))
+    def repair(self, server):
+        self.cluster.repair_server(server, self.now)
+
+    @rule(delta=st.floats(min_value=0.5, max_value=25.0))
+    def advance(self, delta):
+        self.now += delta
+        self.cluster.finalize_expired(self.now)
+
+    @rule(key=st.integers(min_value=0, max_value=30), value=st.integers())
+    def write_to_owner(self, key, value):
+        epochs = self.cluster.routing_epochs(self.now)
+        owner = self.cluster.router.route(f"k:{key}", epochs.new)
+        server = self.cluster.server(owner)
+        if server.state.serves_requests:
+            server.set(f"k:{key}", value, now=self.now)
+
+    # ------------------------------------------------------------ invariants
+
+    @invariant()
+    def active_prefix_is_on_unless_crashed(self):
+        n = self.cluster.active_count
+        failed = self.cluster.failed_servers()
+        for sid in range(n):
+            state = self.cluster.server(sid).state
+            if sid in failed:
+                assert state is PowerState.OFF
+            else:
+                assert state is PowerState.ON
+
+    @invariant()
+    def beyond_prefix_is_off_or_draining(self):
+        n = self.cluster.active_count
+        in_window = self.cluster.transitions.in_transition(self.now)
+        for sid in range(n, N):
+            state = self.cluster.server(sid).state
+            if state is PowerState.DRAINING:
+                assert in_window  # draining only inside an open window
+            else:
+                assert state is PowerState.OFF
+
+    @invariant()
+    def window_closes_by_deadline(self):
+        transition = self.cluster.transitions.current(self.now)
+        if transition is not None:
+            assert self.now < transition.deadline
+
+    @invariant()
+    def drained_servers_are_empty(self):
+        for transition in self.cluster.transitions.history:
+            for sid in transition.draining_servers():
+                server = self.cluster.server(sid)
+                if server.state is PowerState.OFF:
+                    assert len(server.store) == 0
+
+
+ClusterMachine.TestCase.settings = settings(
+    max_examples=40, stateful_step_count=40, deadline=None
+)
+TestClusterMachine = ClusterMachine.TestCase

@@ -1,0 +1,82 @@
+"""Property-based tests: the store/digest pair stays consistent under churn.
+
+This is the invariant the whole smooth-transition design rests on
+(Section IV-A): the digest answers membership for exactly the store's
+current keys (modulo hash false positives, never false negatives).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bloom.config import BloomConfig
+from repro.cache.server import CacheServer
+
+# Small keys; ops reference keys by index so deletes often hit live items.
+op = st.tuples(
+    st.sampled_from(["set", "get", "delete"]),
+    st.integers(min_value=0, max_value=30),
+)
+
+CFG = BloomConfig(
+    num_counters=8192, counter_bits=8, num_hashes=4, kappa=500,
+    fp_bound=0.0, fn_bound=0.0,
+)
+
+
+@given(ops=st.lists(op, max_size=200))
+@settings(max_examples=50, deadline=None)
+def test_digest_matches_store_contents_under_arbitrary_churn(ops):
+    server = CacheServer(0, capacity_bytes=4096 * 12, bloom_config=CFG)
+    now = 0.0
+    for action, idx in ops:
+        key = f"key:{idx}"
+        now += 1.0
+        if action == "set":
+            server.set(key, idx, now=now)
+        elif action == "get":
+            server.get(key, now=now)
+        else:
+            server.delete(key, now=now)
+    live = set(server.store.keys())
+    # No false negatives: every live key is in the digest.
+    assert all(key in server.digest for key in live)
+    # Exact count: digest tracked link/unlink one-for-one.
+    assert server.digest.count == len(live)
+    # Capacity respected throughout.
+    assert server.store.used_bytes <= 4096 * 12
+
+
+@given(ops=st.lists(op, max_size=150), ttl=st.floats(min_value=1.0, max_value=50.0))
+@settings(max_examples=30, deadline=None)
+def test_digest_consistent_with_ttl_expiry(ops, ttl):
+    server = CacheServer(0, bloom_config=CFG)
+    now = 0.0
+    for action, idx in ops:
+        key = f"key:{idx}"
+        now += 2.0
+        if action == "set":
+            server.set(key, idx, now=now, ttl=ttl)
+        else:
+            server.get(key, now=now)  # may lazily expire
+    server.store.purge_expired(now)
+    live = set(server.store.keys())
+    assert server.digest.count == len(live)
+    assert all(key in server.digest for key in live)
+
+
+@given(ops=st.lists(op, max_size=120))
+@settings(max_examples=30, deadline=None)
+def test_stats_item_count_matches_store(ops):
+    server = CacheServer(0, capacity_bytes=4096 * 10, bloom_config=CFG)
+    now = 0.0
+    for action, idx in ops:
+        now += 1.0
+        key = f"key:{idx}"
+        if action == "set":
+            server.set(key, idx, now=now)
+        elif action == "get":
+            server.get(key, now=now)
+        else:
+            server.delete(key, now=now)
+    assert server.stats.items == len(server.store)
+    assert server.stats.bytes_stored == server.store.used_bytes

@@ -1,0 +1,86 @@
+"""Tests for the provisioning actuator."""
+
+import pytest
+
+from repro.bloom.config import optimal_config
+from repro.cache.cluster import CacheCluster
+from repro.cache.server import PowerState
+from repro.core.router import ProteusRouter
+from repro.errors import ProvisioningError
+from repro.provisioning.actuator import ProvisioningActuator
+from repro.provisioning.policies import ProvisioningSchedule
+from repro.sim.events import EventLoop
+
+CFG = optimal_config(1000)
+
+
+def cluster(n=4, active=4, ttl=20.0):
+    return CacheCluster(
+        ProteusRouter(n, ring_size=2 ** 20),
+        capacity_bytes=4096 * 100,
+        initial_active=active,
+        ttl=ttl,
+        bloom_config=CFG,
+    )
+
+
+class TestApply:
+    def test_smooth_apply_starts_transition(self):
+        c = cluster()
+        actuator = ProvisioningActuator(c, smooth=True)
+        record = actuator.apply(3, now=0.0)
+        assert record.n_old == 4 and record.n_new == 3 and record.smooth
+        assert c.transitions.in_transition(0.0)
+
+    def test_abrupt_apply_has_no_window(self):
+        c = cluster()
+        actuator = ProvisioningActuator(c, smooth=False)
+        actuator.apply(3, now=0.0)
+        assert not c.transitions.in_transition(0.0)
+        assert c.server(3).state is PowerState.OFF
+
+    def test_noop_returns_none(self):
+        actuator = ProvisioningActuator(cluster(), smooth=True)
+        assert actuator.apply(4, now=0.0) is None
+        assert actuator.applied == []
+
+
+class TestInstall:
+    def test_schedule_executes_on_loop(self):
+        c = cluster(4, active=3, ttl=5.0)
+        actuator = ProvisioningActuator(c, smooth=True)
+        loop = EventLoop()
+        schedule = ProvisioningSchedule(10.0, [3, 2, 2, 4])
+        armed = actuator.install(schedule, loop)
+        assert armed == [(10.0, 2), (30.0, 4)]
+        loop.run_until(schedule.duration)
+        assert [r.n_new for r in actuator.applied] == [2, 4]
+        assert c.active_count == 4
+
+    def test_ttl_finalization_powers_off(self):
+        c = cluster(4, active=4, ttl=5.0)
+        actuator = ProvisioningActuator(c, smooth=True)
+        loop = EventLoop()
+        schedule = ProvisioningSchedule(10.0, [4, 3])
+        actuator.install(schedule, loop)
+        loop.run_until(14.0)
+        assert c.server(3).state is PowerState.DRAINING
+        loop.run_until(16.0)  # past 10 + ttl(5)
+        assert c.server(3).state is PowerState.OFF
+
+    def test_abrupt_install(self):
+        c = cluster(4, active=4)
+        actuator = ProvisioningActuator(c, smooth=False)
+        loop = EventLoop()
+        actuator.install(ProvisioningSchedule(10.0, [4, 2]), loop)
+        loop.run_until(10.0)
+        assert c.server(2).state is PowerState.OFF
+        assert c.server(3).state is PowerState.OFF
+
+    def test_install_into_past_raises(self):
+        actuator = ProvisioningActuator(cluster(), smooth=True)
+        loop = EventLoop()
+        loop.schedule_at(50.0, lambda: None)
+        loop.run()
+        with pytest.raises(ProvisioningError):
+            actuator.install(ProvisioningSchedule(10.0, [4, 3]), loop)

@@ -1,0 +1,115 @@
+"""Tests for the delay-feedback controller (paper Section VI knobs)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.provisioning.controller import (
+    DEFAULT_DELAY_BOUND,
+    DEFAULT_DELAY_REFERENCE,
+    DelayFeedbackController,
+    run_feedback_loop,
+)
+
+
+def controller(**kwargs):
+    kwargs.setdefault("num_servers", 10)
+    return DelayFeedbackController(**kwargs)
+
+
+class TestPaperKnobs:
+    def test_defaults_match_paper(self):
+        assert DEFAULT_DELAY_BOUND == 0.5
+        assert DEFAULT_DELAY_REFERENCE == 0.4
+
+
+class TestControllerSteps:
+    def test_starts_at_full_fleet(self):
+        assert controller().current == 10
+
+    def test_scale_up_above_reference(self):
+        ctl = controller()
+        ctl._n = 5
+        assert ctl.update(0.45, arrival_rate=500) == 6
+
+    def test_aggressive_scale_up_above_bound(self):
+        ctl = controller()
+        ctl._n = 5
+        new = ctl.update(1.5, arrival_rate=500)  # 3x the bound
+        assert new >= 7
+
+    def test_scale_down_with_headroom(self):
+        ctl = controller(per_server_rate=200.0)
+        # Low delay, light load: dropping a server keeps projected delay OK.
+        new = ctl.update(0.05, arrival_rate=100.0)
+        assert new == 9
+
+    def test_no_scale_down_without_headroom(self):
+        ctl = controller(per_server_rate=200.0)
+        ctl._n = 2
+        # low measured delay but load too high for 1 server
+        assert ctl.update(0.05, arrival_rate=500.0) == 2
+
+    def test_dead_band_holds_steady(self):
+        ctl = controller()
+        ctl._n = 5
+        # between reference*margin and reference: no change
+        assert ctl.update(0.35, arrival_rate=100.0) == 5
+
+    def test_never_exceeds_fleet_or_floor(self):
+        ctl = controller(min_servers=2)
+        ctl._n = 10
+        assert ctl.update(5.0, arrival_rate=100.0) == 10
+        ctl._n = 2
+        assert ctl.update(0.0, arrival_rate=0.0) == 2
+
+    def test_history_recorded(self):
+        ctl = controller()
+        ctl.update(0.45, 100.0)
+        ctl.update(0.45, 100.0)
+        assert len(ctl.history) == 3  # initial + 2 updates
+
+    def test_as_schedule(self):
+        ctl = controller()
+        ctl.update(0.45, 100.0)
+        schedule = ctl.as_schedule(slot_seconds=10.0)
+        assert schedule.counts == ctl.history
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            controller(num_servers=0)
+        with pytest.raises(ConfigurationError):
+            controller(delay_reference=0.6, delay_bound=0.5)
+        with pytest.raises(ConfigurationError):
+            controller(min_servers=11)
+        ctl = controller()
+        with pytest.raises(ConfigurationError):
+            ctl.update(-1.0, 100.0)
+        with pytest.raises(ConfigurationError):
+            ctl.update(0.1, -5.0)
+
+
+class TestRunFeedbackLoop:
+    def test_tracks_diurnal_workload(self):
+        # Rates that rise and fall; the schedule should do the same.
+        rates = [200, 400, 800, 1200, 1400, 1200, 800, 400, 200, 200]
+        schedule = run_feedback_loop(
+            rates, num_servers=10, per_server_rate=200.0, slot_seconds=10.0
+        )
+        assert schedule.num_slots == len(rates)
+        peak_slot = rates.index(max(rates))
+        assert schedule.counts[peak_slot] >= schedule.counts[0]
+        assert max(schedule.counts) > min(schedule.counts)
+
+    def test_initial_override(self):
+        schedule = run_feedback_loop(
+            [100, 100], num_servers=10, per_server_rate=200.0, initial=3,
+            slot_seconds=10.0,
+        )
+        assert schedule.counts[0] <= 4  # started near 3, not at 10
+
+    def test_all_counts_valid(self):
+        schedule = run_feedback_loop(
+            [50, 5000, 50], num_servers=6, per_server_rate=100.0,
+            slot_seconds=10.0,
+        )
+        assert all(1 <= c <= 6 for c in schedule.counts)

@@ -1,0 +1,89 @@
+"""Tests for the constant-memory histogram digest."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.metrics import HistogramDigest, percentile
+
+
+class TestBasics:
+    def test_count_mean_max(self):
+        digest = HistogramDigest()
+        for value in (0.01, 0.02, 0.03):
+            digest.record(value)
+        assert digest.count == 3
+        assert digest.mean == pytest.approx(0.02)
+        assert digest.max_value == 0.03
+
+    def test_empty_raises(self):
+        digest = HistogramDigest()
+        with pytest.raises(ConfigurationError):
+            digest.pct(50)
+        with pytest.raises(ConfigurationError):
+            _ = digest.mean
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HistogramDigest().record(-1.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            HistogramDigest(low=1.0, high=0.5)
+        with pytest.raises(ConfigurationError):
+            HistogramDigest(buckets_per_decade=0)
+        digest = HistogramDigest()
+        digest.record(1.0)
+        with pytest.raises(ConfigurationError):
+            digest.pct(101)
+
+
+class TestAccuracy:
+    def test_percentiles_within_relative_error(self):
+        rng = random.Random(5)
+        digest = HistogramDigest(low=1e-4, high=10.0, buckets_per_decade=100)
+        samples = [rng.lognormvariate(-3.0, 1.0) for _ in range(50_000)]
+        for value in samples:
+            digest.record(value)
+        for pct_rank in (50, 90, 99, 99.9):
+            exact = percentile(samples, pct_rank)
+            approx = digest.pct(pct_rank)
+            assert approx == pytest.approx(exact, rel=0.05)
+
+    def test_out_of_range_values_clamped(self):
+        digest = HistogramDigest(low=0.01, high=1.0)
+        digest.record(0.0001)
+        digest.record(100.0)
+        assert digest.pct(0) == pytest.approx(0.01)
+        assert digest.pct(100) == pytest.approx(1.0)
+        assert digest.max_value == 100.0  # exact max tracked outside buckets
+
+    def test_memory_is_bounded(self):
+        digest = HistogramDigest(low=1e-4, high=1e3, buckets_per_decade=100)
+        assert digest.memory_buckets() < 1000
+        for i in range(10_000):
+            digest.record((i % 100 + 1) / 1000.0)
+        assert digest.memory_buckets() < 1000  # unchanged by volume
+
+
+class TestMerge:
+    def test_merge_equals_union(self):
+        a = HistogramDigest()
+        b = HistogramDigest()
+        union = HistogramDigest()
+        rng = random.Random(6)
+        for _ in range(2000):
+            value = rng.uniform(0.001, 0.5)
+            (a if rng.random() < 0.5 else b).record(value)
+            union.record(value)
+        a.merge(b)
+        assert a.count == union.count
+        assert a.pct(99) == pytest.approx(union.pct(99))
+        assert a.mean == pytest.approx(union.mean)
+
+    def test_merge_geometry_mismatch_rejected(self):
+        a = HistogramDigest(low=1e-4)
+        b = HistogramDigest(low=1e-3)
+        with pytest.raises(ConfigurationError):
+            a.merge(b)

@@ -1,0 +1,158 @@
+"""Tests for latency models and service queues."""
+
+import math
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.latency import (
+    Constant,
+    Empirical,
+    Exponential,
+    LogNormal,
+    MultiServerQueue,
+    ServiceQueue,
+    Uniform,
+    mm1_response_time,
+)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(1234)
+
+
+class TestModels:
+    def test_constant(self, rng):
+        model = Constant(0.05)
+        assert model.sample(rng) == 0.05
+        assert model.mean == 0.05
+
+    def test_uniform_bounds_and_mean(self, rng):
+        model = Uniform(0.01, 0.03)
+        samples = [model.sample(rng) for _ in range(2000)]
+        assert all(0.01 <= s <= 0.03 for s in samples)
+        assert sum(samples) / len(samples) == pytest.approx(model.mean, rel=0.05)
+
+    def test_exponential_mean(self, rng):
+        model = Exponential(0.05)
+        samples = [model.sample(rng) for _ in range(20_000)]
+        assert sum(samples) / len(samples) == pytest.approx(0.05, rel=0.05)
+
+    def test_lognormal_mean(self, rng):
+        model = LogNormal(0.1, sigma=0.6)
+        samples = [model.sample(rng) for _ in range(50_000)]
+        assert sum(samples) / len(samples) == pytest.approx(0.1, rel=0.05)
+
+    def test_empirical_resamples_observed(self, rng):
+        model = Empirical([0.1, 0.2, 0.3])
+        assert model.mean == pytest.approx(0.2)
+        assert all(model.sample(rng) in (0.1, 0.2, 0.3) for _ in range(100))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Constant(-1.0)
+        with pytest.raises(ConfigurationError):
+            Uniform(0.5, 0.1)
+        with pytest.raises(ConfigurationError):
+            Exponential(0.0)
+        with pytest.raises(ConfigurationError):
+            LogNormal(0.0)
+        with pytest.raises(ConfigurationError):
+            Empirical([])
+        with pytest.raises(ConfigurationError):
+            Empirical([-0.1])
+
+
+class TestServiceQueue:
+    def test_fifo_backlog(self):
+        queue = ServiceQueue()
+        assert queue.enqueue(0.0, 1.0) == 1.0
+        assert queue.enqueue(0.0, 1.0) == 2.0
+        assert queue.delay(0.0) == 2.0
+
+    def test_idle_gap(self):
+        queue = ServiceQueue()
+        queue.enqueue(0.0, 1.0)
+        assert queue.enqueue(5.0, 1.0) == 6.0
+        assert queue.delay(10.0) == 0.0
+
+    def test_utilization(self):
+        queue = ServiceQueue()
+        queue.enqueue(0.0, 2.0)
+        assert queue.utilization(4.0) == 0.5
+        assert queue.utilization(0.0) == 0.0
+
+    def test_reset(self):
+        queue = ServiceQueue()
+        queue.enqueue(0.0, 5.0)
+        queue.reset()
+        assert queue.delay(0.0) == 0.0
+        assert queue.served == 0
+
+    def test_negative_service_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ServiceQueue().enqueue(0.0, -1.0)
+
+    def test_matches_mm1_theory(self):
+        # Drive an M/M/1 at rho=0.7 and compare the mean response time with
+        # 1/(mu - lambda).
+        rng = random.Random(9)
+        service = Exponential(1.0)
+        queue = ServiceQueue()
+        arrival_rate = 0.7
+        t = 0.0
+        responses = []
+        for _ in range(60_000):
+            t += rng.expovariate(arrival_rate)
+            done = queue.enqueue(t, service.sample(rng))
+            responses.append(done - t)
+        measured = sum(responses) / len(responses)
+        predicted = mm1_response_time(arrival_rate, 1.0)
+        assert measured == pytest.approx(predicted, rel=0.08)
+
+
+class TestMultiServerQueue:
+    def test_parallel_service(self):
+        queue = MultiServerQueue(2)
+        assert queue.enqueue(0.0, 1.0) == 1.0
+        assert queue.enqueue(0.0, 1.0) == 1.0  # second worker
+        assert queue.enqueue(0.0, 1.0) == 2.0  # queues behind earliest
+
+    def test_delay(self):
+        queue = MultiServerQueue(2)
+        queue.enqueue(0.0, 1.0)
+        assert queue.delay(0.0) == 0.0  # a worker is still free
+        queue.enqueue(0.0, 2.0)
+        assert queue.delay(0.0) == 1.0
+
+    def test_utilization_per_worker(self):
+        queue = MultiServerQueue(2)
+        queue.enqueue(0.0, 2.0)
+        assert queue.utilization(2.0) == 0.5
+
+    def test_reset(self):
+        queue = MultiServerQueue(3)
+        queue.enqueue(0.0, 9.0)
+        queue.reset()
+        assert queue.delay(0.0) == 0.0
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ConfigurationError):
+            MultiServerQueue(0)
+
+
+class TestMM1Formula:
+    def test_stable(self):
+        assert mm1_response_time(0.5, 1.0) == pytest.approx(2.0)
+
+    def test_unstable_is_inf(self):
+        assert mm1_response_time(1.0, 1.0) == math.inf
+        assert mm1_response_time(2.0, 1.0) == math.inf
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            mm1_response_time(-0.1, 1.0)
+        with pytest.raises(ConfigurationError):
+            mm1_response_time(0.5, 0.0)

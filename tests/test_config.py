@@ -1,0 +1,138 @@
+"""Tests for the shared cluster configuration document."""
+
+import asyncio
+
+import pytest
+
+from repro.config import CONFIG_VERSION, ClusterConfig, DigestGeometry
+from repro.core.replication import ReplicatedProteusRouter
+from repro.core.router import ProteusRouter
+from repro.errors import ConfigurationError
+
+ENDPOINTS = [("cache-0", 11211), ("cache-1", 11211), ("cache-2", 11212)]
+GEOMETRY = DigestGeometry(num_counters=4096, counter_bits=4, num_hashes=4)
+
+
+def make(**overrides):
+    kwargs = dict(endpoints=list(ENDPOINTS), digest=GEOMETRY)
+    kwargs.update(overrides)
+    return ClusterConfig(**kwargs)
+
+
+class TestValidation:
+    def test_happy_path(self):
+        cfg = make()
+        assert cfg.num_servers == 3
+        assert cfg.version == CONFIG_VERSION
+
+    def test_rejects_empty_fleet(self):
+        with pytest.raises(ConfigurationError):
+            make(endpoints=[])
+
+    def test_rejects_bad_ports_and_hosts(self):
+        with pytest.raises(ConfigurationError):
+            make(endpoints=[("h", 0)])
+        with pytest.raises(ConfigurationError):
+            make(endpoints=[("h", 70000)])
+        with pytest.raises(ConfigurationError):
+            make(endpoints=[("", 11211)])
+
+    def test_rejects_bad_knobs(self):
+        with pytest.raises(ConfigurationError):
+            make(ttl_seconds=0.0)
+        with pytest.raises(ConfigurationError):
+            make(replicas=0)
+        with pytest.raises(ConfigurationError):
+            make(ring_size=1)
+        with pytest.raises(ConfigurationError):
+            make(version=99)
+
+    def test_digest_geometry_validation(self):
+        with pytest.raises(ConfigurationError):
+            DigestGeometry(0, 4, 4)
+
+
+class TestSerialization:
+    def test_json_roundtrip(self):
+        cfg = make(ttl_seconds=45.0, replicas=2, name="prod-eu")
+        clone = ClusterConfig.from_json(cfg.to_json())
+        assert clone == cfg
+
+    def test_file_roundtrip(self, tmp_path):
+        cfg = make()
+        path = tmp_path / "cluster.json"
+        cfg.save(path)
+        assert ClusterConfig.load(path) == cfg
+
+    def test_json_is_stable(self):
+        cfg = make()
+        assert cfg.to_json() == cfg.to_json()
+        assert cfg.to_json().endswith("\n")
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClusterConfig.from_json("{not json")
+        with pytest.raises(ConfigurationError):
+            ClusterConfig.from_json("{}")
+
+    def test_version_check_on_load(self):
+        text = make().to_json().replace('"version": 1', '"version": 2')
+        with pytest.raises(ConfigurationError):
+            ClusterConfig.from_json(text)
+
+
+class TestBuilders:
+    def test_for_fleet_sizes_digest(self):
+        cfg = ClusterConfig.for_fleet(ENDPOINTS, expected_keys_per_server=10_000)
+        assert cfg.digest.counter_bits == 3  # the Eq. 10 optimum at 1e4 keys
+
+    def test_build_router_unreplicated(self):
+        router = make(replicas=1).build_router()
+        assert isinstance(router, ProteusRouter)
+        assert router.num_servers == 3
+
+    def test_build_router_replicated(self):
+        router = make(replicas=2).build_router()
+        assert isinstance(router, ReplicatedProteusRouter)
+        assert router.replicas == 2
+
+    def test_two_loads_route_identically(self, tmp_path):
+        # The consistency objective, through the config round trip.
+        cfg = make()
+        path = tmp_path / "c.json"
+        cfg.save(path)
+        a = ClusterConfig.load(path).build_router()
+        b = ClusterConfig.load(path).build_router()
+        for i in range(50):
+            assert a.route(f"k{i}", 2) == b.route(f"k{i}", 2)
+
+    def test_build_frontend_end_to_end(self, tmp_path):
+        # Full circle: config file -> frontend -> live servers.
+        from repro.net.server import MemcachedServer
+
+        async def body():
+            servers = [
+                MemcachedServer(bloom_config=GEOMETRY.to_bloom_config())
+                for _ in range(2)
+            ]
+            endpoints = []
+            for server in servers:
+                port = await server.start()
+                endpoints.append(("127.0.0.1", port))
+            cfg = ClusterConfig(endpoints=endpoints, digest=GEOMETRY)
+            path = tmp_path / "live.json"
+            cfg.save(path)
+
+            async def db(key):
+                return b"from-db"
+
+            frontend = ClusterConfig.load(path).build_frontend(db)
+            async with frontend as web:
+                value, path_label = await web.fetch("k")
+                assert value == b"from-db" and path_label == "miss_db"
+                value, path_label = await web.fetch("k")
+                assert path_label == "hit_new"
+            for server in servers:
+                await server.stop()
+
+        asyncio.run(body())

@@ -1,0 +1,160 @@
+"""Cross-cutting tests: error hierarchy, stress shapes, small gaps."""
+
+import asyncio
+
+import pytest
+
+from repro import errors
+
+
+class TestErrorHierarchy:
+    def test_all_library_errors_share_a_root(self):
+        leaf_classes = [
+            errors.ConfigurationError, errors.PlacementError,
+            errors.RoutingError, errors.TransitionError, errors.CacheError,
+            errors.CacheKeyError, errors.CapacityError, errors.DigestError,
+            errors.ProtocolError, errors.SimulationError,
+            errors.ProvisioningError,
+        ]
+        for cls in leaf_classes:
+            assert issubclass(cls, errors.ProteusError)
+
+    def test_cache_key_error_is_a_key_error(self):
+        assert issubclass(errors.CacheKeyError, KeyError)
+
+    def test_one_handler_catches_everything(self):
+        from repro.core.router import NaiveRouter
+
+        try:
+            NaiveRouter(4).route("k", 9)
+        except errors.ProteusError as exc:
+            assert "num_active" in str(exc)
+        else:  # pragma: no cover
+            pytest.fail("expected a ProteusError")
+
+
+class TestEventLoopStress:
+    def test_ten_thousand_interleaved_events(self):
+        from repro.sim.events import EventLoop
+
+        loop = EventLoop()
+        fired = []
+        handles = []
+        for i in range(10_000):
+            handles.append(
+                loop.schedule_at(float(i % 100), fired.append, i)
+            )
+        for handle in handles[::3]:
+            handle.cancel()
+        loop.run()
+        assert len(fired) == 10_000 - len(handles[::3])
+        # time order respected
+        times = [i % 100 for i in fired]
+        assert times == sorted(times)
+
+    def test_cancel_from_within_a_callback(self):
+        from repro.sim.events import EventLoop
+
+        loop = EventLoop()
+        fired = []
+        later = loop.schedule_at(2.0, fired.append, "later")
+        loop.schedule_at(1.0, later.cancel)
+        loop.run()
+        assert fired == []
+
+
+class TestZipfExtremes:
+    def test_alpha_above_one(self):
+        from repro.workload.zipf import ZipfSampler
+
+        sampler = ZipfSampler(10_000, alpha=1.5, seed=8, shuffle=False)
+        draws = sampler.sample_many(20_000)
+        head = (draws < 10).mean()
+        assert head > 0.6  # very heavy head at alpha=1.5
+
+    def test_single_item_catalogue(self):
+        from repro.workload.zipf import ZipfSampler
+
+        sampler = ZipfSampler(1, alpha=0.9)
+        assert sampler.sample() == 0
+        assert sampler.popularity(0) == pytest.approx(1.0)
+
+
+class TestStoreSmallGaps:
+    def test_default_item_size_used(self):
+        from repro.cache.store import KeyValueStore
+
+        store = KeyValueStore(default_item_size=100)
+        store.set("k", "v")
+        assert store.used_bytes == 100
+
+    def test_purge_on_empty_store(self):
+        from repro.cache.store import KeyValueStore
+
+        assert KeyValueStore().purge_expired(100.0) == 0
+
+    def test_keys_iterator(self):
+        from repro.cache.store import KeyValueStore
+
+        store = KeyValueStore()
+        store.set("a", 1)
+        store.set("b", 2)
+        assert sorted(store.keys()) == ["a", "b"]
+
+
+class TestNoreplyOverTcp:
+    def test_set_noreply_then_get(self):
+        from repro.bloom.config import optimal_config
+        from repro.net.client import MemcachedClient
+        from repro.net.server import MemcachedServer
+
+        async def body():
+            server = MemcachedServer(bloom_config=optimal_config(500))
+            await server.start()
+            try:
+                async with MemcachedClient("127.0.0.1", server.port) as client:
+                    # noreply set: no response line is sent; the next get
+                    # must parse cleanly (no response desync).
+                    client._writer.write(b"set k 0 0 3 noreply\r\nabc\r\n")
+                    await client._writer.drain()
+                    assert await client.get("k") == b"abc"
+                    client._writer.write(b"delete k noreply\r\n")
+                    await client._writer.drain()
+                    assert await client.get("k") is None
+            finally:
+                await server.stop()
+
+        asyncio.run(body())
+
+
+class TestRapidTransitions:
+    def test_down_up_down_sequence_through_actuator(self):
+        from repro.bloom.config import optimal_config
+        from repro.cache.cluster import CacheCluster
+        from repro.cache.server import PowerState
+        from repro.core.router import ProteusRouter
+        from repro.provisioning.actuator import ProvisioningActuator
+        from repro.provisioning.policies import ProvisioningSchedule
+        from repro.sim.events import EventLoop
+
+        cache = CacheCluster(
+            ProteusRouter(6, ring_size=2 ** 20), capacity_bytes=4096 * 100,
+            initial_active=6, ttl=4.0, bloom_config=optimal_config(500),
+        )
+        actuator = ProvisioningActuator(cache, smooth=True)
+        schedule = ProvisioningSchedule(10.0, [6, 4, 6, 3, 5, 5])
+        loop = EventLoop()
+        actuator.install(schedule, loop)
+        loop.run_until(schedule.duration)
+        assert cache.active_count == 5
+        states = [server.state for server in cache.servers]
+        assert states[:5].count(PowerState.ON) == 5
+        assert states[5] is PowerState.OFF
+        assert len(actuator.applied) == 4
+
+    def test_cli_place_custom_ring_size(self, capsys):
+        from repro.cli import main
+
+        assert main(["place", "3", "--ring-size", "1000", "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "ring=1000" in out

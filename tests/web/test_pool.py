@@ -1,0 +1,57 @@
+"""Tests for connection pools."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.web.pool import ConnectionPool, PoolRegistry
+
+
+class TestConnectionPool:
+    def test_first_acquire_pays_setup(self):
+        pool = ConnectionPool(capacity=2, setup_cost=0.01)
+        assert pool.acquire() == 0.01
+        assert pool.created == 1
+
+    def test_release_then_acquire_is_free(self):
+        pool = ConnectionPool(capacity=2, setup_cost=0.01)
+        pool.acquire()
+        pool.release()
+        assert pool.acquire() == 0.0
+        assert pool.reused == 1
+
+    def test_at_capacity_counts_waits(self):
+        pool = ConnectionPool(capacity=1, setup_cost=0.01)
+        pool.acquire()
+        assert pool.acquire() == 0.0
+        assert pool.waited == 1
+
+    def test_busy_idle_accounting(self):
+        pool = ConnectionPool(capacity=4)
+        pool.acquire()
+        pool.acquire()
+        assert pool.busy == 2
+        pool.release()
+        assert pool.busy == 1 and pool.idle == 1
+
+    def test_release_without_acquire_raises(self):
+        with pytest.raises(ConfigurationError):
+            ConnectionPool().release()
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ConfigurationError):
+            ConnectionPool(capacity=0)
+        with pytest.raises(ConfigurationError):
+            ConnectionPool(setup_cost=-1.0)
+
+
+class TestPoolRegistry:
+    def test_singleton_per_backend(self):
+        registry = PoolRegistry()
+        assert registry.pool("cache:0") is registry.pool("cache:0")
+        assert registry.pool("cache:0") is not registry.pool("cache:1")
+
+    def test_total_created(self):
+        registry = PoolRegistry()
+        registry.pool("a").acquire()
+        registry.pool("b").acquire()
+        assert registry.total_created() == 2

@@ -1,0 +1,147 @@
+"""Tests for the replicated read/write path (Section III-E operational)."""
+
+import pytest
+
+from repro.bloom.config import optimal_config
+from repro.cache.cluster import CacheCluster
+from repro.cache.server import PowerState
+from repro.core.replication import ReplicatedProteusRouter
+from repro.core.router import ProteusRouter
+from repro.database.cluster import DatabaseCluster
+from repro.errors import ConfigurationError
+from repro.sim.latency import Constant
+from repro.web.replicated import ReplicatedWebServer
+
+CFG = optimal_config(2000)
+
+
+def build(n=6, replicas=2, active=None):
+    cache = CacheCluster(
+        ReplicatedProteusRouter(n, replicas=replicas, ring_size=2 ** 24),
+        capacity_bytes=4096 * 2000,
+        initial_active=active,
+        ttl=60.0,
+        bloom_config=CFG,
+    )
+    # Fast constant-latency DB so warm-phase write-backs complete before the
+    # post-crash re-reads (items are invisible before their write time).
+    db = DatabaseCluster(3, service_model=Constant(0.002))
+    return cache, db, ReplicatedWebServer(0, cache, db)
+
+
+class TestConstruction:
+    def test_requires_replicated_router(self):
+        cache = CacheCluster(
+            ProteusRouter(4, ring_size=2 ** 20), bloom_config=CFG
+        )
+        with pytest.raises(ConfigurationError):
+            ReplicatedWebServer(0, cache, DatabaseCluster(2))
+
+
+class TestWrites:
+    def test_put_reaches_all_distinct_replicas(self):
+        cache, db, web = build(replicas=3)
+        written = web.put("page:1", b"v", now=0.0)
+        expected = cache.router.distinct_replica_servers("page:1", 6)
+        assert written == expected
+        for server_id in written:
+            assert cache.server(server_id).get("page:1", 0.0) == b"v"
+
+
+class TestReadsAndFailover:
+    def test_fetch_miss_populates_all_replicas(self):
+        cache, db, web = build(replicas=2)
+        result = web.fetch("page:x", now=0.0)
+        assert result.touched_database
+        for server_id in cache.router.distinct_replica_servers("page:x", 6):
+            assert cache.server(server_id).get("page:x", 1.0) is not None
+
+    def test_fetch_hit_from_primary(self):
+        cache, db, web = build(replicas=2)
+        web.fetch("page:x", now=0.0)
+        result = web.fetch("page:x", now=1.0)
+        assert not result.touched_database
+        assert result.served_by == cache.router.route("page:x", 6)
+        assert web.failovers == 0
+
+    def test_failover_serves_from_replica_after_crash(self):
+        cache, db, web = build(replicas=2)
+        keys = [f"page:{i}" for i in range(150)]
+        t = 0.0
+        for key in keys:
+            web.fetch(key, t)
+            t += 0.01
+        db_before = db.total_requests()
+        cache.fail_server(0, now=t)  # crash the first server
+        failed_over = 0
+        db_fallback = 0
+        for key in keys:
+            result = web.fetch(key, t + 1.0)
+            assert result.value is not None
+            if result.served_by is not None and (
+                cache.router.route(key, 6) == 0
+            ):
+                failed_over += 1
+            if result.touched_database:
+                db_fallback += 1
+        # Keys whose primary was server 0 are served from their replica...
+        assert failed_over > 0
+        assert web.failovers == failed_over
+        # ...and only replica-conflict keys (both copies on server 0) fall
+        # through to the DB: a small fraction (Eq. 3 at n=6 predicts ~1/6
+        # of server-0 keys, i.e. a few percent overall).
+        assert db_fallback < len(keys) * 0.1
+        assert db.total_requests() - db_before == db_fallback
+
+    def test_without_replication_every_crashed_key_hits_db(self):
+        cache, db, web = build(replicas=1)
+        keys = [f"page:{i}" for i in range(150)]
+        t = 0.0
+        for key in keys:
+            web.fetch(key, t)
+            t += 0.01
+        cache.fail_server(0, now=t)
+        db_before = db.total_requests()
+        primaries = sum(1 for k in keys if cache.router.route(k, 6) == 0)
+        for key in keys:
+            web.fetch(key, t + 1.0)
+        assert db.total_requests() - db_before == primaries
+        assert primaries > 0
+
+    def test_all_replicas_crashed_still_serves_via_db(self):
+        cache, db, web = build(replicas=2)
+        web.fetch("page:q", now=0.0)
+        owners = cache.router.distinct_replica_servers("page:q", 6)
+        for owner in owners:
+            cache.fail_server(owner, now=1.0)
+        result = web.fetch("page:q", now=2.0)
+        assert result.touched_database
+        assert result.value is not None
+        assert result.served_by is None
+
+
+class TestClusterFailureApi:
+    def test_fail_and_repair(self):
+        cache, db, web = build()
+        cache.fail_server(2, now=0.0)
+        assert cache.failed_servers() == frozenset({2})
+        assert cache.server(2).state is PowerState.OFF
+        cache.repair_server(2, now=1.0)
+        assert cache.failed_servers() == frozenset()
+        assert cache.server(2).state is PowerState.ON
+        assert len(cache.server(2).store) == 0  # came back cold
+
+    def test_repair_of_inactive_server_stays_off(self):
+        cache, db, web = build(active=3)
+        cache.fail_server(5, now=0.0)  # already OFF: no-op
+        assert cache.failed_servers() == frozenset()
+        cache.fail_server(2, now=0.0)
+        cache.scale_to(2, now=1.0)  # server 2 now outside the active prefix
+        cache.repair_server(2, now=2.0)
+        assert cache.server(2).state is PowerState.OFF
+
+    def test_failing_twice_is_idempotent(self):
+        cache, db, web = build()
+        cache.fail_server(1, now=0.0)
+        cache.fail_server(1, now=1.0)
+        assert cache.failed_servers() == frozenset({1})

@@ -1,0 +1,116 @@
+"""Tests for the WikiBench trace converter."""
+
+import gzip
+
+import pytest
+
+from repro.workload.wikibench import (
+    ConversionStats,
+    convert_file,
+    convert_lines,
+    parse_line,
+    title_from_url,
+)
+
+LINES = [
+    "100 1194892620.000 http://en.wikipedia.org/wiki/Main_Page -",
+    "101 1194892620.500 http://en.wikipedia.org/wiki/Alan_Turing -",
+    "102 1194892621.000 http://de.wikipedia.org/wiki/Berlin -",
+    "103 1194892621.200 http://en.wikipedia.org/wiki/Image:Foo.jpg -",
+    "104 1194892621.400 http://upload.wikimedia.org/thumb/x.png -",
+    "105 1194892621.600 http://en.wikipedia.org/wiki/Special:Search?q=x -",
+    "106 1194892622.000 http://en.wikipedia.org/wiki/Alan_Turing save",
+    "garbage line",
+    "107 notatime http://en.wikipedia.org/wiki/X -",
+]
+
+
+class TestParsing:
+    def test_parse_line(self):
+        assert parse_line(LINES[0]) == (
+            1194892620.0, "http://en.wikipedia.org/wiki/Main_Page"
+        )
+        assert parse_line("too few") is None
+        assert parse_line("1 notatime url") is None
+
+    def test_title_from_url(self):
+        assert title_from_url("http://en.wikipedia.org/wiki/Main_Page") == "Main_Page"
+        assert title_from_url("http://de.wikipedia.org/wiki/Berlin") is None
+        assert title_from_url("http://en.wikipedia.org/wiki/Image:F.jpg") is None
+        assert title_from_url("http://en.wikipedia.org/wiki/A?action=edit") is None
+        assert title_from_url("http://en.wikipedia.org/wiki/") is None
+
+    def test_percent_decoding(self):
+        title = title_from_url("http://en.wikipedia.org/wiki/Caf%C3%A9")
+        assert title == "Café"
+
+
+class TestConvertLines:
+    def test_filters_and_rebases(self):
+        stats = ConversionStats()
+        records = list(convert_lines(LINES, stats=stats))
+        assert [r.key for r in records] == [
+            "page:Main_Page", "page:Alan_Turing", "page:Alan_Turing",
+        ]
+        assert records[0].time == 0.0
+        assert records[1].time == pytest.approx(0.5)
+        assert records[2].time == pytest.approx(2.0)
+
+    def test_stats_accounting(self):
+        stats = ConversionStats()
+        list(convert_lines(LINES, stats=stats))
+        assert stats.total_lines == len(LINES)
+        assert stats.kept == 3
+        assert stats.non_english == 2   # de.wikipedia + upload.wikimedia
+        assert stats.non_article == 2   # Image: and Special:?q
+        assert stats.malformed == 2
+        assert stats.keep_ratio == pytest.approx(3 / len(LINES))
+
+    def test_commas_and_spaces_made_csv_safe(self):
+        lines = ["1 10.0 http://en.wikipedia.org/wiki/A%2C_B -"]
+        records = list(convert_lines(lines))
+        assert records[0].key == "page:A%2C_B"
+        assert "," not in records[0].key
+
+
+class TestConvertFile:
+    def test_plain_file(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("\n".join(LINES))
+        records, stats = convert_file(path)
+        assert len(records) == 3
+        assert stats.kept == 3
+
+    def test_gzip_file(self, tmp_path):
+        path = tmp_path / "trace.txt.gz"
+        with gzip.open(path, "wt") as fh:
+            fh.write("\n".join(LINES))
+        records, _stats = convert_file(path)
+        assert len(records) == 3
+
+    def test_converted_trace_roundtrips_through_trace_io(self, tmp_path):
+        from repro.workload.trace import load_trace, save_trace
+
+        src = tmp_path / "trace.txt"
+        src.write_text("\n".join(LINES))
+        records, _ = convert_file(src)
+        out = tmp_path / "converted.csv"
+        save_trace(records, out)
+        assert load_trace(out) == records
+
+    def test_converted_trace_drives_the_harnesses(self, tmp_path):
+        # The whole point: a real trace slots into the Fig. 5/6 harnesses.
+        from repro.core.router import ProteusRouter
+        from repro.experiments.loadbalance import evaluate_load_balance
+        from repro.provisioning.policies import ProvisioningSchedule
+
+        src = tmp_path / "trace.txt"
+        lines = [
+            f"{i} {1000 + i * 0.1:.1f} http://en.wikipedia.org/wiki/Page_{i % 7} -"
+            for i in range(300)
+        ]
+        src.write_text("\n".join(lines))
+        records, _ = convert_file(src)
+        schedule = ProvisioningSchedule(15.0, [3, 2])
+        result = evaluate_load_balance(ProteusRouter(3), records, schedule)
+        assert len(result.ratios()) == 2

@@ -1,0 +1,99 @@
+"""Tests for the Wikipedia-like workload generator (Fig. 4 shape)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workload.trace import peak_to_valley, slot_counts
+from repro.workload.wikipedia import diurnal_rate, generate_arrivals, generate_trace
+
+
+class TestDiurnalRate:
+    def test_mean_preserved(self):
+        rate = diurnal_rate(100.0, peak_to_valley=2.0, period=100.0)
+        samples = [rate(t) for t in range(100)]
+        assert sum(samples) / len(samples) == pytest.approx(100.0, rel=0.02)
+
+    def test_peak_to_valley_ratio(self):
+        rate = diurnal_rate(100.0, peak_to_valley=2.0, period=100.0)
+        samples = [rate(t / 10) for t in range(1000)]
+        assert max(samples) / min(samples) == pytest.approx(2.0, rel=0.02)
+
+    def test_peak_phase(self):
+        rate = diurnal_rate(100.0, peak_to_valley=3.0, period=100.0, peak_at=0.58)
+        samples = {t: rate(t) for t in range(100)}
+        peak_time = max(samples, key=samples.get)
+        assert peak_time == pytest.approx(58, abs=1)
+
+    def test_never_negative_with_noise(self):
+        import random
+
+        rate = diurnal_rate(
+            10.0, peak_to_valley=10.0, period=50.0, noise=0.5,
+            rng=random.Random(1),
+        )
+        assert all(rate(t) >= 0 for t in range(100))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            diurnal_rate(0.0)
+        with pytest.raises(ConfigurationError):
+            diurnal_rate(10.0, peak_to_valley=0.5)
+        with pytest.raises(ConfigurationError):
+            diurnal_rate(10.0, period=0.0)
+
+
+class TestArrivals:
+    def test_rate_matches_envelope(self):
+        arrivals = generate_arrivals(lambda t: 50.0, duration=100.0, seed=1)
+        assert len(arrivals) == pytest.approx(5000, rel=0.05)
+
+    def test_sorted_and_in_range(self):
+        arrivals = generate_arrivals(lambda t: 20.0, duration=50.0, seed=2)
+        assert arrivals == sorted(arrivals)
+        assert all(0 <= t < 50.0 for t in arrivals)
+
+    def test_deterministic_per_seed(self):
+        a = generate_arrivals(lambda t: 30.0, 20.0, seed=3)
+        b = generate_arrivals(lambda t: 30.0, 20.0, seed=3)
+        assert a == b
+
+    def test_zero_rate_yields_nothing(self):
+        assert generate_arrivals(lambda t: 0.0, 10.0, rate_ceiling=1.0) == []
+
+    def test_underestimated_ceiling_raises(self):
+        with pytest.raises(ConfigurationError):
+            generate_arrivals(lambda t: 100.0, 10.0, rate_ceiling=10.0, seed=1)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            generate_arrivals(lambda t: 1.0, 0.0)
+
+
+class TestGenerateTrace:
+    def test_trace_has_diurnal_shape(self):
+        trace = generate_trace(
+            duration=600.0, mean_rate=50.0, num_pages=500,
+            peak_to_valley=2.0, seed=4,
+        )
+        counts = slot_counts(trace, slot_seconds=60.0, num_slots=10)
+        assert peak_to_valley(counts) == pytest.approx(2.0, rel=0.35)
+
+    def test_keys_use_prefix_and_catalogue(self):
+        trace = generate_trace(60.0, 20.0, num_pages=10, seed=5, key_prefix="pg")
+        for record in trace:
+            prefix, page = record.key.split(":")
+            assert prefix == "pg"
+            assert 0 <= int(page) < 10
+
+    def test_popularity_is_skewed(self):
+        import collections
+
+        trace = generate_trace(120.0, 100.0, num_pages=5000, alpha=1.0, seed=6)
+        counts = collections.Counter(r.key for r in trace)
+        top_share = sum(c for _, c in counts.most_common(50)) / len(trace)
+        assert top_share > 0.3
+
+    def test_deterministic(self):
+        a = generate_trace(30.0, 10.0, num_pages=100, seed=7)
+        b = generate_trace(30.0, 10.0, num_pages=100, seed=7)
+        assert a == b
