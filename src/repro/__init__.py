@@ -40,11 +40,15 @@ from repro.config import ClusterConfig, DigestGeometry
 from repro.cache.cluster import CacheCluster
 from repro.core import (
     ConsistentRouter,
+    FetchPath,
+    FetchStats,
     HashRing,
     NaiveRouter,
     Placement,
     ProteusRouter,
     ReplicatedProteusRouter,
+    ReplicatedRetrievalEngine,
+    RetrievalEngine,
     Router,
     StaticRouter,
     TransitionManager,
@@ -57,7 +61,7 @@ from repro.core import (
 )
 from repro.database import DatabaseCluster
 from repro.errors import ProteusError
-from repro.net import MemcachedClient, MemcachedServer
+from repro.net import AsyncProteusFrontend, MemcachedClient, MemcachedServer
 from repro.provisioning import (
     DelayFeedbackController,
     ProvisioningActuator,
@@ -77,7 +81,7 @@ from repro.experiments import (
     simulate_hit_ratio,
     sweep_cache_sizes,
 )
-from repro.web import FetchPath, ReplicatedWebServer, WebServer
+from repro.web import ReplicatedWebServer, WebServer
 from repro.workload import (
     TraceRecord,
     UserPopulation,
@@ -91,6 +95,7 @@ from repro.workload import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "AsyncProteusFrontend",
     "BloomConfig",
     "BloomFilter",
     "CacheCluster",
@@ -106,6 +111,7 @@ __all__ = [
     "ExperimentConfig",
     "ExperimentReport",
     "FetchPath",
+    "FetchStats",
     "HashRing",
     "KeyValueStore",
     "MemcachedClient",
@@ -118,7 +124,9 @@ __all__ = [
     "ProvisioningActuator",
     "ProvisioningSchedule",
     "ReplicatedProteusRouter",
+    "ReplicatedRetrievalEngine",
     "ReplicatedWebServer",
+    "RetrievalEngine",
     "Router",
     "ScenarioSpec",
     "StaticRouter",

@@ -3,7 +3,9 @@
 Glue between :class:`~repro.cache.server.CacheServer` instances, a routing
 strategy, and the :class:`~repro.core.transition.TransitionManager`.  The
 provisioning actuator calls :meth:`scale_to`; web servers call
-:meth:`routing_epochs` and :meth:`server` on every request.
+:meth:`routing_epochs` — the epoch source for the sans-IO
+:class:`~repro.core.retrieval.RetrievalEngine` they drive — and
+:meth:`server` on every request.
 
 Power-state choreography for a scale-down ``n -> n-k`` (Section IV):
 
@@ -95,7 +97,12 @@ class CacheCluster:
         return self.servers[server_id]
 
     def routing_epochs(self, now: float) -> RoutingEpochs:
-        """What web servers need to route a request at time *now*."""
+        """What web servers need to route a request at time *now*.
+
+        This is the retrieval engine's epoch source: drivers pass the
+        returned :class:`~repro.core.transition.RoutingEpochs` straight to
+        :meth:`repro.core.retrieval.RetrievalEngine.retrieve`.
+        """
         return self.transitions.routing_counts(now)
 
     def powered_servers(self) -> List[int]:

@@ -15,6 +15,19 @@ from repro.core.placement import (
     theoretical_min_vnodes,
 )
 from repro.core.replication import ReplicatedProteusRouter, no_conflict_probability
+from repro.core.retrieval import (
+    CheckDigest,
+    FetchPath,
+    FetchStats,
+    LeaderWindowRegistry,
+    ProbeCache,
+    ReadDatabase,
+    ReplicatedRetrievalEngine,
+    RetrievalEngine,
+    RetrievalOutcome,
+    WaitForLeader,
+    WriteBack,
+)
 from repro.core.ring import HashRing, VirtualNode, prefix_active
 from repro.core.router import (
     DEFAULT_RING_SIZE,
@@ -34,19 +47,30 @@ from repro.core.transition import (
 )
 
 __all__ = [
+    "CheckDigest",
     "ConsistentRouter",
     "DEFAULT_RING_SIZE",
     "DEFAULT_TTL",
+    "FetchPath",
+    "FetchStats",
     "HashRing",
+    "LeaderWindowRegistry",
     "HostRange",
     "MigrationPlan",
     "NaiveRouter",
     "Placement",
+    "ProbeCache",
     "ProteusRouter",
+    "ReadDatabase",
     "ReplicatedProteusRouter",
+    "ReplicatedRetrievalEngine",
+    "RetrievalEngine",
+    "RetrievalOutcome",
     "Router",
     "RoutingEpochs",
     "StaticRouter",
+    "WaitForLeader",
+    "WriteBack",
     "Transition",
     "TransitionManager",
     "VirtualNode",

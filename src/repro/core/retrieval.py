@@ -1,0 +1,423 @@
+"""The sans-IO Algorithm-2 retrieval core (paper Section IV, "Date Retrieval").
+
+Algorithm 2 — route to the new owner, consult the old owner's digest on a
+miss during a transition, fall back to the database, write the value back —
+is pure *decision* logic.  What differs between execution substrates is only
+how each step is performed: the simulator charges latency-model samples
+against a virtual clock, the live tier awaits memcached round trips over
+TCP.  This module owns the decisions; drivers own the I/O.
+
+:class:`RetrievalEngine.retrieve` is a generator that *yields commands* —
+:class:`ProbeCache`, :class:`CheckDigest`, :class:`ReadDatabase`,
+:class:`WriteBack`, :class:`WaitForLeader` — and receives each command's
+result via ``send``.  A driver is a small loop::
+
+    steps = engine.retrieve(key, epochs)
+    result = None
+    try:
+        while True:
+            command = steps.send(result)
+            result = ...  # perform the I/O the command names
+    except StopIteration as stop:
+        outcome = stop.value  # RetrievalOutcome
+
+Because both the simulated web tier (:class:`repro.web.frontend.WebServer`)
+and the asyncio tier (:class:`repro.net.webtier.AsyncProteusFrontend`)
+drive this one engine, the branch structure of Algorithm 2 — and therefore
+the :class:`FetchPath` accounting — cannot drift between them.  The same
+holds for the Section III-E replica-failover read path, encoded by
+:class:`ReplicatedRetrievalEngine`.
+
+Epochs come in as :class:`~repro.core.transition.RoutingEpochs` — the
+simulator reads them from :meth:`repro.cache.cluster.CacheCluster.\
+routing_epochs`, the live tier from its own
+:class:`~repro.core.transition.TransitionManager` — so the engine never
+needs to know where transition state lives.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Generator, Optional, Union
+
+from repro.core.transition import RoutingEpochs
+from repro.errors import RoutingError
+
+__all__ = [
+    "CheckDigest",
+    "Command",
+    "FetchPath",
+    "FetchStats",
+    "LeaderWindowRegistry",
+    "ProbeCache",
+    "ReadDatabase",
+    "ReplicatedOutcome",
+    "ReplicatedRetrievalEngine",
+    "RetrievalEngine",
+    "RetrievalOutcome",
+    "SKIPPED",
+    "WaitForLeader",
+    "WriteBack",
+]
+
+
+# --------------------------------------------------------------------- paths
+
+
+class FetchPath(str, enum.Enum):
+    """Which branch of Algorithm 2 served the request.
+
+    A ``str`` mix-in so members compare and hash like their wire labels
+    (``FetchPath.HIT_NEW == "hit_new"``): simulator reports and live-tier
+    reports key their counters identically and stay directly comparable.
+    """
+
+    #: hit at the authoritative (new-mapping) server — Alg. 2 line 3.
+    HIT_NEW = "hit_new"
+    #: digest hit, data pulled from the old owner — Alg. 2 line 7 ("hot").
+    HIT_OLD = "hit_old"
+    #: digest said yes but the old server missed — false positive, went to DB.
+    FALSE_POSITIVE_DB = "false_positive_db"
+    #: digest said no (cold data) or no transition in flight — went to DB.
+    MISS_DB = "miss_db"
+    #: coalesced behind an in-flight DB fetch for the same key (dog-pile
+    #: protection, the paper's reference [12] scenario).
+    COALESCED = "coalesced"
+
+
+@dataclass
+class FetchStats:
+    """Per-path counters for one Algorithm-2 executor (web server)."""
+
+    counts: Dict[FetchPath, int] = field(
+        default_factory=lambda: {path: 0 for path in FetchPath}
+    )
+
+    def record(self, path: FetchPath) -> None:
+        self.counts[path] += 1
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    @property
+    def database_fraction(self) -> float:
+        """Fraction of requests that reached the DB tier."""
+        total = self.total
+        if total == 0:
+            return 0.0
+        db = (
+            self.counts[FetchPath.FALSE_POSITIVE_DB]
+            + self.counts[FetchPath.MISS_DB]
+        )
+        return db / total
+
+    def as_labels(self) -> Dict[str, int]:
+        """Counters keyed by wire label (for JSON reports)."""
+        return {path.value: count for path, count in self.counts.items()}
+
+
+# ------------------------------------------------------------------ commands
+
+
+@dataclass(frozen=True)
+class ProbeCache:
+    """``get`` the key from cache server *server_id*.
+
+    Driver answer: the value, ``None`` on a miss, or :data:`SKIPPED` when
+    the server is not serving requests (replicated reads only — the
+    unreplicated path never probes a dead server).
+    """
+
+    server_id: int
+
+
+@dataclass(frozen=True)
+class CheckDigest:
+    """Consult the broadcast digest of old owner *server_id* for the key.
+
+    Driver answer: ``bool`` — membership according to the digest, ``False``
+    when no digest was broadcast for that server (the safe fallback: skip
+    the old owner, go to the database).
+    """
+
+    server_id: int
+
+
+@dataclass(frozen=True)
+class WaitForLeader:
+    """If another request's DB fetch for this key is in flight, wait for it.
+
+    Driver answer: ``True`` when a leader existed and the wait completed
+    (the engine then re-probes the new owner), ``False`` when there was no
+    leader or its window already closed (the engine reads the DB itself).
+    """
+
+
+@dataclass(frozen=True)
+class ReadDatabase:
+    """Read the key from the authoritative store (never misses).
+
+    Driver answer: the value.  When ``announce_leader`` is set the driver
+    must also publish this request as the key's in-flight leader so that
+    concurrent misses can coalesce behind it (see :class:`WaitForLeader`).
+    """
+
+    announce_leader: bool = False
+
+
+@dataclass(frozen=True)
+class WriteBack:
+    """Install *value* at cache server *server_id* (Alg. 2 line 12).
+
+    Driver answer: ignored.  Replicated drivers silently skip write-backs
+    to servers that are not serving requests.
+    """
+
+    server_id: int
+    value: Any
+
+
+Command = Union[ProbeCache, CheckDigest, WaitForLeader, ReadDatabase, WriteBack]
+
+#: Driver answer to :class:`ProbeCache` meaning "server not serving; probe
+#: did not happen" — distinct from ``None`` (a real miss).
+SKIPPED = object()
+
+
+# ------------------------------------------------------------------ outcomes
+
+
+@dataclass
+class RetrievalOutcome:
+    """Decision summary of one Algorithm-2 retrieval (no timing — the
+    driver owns clocks and wraps this in its own result type)."""
+
+    key: str
+    value: Any
+    path: FetchPath
+    new_server: int
+    old_server: Optional[int] = None
+
+    @property
+    def touched_database(self) -> bool:
+        return self.path in (FetchPath.FALSE_POSITIVE_DB, FetchPath.MISS_DB)
+
+
+@dataclass
+class ReplicatedOutcome:
+    """Decision summary of one replicated (Section III-E) retrieval."""
+
+    key: str
+    value: Any
+    #: replica owner that answered, or None if the DB did
+    served_by: Optional[int]
+    #: how many replica owners were actually probed before an answer
+    probes: int
+    touched_database: bool
+    #: True when a non-primary replica covered for the ring-0 owner
+    failover: bool
+
+
+# ------------------------------------------------------------------- engines
+
+
+class RetrievalEngine:
+    """Algorithm 2 as a transport-agnostic state machine.
+
+    Args:
+        router: the deterministic routing strategy shared by every web
+            server (the consistency objective: same router, same decisions).
+        coalesce_misses: dog-pile protection — while a DB fetch for a key is
+            in flight, later misses for the same key wait for it instead of
+            issuing duplicate DB reads (the "memcache dog pile" the paper's
+            introduction cites).  Off by default: the paper's evaluation
+            runs without it, and the Fig. 9 spike depends on the dog pile
+            being possible.
+        stats: per-path counters; a fresh :class:`FetchStats` by default.
+    """
+
+    def __init__(
+        self,
+        router,
+        coalesce_misses: bool = False,
+        stats: Optional[FetchStats] = None,
+    ) -> None:
+        self.router = router
+        self.coalesce_misses = coalesce_misses
+        self.stats = stats if stats is not None else FetchStats()
+
+    def retrieve(
+        self, key: str, epochs: RoutingEpochs
+    ) -> Generator[Command, Any, RetrievalOutcome]:
+        """Yield the I/O commands that retrieve *key* under *epochs*.
+
+        The data path (paper Algorithm 2):
+
+        1. probe the *new* mapping's owner; return on hit.
+        2. On a miss *during a transition*, check the *old* owner's
+           broadcast digest.  On a digest hit, probe the old server (the
+           key is "hot" there); a miss here is a digest false positive.
+        3. Still nothing: wait behind an in-flight leader if coalescing,
+           else read the database.
+        4. Write the value into the new owner and return it.
+
+        Property 1 (Section IV-A): only the *first* request for a hot key
+        touches the old server; the write-back in step 4 makes every
+        subsequent request a step-1 hit.  Property 2: after TTL seconds
+        every hot key has migrated, so the old server can power off.
+        """
+        new_id = self.router.route(key, epochs.new)
+        value = yield ProbeCache(new_id)
+        if value is not None:
+            return self._finish(key, value, FetchPath.HIT_NEW, new_id, None)
+
+        old_id: Optional[int] = None
+        path = FetchPath.MISS_DB
+        if epochs.in_transition:
+            old_id = self.router.route(key, epochs.old)
+            if old_id != new_id and (yield CheckDigest(old_id)):
+                value = yield ProbeCache(old_id)
+                if value is not None:
+                    yield WriteBack(new_id, value)
+                    return self._finish(
+                        key, value, FetchPath.HIT_OLD, new_id, old_id
+                    )
+                path = FetchPath.FALSE_POSITIVE_DB
+
+        if self.coalesce_misses and (yield WaitForLeader()):
+            # The leader's write-back has installed the value at the new
+            # owner: one more cache probe instead of a DB read.  No
+            # write-back of our own — rewriting would push the item's
+            # creation time past later coalescing followers.
+            value = yield ProbeCache(new_id)
+            if value is not None:
+                return self._finish(
+                    key, value, FetchPath.COALESCED, new_id, old_id
+                )
+
+        value = yield ReadDatabase(announce_leader=self.coalesce_misses)
+        yield WriteBack(new_id, value)
+        return self._finish(key, value, path, new_id, old_id)
+
+    def _finish(
+        self,
+        key: str,
+        value: Any,
+        path: FetchPath,
+        new_server: int,
+        old_server: Optional[int],
+    ) -> RetrievalOutcome:
+        self.stats.record(path)
+        return RetrievalOutcome(
+            key=key, value=value, path=path,
+            new_server=new_server, old_server=old_server,
+        )
+
+
+class ReplicatedRetrievalEngine:
+    """Section III-E replica reads with failover, as engine commands.
+
+    Reads try the replica owners in ring order, skipping servers the
+    cluster marked failed (excluded from routing) and servers the driver
+    reports as not serving (answered :data:`SKIPPED`); only if every live
+    replica misses does the request reach the database, after which every
+    live replica owner is repopulated.
+
+    The old-owner digest path of Algorithm 2 applies per ring; for clarity
+    and because replication already covers the miss, this engine falls back
+    to the database for keys whose *every* replica moved — strictly more
+    conservative than the unreplicated fast path.
+    """
+
+    def __init__(self, router) -> None:
+        self.router = router
+        #: reads answered by a non-primary replica (failover events)
+        self.failovers = 0
+        #: reads that reached the database
+        self.database_reads = 0
+
+    def retrieve(
+        self,
+        key: str,
+        epochs: RoutingEpochs,
+        failed: FrozenSet[int] = frozenset(),
+    ) -> Generator[Command, Any, ReplicatedOutcome]:
+        """Yield the commands that read *key* from the first live replica."""
+        try:
+            targets = self.router.read_targets(key, epochs.new, exclude=failed)
+        except RoutingError:
+            targets = []  # every replica crashed: only the DB can answer
+        primary = self.router.route(key, epochs.new)
+        value: Any = None
+        served_by: Optional[int] = None
+        probes = 0
+        for target in targets:
+            result = yield ProbeCache(target)
+            if result is SKIPPED:
+                continue
+            probes += 1
+            if result is not None:
+                value = result
+                served_by = target
+                if target != primary:
+                    # The ring-0 owner did not answer (crashed or missed):
+                    # a replica covered for it.
+                    self.failovers += 1
+                break
+        touched_db = value is None
+        if touched_db:
+            value = yield ReadDatabase()
+            self.database_reads += 1
+        # Repopulate every live replica owner that missed (write-through).
+        for target in targets:
+            if target != served_by:
+                yield WriteBack(target, value)
+        return ReplicatedOutcome(
+            key=key, value=value, served_by=served_by, probes=probes,
+            touched_database=touched_db,
+            failover=served_by is not None and served_by != primary,
+        )
+
+
+# ------------------------------------------------------- coalescing windows
+
+
+class LeaderWindowRegistry:
+    """Simulated-time bookkeeping for :class:`WaitForLeader`.
+
+    Maps key -> completion time of the in-flight leader's DB fetch plus its
+    write-back.  A follower whose clock is still inside the window jumps to
+    its end; anything later is a plain miss.  (The asyncio driver uses
+    futures instead — this registry is for drivers that measure time with a
+    virtual clock.)
+    """
+
+    def __init__(self, max_entries: int = 4096) -> None:
+        self.max_entries = max_entries
+        self._windows: Dict[str, float] = {}
+
+    def __len__(self) -> int:
+        return len(self._windows)
+
+    def leader_done(self, key: str, now: float) -> Optional[float]:
+        """The open window's end for *key*, or ``None`` if closed/absent."""
+        done = self._windows.get(key)
+        if done is None or now >= done:
+            return None
+        return done
+
+    def announce(self, key: str, done_at: float, now: float) -> None:
+        """Publish a leader window for *key* closing at *done_at*.
+
+        Prunes against the *current* clock ``now`` — not the request's
+        start time — so a window that closed while this request was in
+        flight does not survive an extra pass.
+        """
+        self._windows[key] = done_at
+        if len(self._windows) > self.max_entries:
+            # The map stays bounded by the concurrent-miss key count.
+            self._windows = {
+                k: t for k, t in self._windows.items() if t > now
+            }

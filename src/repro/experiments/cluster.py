@@ -34,7 +34,8 @@ from repro.provisioning.policies import ProvisioningSchedule, static_schedule
 from repro.sim.events import EventLoop
 from repro.sim.latency import Constant, Exponential
 from repro.sim.metrics import SlottedRecorder, TimeSeries
-from repro.web.frontend import FetchPath, WebServer
+from repro.core.retrieval import FetchPath
+from repro.web.frontend import WebServer
 from repro.workload.synthetic import SyntheticUser, UserPopulation
 
 
@@ -121,6 +122,10 @@ class ExperimentConfig:
     #: install a BackgroundMigrator on every smooth transition (the
     #: push-assisted extension; only affects the Proteus scenario).
     push_migration: bool = False
+    #: dog-pile coalescing on every web server (the retrieval engine's
+    #: miss-storm protection; off in the paper's evaluation — the Fig. 9
+    #: spike depends on the dog pile being possible).
+    coalesce_misses: bool = False
 
     def __post_init__(self) -> None:
         if len(self.users_per_slot) != self.schedule.num_slots:
@@ -268,6 +273,7 @@ class ClusterExperiment:
                 cache_latency=Constant(cfg.cache_op_latency),
                 web_overhead=Constant(cfg.web_overhead),
                 seed=cfg.seed,
+                coalesce_misses=cfg.coalesce_misses,
             )
             for i in range(cfg.num_web_servers)
         ]

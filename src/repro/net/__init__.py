@@ -9,11 +9,10 @@ from repro.net.protocol import (
     validate_key,
 )
 from repro.net.server import MemcachedServer
-from repro.net.webtier import AsyncProteusFrontend, AsyncTransition
+from repro.net.webtier import AsyncProteusFrontend
 
 __all__ = [
     "AsyncProteusFrontend",
-    "AsyncTransition",
     "CasValue",
     "KEY_FETCH_DIGEST",
     "KEY_SNAPSHOT",

@@ -1,54 +1,54 @@
-"""An asyncio web tier running Algorithm 2 against live memcached servers.
+"""An asyncio web tier driving Algorithm 2 against live memcached servers.
 
 Completes the runnable substrate: where :mod:`repro.web.frontend` executes
-the paper's retrieval logic inside the simulator,
-:class:`AsyncProteusFrontend` executes it over real TCP against
+the retrieval engine inside the simulator, :class:`AsyncProteusFrontend`
+executes the *same* engine — the sans-IO
+:class:`~repro.core.retrieval.RetrievalEngine` — over real TCP against
 :class:`~repro.net.server.MemcachedServer` (or stock memcached, for the
 standard commands) endpoints:
 
 * routing by the deterministic Proteus placement;
 * smooth scale-down/up: ``get SET_BLOOM_FILTER`` + ``get BLOOM_FILTER`` on
   every old owner (the digest broadcast, over the wire), then Algorithm 2
-  per request until the TTL deadline passes;
+  per request until the TTL deadline passes — tracked by the same
+  :class:`~repro.core.transition.TransitionManager` the simulator uses;
+* dog-pile coalescing (``coalesce_misses=True``): concurrent misses for one
+  key await the leader's DB fetch on an :class:`asyncio.Future` instead of
+  issuing duplicate reads;
 * the backing database is an async callable, so tests plug in a dict and a
   deployment plugs in a real pool.
 
-One frontend instance is single-tasked per connection (like one servlet
-thread with its pooled connections); run several instances for concurrency.
+Per-endpoint locks serialize protocol exchanges on each connection, so one
+frontend may serve concurrent ``fetch`` tasks (required for coalescing to
+ever trigger); run several instances to scale beyond one connection per
+cache server.
 """
 
 from __future__ import annotations
 
+import asyncio
 import time
 from typing import Awaitable, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.bloom.bloom import BloomFilter
 from repro.bloom.config import BloomConfig
+from repro.core.retrieval import (
+    CheckDigest,
+    FetchPath,
+    FetchStats,
+    ProbeCache,
+    ReadDatabase,
+    RetrievalEngine,
+    WaitForLeader,
+    WriteBack,
+)
 from repro.core.router import ProteusRouter
+from repro.core.transition import Transition, TransitionManager
 from repro.errors import ConfigurationError, TransitionError
 from repro.net.client import MemcachedClient
 
 #: async database fetch: key -> value bytes (authoritative, never misses)
 DatabaseFetch = Callable[[str], Awaitable[bytes]]
-
-
-class AsyncTransition:
-    """The live-cluster analogue of :class:`repro.core.transition.Transition`."""
-
-    def __init__(
-        self,
-        n_old: int,
-        n_new: int,
-        deadline: float,
-        digests: Dict[int, BloomFilter],
-    ) -> None:
-        self.n_old = n_old
-        self.n_new = n_new
-        self.deadline = deadline
-        self.digests = digests
-
-    def expired(self, now: float) -> bool:
-        return now >= self.deadline
 
 
 class AsyncProteusFrontend:
@@ -61,6 +61,8 @@ class AsyncProteusFrontend:
         database: async authoritative fetch.
         initial_active: ``n(0)``.
         clock: time source for TTL deadlines (injectable in tests).
+        coalesce_misses: dog-pile protection (see
+            :class:`~repro.core.retrieval.RetrievalEngine`).
     """
 
     def __init__(
@@ -70,6 +72,7 @@ class AsyncProteusFrontend:
         database: DatabaseFetch,
         initial_active: Optional[int] = None,
         clock: Callable[[], float] = time.monotonic,
+        coalesce_misses: bool = False,
     ) -> None:
         if not endpoints:
             raise ConfigurationError("need at least one cache endpoint")
@@ -77,20 +80,37 @@ class AsyncProteusFrontend:
         self.bloom_config = bloom_config
         self.database = database
         self.router = ProteusRouter(len(self.endpoints))
+        self.engine = RetrievalEngine(self.router, coalesce_misses=coalesce_misses)
         self._clock = clock
         self._clients: List[Optional[MemcachedClient]] = [None] * len(endpoints)
-        self.n_active = (
-            len(self.endpoints) if initial_active is None else initial_active
-        )
-        if not 1 <= self.n_active <= len(self.endpoints):
-            raise ConfigurationError(
-                f"initial_active out of range: {self.n_active}"
-            )
-        self._transition: Optional[AsyncTransition] = None
-        #: per-path counters, same labels as the simulator's FetchPath
-        self.stats: Dict[str, int] = {
-            "hit_new": 0, "hit_old": 0, "false_positive_db": 0, "miss_db": 0,
-        }
+        self._locks = [asyncio.Lock() for _ in endpoints]
+        active = len(self.endpoints) if initial_active is None else initial_active
+        if not 1 <= active <= len(self.endpoints):
+            raise ConfigurationError(f"initial_active out of range: {active}")
+        self._manager = TransitionManager(active)
+        #: key -> future resolved when the leader's write-back lands
+        self._inflight: Dict[str, asyncio.Future] = {}
+
+    # ------------------------------------------------------------- facade
+
+    @property
+    def n_active(self) -> int:
+        """The committed active count (the new mapping's ``n``)."""
+        return self._manager.active_count
+
+    @property
+    def stats(self) -> FetchStats:
+        """Per-path counters (owned by the engine), same
+        :class:`FetchPath` keys as the simulator's."""
+        return self.engine.stats
+
+    @property
+    def coalesce_misses(self) -> bool:
+        return self.engine.coalesce_misses
+
+    @coalesce_misses.setter
+    def coalesce_misses(self, enabled: bool) -> None:
+        self.engine.coalesce_misses = enabled
 
     # ----------------------------------------------------------- lifecycle
 
@@ -121,14 +141,22 @@ class AsyncProteusFrontend:
             )
         return client
 
+    async def _get(self, server_id: int, key: str) -> Optional[bytes]:
+        client = self._client(server_id)
+        async with self._locks[server_id]:
+            return await client.get(key)
+
+    async def _set(self, server_id: int, key: str, value: bytes) -> None:
+        client = self._client(server_id)
+        async with self._locks[server_id]:
+            await client.set(key, value)
+
     # ----------------------------------------------------------- transitions
 
-    def _current_transition(self) -> Optional[AsyncTransition]:
-        if self._transition is not None and self._transition.expired(self._clock()):
-            self._transition = None
-        return self._transition
+    def _current_transition(self) -> Optional[Transition]:
+        return self._manager.current(self._clock())
 
-    async def scale_to(self, n_new: int, ttl: float) -> AsyncTransition:
+    async def scale_to(self, n_new: int, ttl: float) -> Transition:
         """Begin a smooth transition: broadcast digests, flip routing.
 
         The caller is responsible for actually powering servers up/down at
@@ -137,7 +165,8 @@ class AsyncProteusFrontend:
         """
         if not 1 <= n_new <= len(self.endpoints):
             raise TransitionError(f"n_new out of range: {n_new}")
-        if self._current_transition() is not None:
+        now = self._clock()
+        if self._manager.in_transition(now):
             raise TransitionError("previous drain window still open")
         if n_new == self.n_active:
             raise TransitionError("already at the requested size")
@@ -145,45 +174,68 @@ class AsyncProteusFrontend:
         digests: Dict[int, BloomFilter] = {}
         for server_id in range(n_old):
             client = self._client(server_id)
-            await client.snapshot_digest()
-            digests[server_id] = await client.fetch_digest(
-                self.bloom_config.num_counters, self.bloom_config.num_hashes
-            )
-        transition = AsyncTransition(
-            n_old=n_old, n_new=n_new,
-            deadline=self._clock() + ttl, digests=digests,
-        )
-        self._transition = transition
-        self.n_active = n_new
-        return transition
+            async with self._locks[server_id]:
+                await client.snapshot_digest()
+                digests[server_id] = await client.fetch_digest(
+                    self.bloom_config.num_counters, self.bloom_config.num_hashes
+                )
+        self._manager.ttl = ttl
+        return self._manager.begin(n_new, now, digests=digests)
 
     # ------------------------------------------------------------ Algorithm 2
 
-    async def fetch(self, key: str) -> Tuple[bytes, str]:
-        """Retrieve *key*; returns ``(value, path)`` with simulator-compatible
-        path labels."""
-        transition = self._current_transition()
-        new_id = self.router.route(key, self.n_active)
-        new_client = self._client(new_id)
-        value = await new_client.get(key)
-        if value is not None:
-            self.stats["hit_new"] += 1
-            return value, "hit_new"
+    async def fetch(self, key: str) -> Tuple[bytes, FetchPath]:
+        """Retrieve *key*; returns ``(value, path)``.
 
-        path = "miss_db"
-        if transition is not None:
-            old_id = self.router.route(key, transition.n_old)
-            digest = transition.digests.get(old_id)
-            if old_id != new_id and digest is not None and digest.contains(key):
-                value = await self._client(old_id).get(key)
-                path = "hit_old" if value is not None else "false_positive_db"
-
-        if value is None:
-            value = await self.database(key)
-        await new_client.set(key, value)
-        self.stats[path] += 1
-        return value, path
+        ``path`` is a :class:`~repro.core.retrieval.FetchPath` — a ``str``
+        subclass, so comparisons against the wire labels (``"hit_new"``,
+        ...) keep working.
+        """
+        epochs = self._manager.routing_counts(self._clock())
+        steps = self.engine.retrieve(key, epochs)
+        result = None
+        leader: Optional[asyncio.Future] = None
+        try:
+            while True:
+                command = steps.send(result)
+                if isinstance(command, ProbeCache):
+                    result = await self._get(command.server_id, key)
+                elif isinstance(command, CheckDigest):
+                    transition = epochs.transition
+                    result = transition is not None and transition.digest_hit(
+                        command.server_id, key
+                    )
+                elif isinstance(command, WaitForLeader):
+                    pending = self._inflight.get(key)
+                    if pending is None:
+                        result = False
+                    else:
+                        await asyncio.shield(pending)
+                        result = True
+                elif isinstance(command, ReadDatabase):
+                    if command.announce_leader and key not in self._inflight:
+                        leader = asyncio.get_running_loop().create_future()
+                        self._inflight[key] = leader
+                    result = await self.database(key)
+                elif isinstance(command, WriteBack):
+                    await self._set(command.server_id, key, command.value)
+                    result = None
+                else:  # pragma: no cover - exhaustive over Command
+                    raise ConfigurationError(
+                        f"unknown engine command: {command!r}"
+                    )
+        except StopIteration as stop:
+            outcome = stop.value
+        finally:
+            if leader is not None:
+                # Resolve only after the write-back landed (or the fetch
+                # failed), so followers re-probing the new owner find it.
+                if self._inflight.get(key) is leader:
+                    del self._inflight[key]
+                if not leader.done():
+                    leader.set_result(None)
+        return outcome.value, outcome.path
 
     async def put(self, key: str, value: bytes) -> None:
         """Write-through to the authoritative owner under the new mapping."""
-        await self._client(self.router.route(key, self.n_active)).set(key, value)
+        await self._set(self.router.route(key, self.n_active), key, value)

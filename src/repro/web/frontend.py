@@ -1,34 +1,42 @@
-"""The web-server tier — Algorithm 2 ("Date Retrieval") lives here.
+"""The simulated web-server tier: a latency-model driver for Algorithm 2.
 
-A :class:`WebServer` owns no cluster state: it routes with the shared
-deterministic router, consults the shared transition epoch, and talks to the
-cache and database tiers.  Any number of web servers can therefore run the
-same logic and agree on every decision — the paper's consistency objective.
+The retrieval *decisions* — routing against old/new epochs, digest
+consultation, false-positive classification, dog-pile coalescing,
+:class:`~repro.core.retrieval.FetchPath` accounting — live in the sans-IO
+:class:`~repro.core.retrieval.RetrievalEngine`.  A :class:`WebServer` only
+executes the engine's commands against the simulated substrate: it charges
+latency-model samples and connection-pool costs to a virtual clock and
+performs the cache/database calls the commands name.
 
-The data path for one request (paper Algorithm 2):
-
-1. ``get`` from the *new* mapping's server ``s_{m^d_{t+1}}``; return on hit.
-2. On miss *during a transition*, check the *old* owner's broadcast digest.
-   On a digest hit, ``get`` from the old server (it is "hot" there); a
-   ``None`` here is a digest false positive.
-3. Still nothing: read the database (the DB never learns a transition is
-   happening unless the digest missed or lied).
-4. Write the value into the new server and return it.
-
-Property 1 (Section IV-A): only the *first* request for a hot key touches
-the old server; the write-back in step 4 makes every subsequent request a
-step-1 hit.  Property 2: after TTL seconds every hot key has migrated, so
-the old server can power off safely.
+A web server owns no cluster state: it routes with the shared deterministic
+router and consults the shared transition epoch
+(:meth:`~repro.cache.cluster.CacheCluster.routing_epochs`), so any number
+of web servers run the same logic and agree on every decision — the
+paper's consistency objective.  The asyncio tier
+(:class:`repro.net.webtier.AsyncProteusFrontend`) drives the *same* engine
+over live TCP.
 """
 
 from __future__ import annotations
 
-import enum
 import random
-from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
 
 from repro.cache.cluster import CacheCluster
+from repro.core.retrieval import (
+    CheckDigest,
+    Command,
+    FetchPath,
+    FetchStats,
+    LeaderWindowRegistry,
+    ProbeCache,
+    ReadDatabase,
+    RetrievalEngine,
+    WaitForLeader,
+    WriteBack,
+)
+from repro.core.transition import RoutingEpochs
 from repro.database.cluster import DatabaseCluster
 from repro.errors import ConfigurationError
 from repro.sim.latency import Constant, LatencyModel
@@ -38,22 +46,6 @@ from repro.web.pool import PoolRegistry
 DEFAULT_CACHE_OP_LATENCY = 0.001
 #: Default servlet CPU overhead per request.
 DEFAULT_WEB_OVERHEAD = 0.002
-
-
-class FetchPath(enum.Enum):
-    """Which branch of Algorithm 2 served the request."""
-
-    #: hit at the authoritative (new-mapping) server — Alg. 2 line 3.
-    HIT_NEW = "hit_new"
-    #: digest hit, data pulled from the old owner — Alg. 2 line 7 ("hot").
-    HIT_OLD = "hit_old"
-    #: digest said yes but the old server missed — false positive, went to DB.
-    FALSE_POSITIVE_DB = "false_positive_db"
-    #: digest said no (cold data) or no transition in flight — went to DB.
-    MISS_DB = "miss_db"
-    #: coalesced behind an in-flight DB fetch for the same key (dog-pile
-    #: protection, the paper's reference [12] scenario).
-    COALESCED = "coalesced"
 
 
 @dataclass
@@ -78,36 +70,8 @@ class FetchResult:
         return self.path in (FetchPath.FALSE_POSITIVE_DB, FetchPath.MISS_DB)
 
 
-@dataclass
-class FetchStats:
-    """Per-path counters for one web server."""
-
-    counts: Dict[FetchPath, int] = field(
-        default_factory=lambda: {path: 0 for path in FetchPath}
-    )
-
-    def record(self, path: FetchPath) -> None:
-        self.counts[path] += 1
-
-    @property
-    def total(self) -> int:
-        return sum(self.counts.values())
-
-    @property
-    def database_fraction(self) -> float:
-        """Fraction of requests that reached the DB tier."""
-        total = self.total
-        if total == 0:
-            return 0.0
-        db = (
-            self.counts[FetchPath.FALSE_POSITIVE_DB]
-            + self.counts[FetchPath.MISS_DB]
-        )
-        return db / total
-
-
 class WebServer:
-    """One servlet container executing Algorithm 2.
+    """One servlet container driving the shared retrieval engine.
 
     Args:
         server_id: id within the web tier (diagnostics only).
@@ -117,12 +81,9 @@ class WebServer:
         web_overhead: per-request servlet processing model.
         pools: connection-pool registry (accounting; singleton per backend).
         seed: RNG seed for latency sampling.
-        coalesce_misses: dog-pile protection — while a DB fetch for a key is
-            in flight, later misses for the same key wait for it instead of
-            issuing duplicate DB reads (the "memcache dog pile" the paper's
-            introduction cites).  Off by default: the paper's evaluation
-            runs without it, and the Fig. 9 spike depends on the dog pile
-            being possible.
+        coalesce_misses: dog-pile protection (see
+            :class:`~repro.core.retrieval.RetrievalEngine`); off by default
+            as in the paper's evaluation.
     """
 
     def __init__(
@@ -144,11 +105,25 @@ class WebServer:
         self.cache_latency = cache_latency or Constant(DEFAULT_CACHE_OP_LATENCY)
         self.web_overhead = web_overhead or Constant(DEFAULT_WEB_OVERHEAD)
         self.pools = pools or PoolRegistry()
-        self.stats = FetchStats()
+        self.engine = RetrievalEngine(cache.router, coalesce_misses=coalesce_misses)
         self._rng = random.Random((seed << 16) ^ server_id)
-        self.coalesce_misses = coalesce_misses
-        #: key -> completion time of the in-flight DB fetch (leader request)
-        self._inflight: Dict[str, float] = {}
+        #: in-flight DB-fetch windows for dog-pile coalescing
+        self._leaders = LeaderWindowRegistry()
+
+    # ------------------------------------------------------------- facade
+
+    @property
+    def stats(self) -> FetchStats:
+        """Per-path counters (owned by the engine)."""
+        return self.engine.stats
+
+    @property
+    def coalesce_misses(self) -> bool:
+        return self.engine.coalesce_misses
+
+    @coalesce_misses.setter
+    def coalesce_misses(self, enabled: bool) -> None:
+        self.engine.coalesce_misses = enabled
 
     # ------------------------------------------------------------- helpers
 
@@ -161,83 +136,59 @@ class WebServer:
     def fetch(self, key: str, now: float) -> FetchResult:
         """Retrieve *key*, migrating it on demand if a transition is live."""
         epochs = self.cache.routing_epochs(now)
-        new_id = self.cache.router.route(key, epochs.new)
-        pool = self.pools.pool(f"cache:{new_id}")
-        clock = now + self.web_overhead.sample(self._rng) + pool.acquire()
-
-        new_server = self.cache.server(new_id)
-        clock = self._cache_op(clock)
-        value = new_server.get(key, clock)
-        pool.release()
-        if value is not None:
-            self.stats.record(FetchPath.HIT_NEW)
-            return FetchResult(
-                key=key, value=value, path=FetchPath.HIT_NEW,
-                started=now, completed=clock, new_server=new_id,
-            )
-
-        old_id: Optional[int] = None
-        path = FetchPath.MISS_DB
-        if epochs.in_transition:
-            old_id = self.cache.router.route(key, epochs.old)
-            transition = epochs.transition
-            if old_id != new_id and transition.digest_hit(old_id, key):
-                old_pool = self.pools.pool(f"cache:{old_id}")
-                clock += old_pool.acquire()
-                clock = self._cache_op(clock)
-                value = self.cache.server(old_id).get(key, clock)
-                old_pool.release()
-                path = (
-                    FetchPath.HIT_OLD
-                    if value is not None
-                    else FetchPath.FALSE_POSITIVE_DB
-                )
-
-        if value is None:
-            leader_done = self._inflight.get(key)
-            if (
-                self.coalesce_misses
-                and leader_done is not None
-                and clock < leader_done
-            ):
-                # Dog-pile protection: wait for the leader's fetch, then the
-                # value is already installed at the new owner by its
-                # write-back — one more cache get instead of a DB read.
-                clock = leader_done
-                clock = self._cache_op(clock)
-                value = new_server.get(key, clock)
-                if value is not None:
-                    path = FetchPath.COALESCED
-                    # The value was just read from the new owner; no
-                    # write-back needed (and rewriting would push the item's
-                    # creation time past later coalescing followers).
-                    self.stats.record(path)
-                    return FetchResult(
-                        key=key, value=value, path=path, started=now,
-                        completed=clock, new_server=new_id, old_server=old_id,
-                    )
-            if value is None:
-                db_pool = self.pools.pool("database")
-                clock += db_pool.acquire()
-                response = self.database.get(key, clock)
-                db_pool.release()
-                clock = response.completion_time
-                value = response.value
-                if self.coalesce_misses:
-                    # Followers arriving before clock+one write-back coalesce.
-                    self._inflight[key] = clock + 2 * self.cache_latency.mean
-                    if len(self._inflight) > 4096:
-                        # Prune entries whose window has passed; the map
-                        # stays bounded by the concurrent-miss key count.
-                        self._inflight = {
-                            k: t for k, t in self._inflight.items() if t > now
-                        }
-
-        # Alg. 2 line 12: install into the new owner so later requests hit.
-        clock = self._cache_op(clock)
-        new_server.set(key, value, now=clock)
-        self.stats.record(path)
+        clock = now + self.web_overhead.sample(self._rng)
+        steps = self.engine.retrieve(key, epochs)
+        result: Any = None
+        try:
+            while True:
+                command = steps.send(result)
+                result, clock = self._execute(command, key, epochs, clock)
+        except StopIteration as stop:
+            outcome = stop.value
         return FetchResult(
-            key=key, value=value, path=path, started=now, completed=clock,
-            new_server=new_id, old_server=old_id,
+            key=key, value=outcome.value, path=outcome.path,
+            started=now, completed=clock,
+            new_server=outcome.new_server, old_server=outcome.old_server,
         )
+
+    def _execute(
+        self, command: Command, key: str, epochs: RoutingEpochs, clock: float
+    ) -> Tuple[Any, float]:
+        """Perform one engine command; returns (answer, advanced clock)."""
+        if isinstance(command, ProbeCache):
+            pool = self.pools.pool(f"cache:{command.server_id}")
+            clock += pool.acquire()
+            clock = self._cache_op(clock)
+            value = self.cache.server(command.server_id).get(key, clock)
+            pool.release()
+            return value, clock
+        if isinstance(command, CheckDigest):
+            transition = epochs.transition
+            hit = transition is not None and transition.digest_hit(
+                command.server_id, key
+            )
+            return hit, clock
+        if isinstance(command, WaitForLeader):
+            leader_done = self._leaders.leader_done(key, clock)
+            if leader_done is None:
+                return False, clock
+            return True, leader_done
+        if isinstance(command, ReadDatabase):
+            db_pool = self.pools.pool("database")
+            clock += db_pool.acquire()
+            response = self.database.get(key, clock)
+            db_pool.release()
+            clock = response.completion_time
+            if command.announce_leader:
+                # Followers arriving before the write-back lands coalesce.
+                self._leaders.announce(
+                    key, clock + 2 * self.cache_latency.mean, now=clock
+                )
+            return response.value, clock
+        if isinstance(command, WriteBack):
+            clock = self._cache_op(clock)
+            self.cache.server(command.server_id).set(
+                key, command.value, now=clock
+            )
+            return None, clock
+        raise ConfigurationError(f"unknown engine command: {command!r}")

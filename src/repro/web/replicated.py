@@ -3,8 +3,12 @@
 The paper keeps ``r`` copies of each ``(key, data)`` pair via ``r``
 consistent-hashing rings that share one virtual-node placement, so that a
 crashed cache server does not turn every one of its keys into a database
-read.  :class:`ReplicatedWebServer` is the read/write path on top of a
-:class:`~repro.core.replication.ReplicatedProteusRouter`:
+read.  The read/write *decisions* — which replicas to probe, when a read
+counts as a failover, which owners to repopulate — live in the sans-IO
+:class:`~repro.core.retrieval.ReplicatedRetrievalEngine`;
+:class:`ReplicatedWebServer` executes its commands against the simulated
+substrate, exactly as :class:`~repro.web.frontend.WebServer` does for the
+unreplicated Algorithm 2:
 
 * **writes** go to every *distinct* replica owner (conflict probability per
   Eq. 3 is small, so usually ``r`` servers);
@@ -15,11 +19,7 @@ read.  :class:`ReplicatedWebServer` is the read/write path on top of a
 
 Transitions compose: the active count used for routing comes from the
 shared :class:`~repro.core.transition.TransitionManager`, so provisioning
-changes re-balance every ring identically (they share the placement).  The
-old-owner digest path of Algorithm 2 applies per ring; for clarity and
-because replication already covers the miss, this implementation falls back
-to the database for keys whose *every* replica moved — a strictly more
-conservative behaviour than the unreplicated fast path.
+changes re-balance every ring identically (they share the placement).
 """
 
 from __future__ import annotations
@@ -30,6 +30,13 @@ from typing import Any, List, Optional
 
 from repro.cache.cluster import CacheCluster
 from repro.core.replication import ReplicatedProteusRouter
+from repro.core.retrieval import (
+    ProbeCache,
+    ReadDatabase,
+    ReplicatedRetrievalEngine,
+    SKIPPED,
+    WriteBack,
+)
 from repro.database.cluster import DatabaseCluster
 from repro.errors import ConfigurationError, RoutingError
 from repro.sim.latency import Constant, LatencyModel
@@ -78,11 +85,20 @@ class ReplicatedWebServer:
         self.database = database
         self.cache_latency = cache_latency or Constant(DEFAULT_CACHE_OP_LATENCY)
         self.web_overhead = web_overhead or Constant(DEFAULT_WEB_OVERHEAD)
+        self.engine = ReplicatedRetrievalEngine(cache.router)
         self._rng = random.Random((seed << 12) ^ server_id)
-        #: reads answered by a non-primary replica (failover events)
-        self.failovers = 0
-        #: reads that reached the database
-        self.database_reads = 0
+
+    # ------------------------------------------------------------- facade
+
+    @property
+    def failovers(self) -> int:
+        """Reads answered by a non-primary replica (failover events)."""
+        return self.engine.failovers
+
+    @property
+    def database_reads(self) -> int:
+        """Reads that reached the database."""
+        return self.engine.database_reads
 
     def _live_targets(self, key: str, num_active: int) -> List[int]:
         failed = self.cache.failed_servers()
@@ -95,42 +111,40 @@ class ReplicatedWebServer:
         """Read *key* from the first live replica, else the database."""
         epochs = self.cache.routing_epochs(now)
         clock = now + self.web_overhead.sample(self._rng)
-        primary = self.router.route(key, epochs.new)
-        targets = self._live_targets(key, epochs.new)
-        value = None
-        served_by: Optional[int] = None
-        probes = 0
-        for target in targets:
-            server = self.cache.server(target)
-            if not server.state.serves_requests:
-                continue
-            probes += 1
-            clock += self.cache_latency.sample(self._rng)
-            value = server.get(key, clock)
-            if value is not None:
-                served_by = target
-                if target != primary:
-                    # The ring-0 owner did not answer (crashed or missed):
-                    # a replica covered for it.
-                    self.failovers += 1
-                break
-        touched_db = value is None
-        if touched_db:
-            response = self.database.get(key, clock)
-            clock = response.completion_time
-            value = response.value
-            self.database_reads += 1
-        # Repopulate every live replica owner that missed (write-through).
-        for target in targets:
-            if target == served_by:
-                continue
-            server = self.cache.server(target)
-            if server.state.serves_requests:
-                clock += self.cache_latency.sample(self._rng)
-                server.set(key, value, now=clock)
+        steps = self.engine.retrieve(
+            key, epochs, failed=self.cache.failed_servers()
+        )
+        result: Any = None
+        try:
+            while True:
+                command = steps.send(result)
+                if isinstance(command, ProbeCache):
+                    server = self.cache.server(command.server_id)
+                    if not server.state.serves_requests:
+                        result = SKIPPED
+                        continue
+                    clock += self.cache_latency.sample(self._rng)
+                    result = server.get(key, clock)
+                elif isinstance(command, ReadDatabase):
+                    response = self.database.get(key, clock)
+                    clock = response.completion_time
+                    result = response.value
+                elif isinstance(command, WriteBack):
+                    server = self.cache.server(command.server_id)
+                    if server.state.serves_requests:
+                        clock += self.cache_latency.sample(self._rng)
+                        server.set(key, command.value, now=clock)
+                    result = None
+                else:  # pragma: no cover - replicated reads use three commands
+                    raise ConfigurationError(
+                        f"unexpected engine command: {command!r}"
+                    )
+        except StopIteration as stop:
+            outcome = stop.value
         return ReplicatedFetchResult(
-            key=key, value=value, started=now, completed=clock,
-            served_by=served_by, probes=probes, touched_database=touched_db,
+            key=key, value=outcome.value, started=now, completed=clock,
+            served_by=outcome.served_by, probes=outcome.probes,
+            touched_database=outcome.touched_database,
         )
 
     def put(self, key: str, value: Any, now: float) -> List[int]:

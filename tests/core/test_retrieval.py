@@ -1,0 +1,313 @@
+"""Tests for the sans-IO Algorithm-2 retrieval engine.
+
+Drives the command generator by hand with scripted answers — no cache, no
+database, no clock — which is exactly the point of the sans-IO core: the
+branch logic is testable without any substrate at all.
+"""
+
+from repro.core.retrieval import (
+    CheckDigest,
+    FetchPath,
+    FetchStats,
+    LeaderWindowRegistry,
+    ProbeCache,
+    ReadDatabase,
+    ReplicatedRetrievalEngine,
+    RetrievalEngine,
+    SKIPPED,
+    WaitForLeader,
+    WriteBack,
+)
+from repro.core.router import ProteusRouter
+from repro.core.transition import RoutingEpochs, Transition
+
+
+class ScriptedDriver:
+    """Answers engine commands from a scripted table, recording the trace."""
+
+    def __init__(self, answers):
+        #: list of (command_type, answer); consumed in order
+        self.answers = list(answers)
+        self.trace = []
+
+    def run(self, generator):
+        result = None
+        try:
+            while True:
+                command = generator.send(result)
+                self.trace.append(command)
+                expected_type, answer = self.answers.pop(0)
+                assert isinstance(command, expected_type), (
+                    f"expected {expected_type.__name__}, engine yielded {command!r}"
+                )
+                result = answer
+        except StopIteration as stop:
+            return stop.value
+
+
+ROUTER = ProteusRouter(4, ring_size=2 ** 20)
+KEY = "page:parity"
+NEW_ID = ROUTER.route(KEY, 3)
+OLD_ID = ROUTER.route(KEY, 4)
+
+STEADY = RoutingEpochs(new=3, old=None, transition=None)
+DRAINING = RoutingEpochs(
+    new=3, old=4, transition=Transition(n_old=4, n_new=3, started_at=0.0, ttl=60.0)
+)
+
+
+def remapped_key():
+    """A key whose owner differs between the 4-server and 3-server epochs."""
+    for i in range(10_000):
+        key = f"page:{i}"
+        if ROUTER.route(key, 4) != ROUTER.route(key, 3):
+            return key
+    raise AssertionError("no remapped key found")
+
+
+class TestUnreplicatedPaths:
+    def test_hit_new_is_one_probe_no_writeback(self):
+        engine = RetrievalEngine(ROUTER)
+        driver = ScriptedDriver([(ProbeCache, "value")])
+        outcome = driver.run(engine.retrieve(KEY, STEADY))
+        assert outcome.path is FetchPath.HIT_NEW
+        assert outcome.value == "value"
+        assert outcome.new_server == NEW_ID
+        assert outcome.old_server is None
+        assert not outcome.touched_database
+        assert driver.trace == [ProbeCache(NEW_ID)]
+
+    def test_miss_outside_transition_goes_to_db(self):
+        engine = RetrievalEngine(ROUTER)
+        driver = ScriptedDriver(
+            [(ProbeCache, None), (ReadDatabase, "db"), (WriteBack, None)]
+        )
+        outcome = driver.run(engine.retrieve(KEY, STEADY))
+        assert outcome.path is FetchPath.MISS_DB
+        assert outcome.touched_database
+        assert driver.trace[-1] == WriteBack(NEW_ID, "db")
+
+    def test_hit_old_pulls_from_old_owner_and_writes_back(self):
+        key = remapped_key()
+        new_id, old_id = ROUTER.route(key, 3), ROUTER.route(key, 4)
+        engine = RetrievalEngine(ROUTER)
+        driver = ScriptedDriver(
+            [
+                (ProbeCache, None),
+                (CheckDigest, True),
+                (ProbeCache, "hot"),
+                (WriteBack, None),
+            ]
+        )
+        outcome = driver.run(engine.retrieve(key, DRAINING))
+        assert outcome.path is FetchPath.HIT_OLD
+        assert outcome.old_server == old_id
+        assert driver.trace == [
+            ProbeCache(new_id),
+            CheckDigest(old_id),
+            ProbeCache(old_id),
+            WriteBack(new_id, "hot"),
+        ]
+
+    def test_digest_false_positive_classified(self):
+        key = remapped_key()
+        engine = RetrievalEngine(ROUTER)
+        driver = ScriptedDriver(
+            [
+                (ProbeCache, None),
+                (CheckDigest, True),
+                (ProbeCache, None),  # old owner misses: digest lied
+                (ReadDatabase, "db"),
+                (WriteBack, None),
+            ]
+        )
+        outcome = driver.run(engine.retrieve(key, DRAINING))
+        assert outcome.path is FetchPath.FALSE_POSITIVE_DB
+        assert outcome.touched_database
+
+    def test_digest_miss_skips_old_owner(self):
+        key = remapped_key()
+        engine = RetrievalEngine(ROUTER)
+        driver = ScriptedDriver(
+            [
+                (ProbeCache, None),
+                (CheckDigest, False),
+                (ReadDatabase, "db"),
+                (WriteBack, None),
+            ]
+        )
+        outcome = driver.run(engine.retrieve(key, DRAINING))
+        assert outcome.path is FetchPath.MISS_DB
+
+    def test_same_owner_in_both_epochs_skips_digest(self):
+        for i in range(10_000):
+            key = f"page:{i}"
+            if ROUTER.route(key, 4) == ROUTER.route(key, 3):
+                break
+        engine = RetrievalEngine(ROUTER)
+        driver = ScriptedDriver(
+            [(ProbeCache, None), (ReadDatabase, "db"), (WriteBack, None)]
+        )
+        outcome = driver.run(engine.retrieve(key, DRAINING))
+        assert outcome.path is FetchPath.MISS_DB
+        assert not any(isinstance(c, CheckDigest) for c in driver.trace)
+
+    def test_coalesced_follower_skips_db_and_writeback(self):
+        engine = RetrievalEngine(ROUTER, coalesce_misses=True)
+        driver = ScriptedDriver(
+            [(ProbeCache, None), (WaitForLeader, True), (ProbeCache, "installed")]
+        )
+        outcome = driver.run(engine.retrieve(KEY, STEADY))
+        assert outcome.path is FetchPath.COALESCED
+        assert not any(isinstance(c, ReadDatabase) for c in driver.trace)
+        assert not any(isinstance(c, WriteBack) for c in driver.trace)
+
+    def test_no_leader_becomes_leader_and_announces(self):
+        engine = RetrievalEngine(ROUTER, coalesce_misses=True)
+        driver = ScriptedDriver(
+            [
+                (ProbeCache, None),
+                (WaitForLeader, False),
+                (ReadDatabase, "db"),
+                (WriteBack, None),
+            ]
+        )
+        outcome = driver.run(engine.retrieve(KEY, STEADY))
+        assert outcome.path is FetchPath.MISS_DB
+        read = next(c for c in driver.trace if isinstance(c, ReadDatabase))
+        assert read.announce_leader
+
+    def test_waited_but_still_missing_falls_to_db(self):
+        # The leader's write-back was evicted before the follower's probe.
+        engine = RetrievalEngine(ROUTER, coalesce_misses=True)
+        driver = ScriptedDriver(
+            [
+                (ProbeCache, None),
+                (WaitForLeader, True),
+                (ProbeCache, None),
+                (ReadDatabase, "db"),
+                (WriteBack, None),
+            ]
+        )
+        outcome = driver.run(engine.retrieve(KEY, STEADY))
+        assert outcome.path is FetchPath.MISS_DB
+
+    def test_no_wait_command_when_coalescing_disabled(self):
+        engine = RetrievalEngine(ROUTER, coalesce_misses=False)
+        driver = ScriptedDriver(
+            [(ProbeCache, None), (ReadDatabase, "db"), (WriteBack, None)]
+        )
+        driver.run(engine.retrieve(KEY, STEADY))
+        read = next(c for c in driver.trace if isinstance(c, ReadDatabase))
+        assert not read.announce_leader
+
+    def test_stats_accumulate_across_retrievals(self):
+        engine = RetrievalEngine(ROUTER)
+        ScriptedDriver([(ProbeCache, "v")]).run(engine.retrieve(KEY, STEADY))
+        ScriptedDriver(
+            [(ProbeCache, None), (ReadDatabase, "db"), (WriteBack, None)]
+        ).run(engine.retrieve(KEY, STEADY))
+        assert engine.stats.counts[FetchPath.HIT_NEW] == 1
+        assert engine.stats.counts[FetchPath.MISS_DB] == 1
+        assert engine.stats.total == 2
+        assert engine.stats.database_fraction == 0.5
+
+    def test_stats_labels_match_wire_names(self):
+        stats = FetchStats()
+        stats.record(FetchPath.HIT_NEW)
+        assert stats.as_labels()["hit_new"] == 1
+        # str mix-in: members compare and hash like their labels.
+        assert FetchPath.HIT_NEW == "hit_new"
+        assert stats.counts["hit_new"] == 1
+
+
+class TestReplicatedEngine:
+    def _engine(self):
+        from repro.core.replication import ReplicatedProteusRouter
+
+        return ReplicatedRetrievalEngine(
+            ReplicatedProteusRouter(4, replicas=2, ring_size=2 ** 20)
+        )
+
+    def test_primary_hit_no_failover(self):
+        engine = self._engine()
+        targets = engine.router.read_targets(KEY, 4)
+        answers = [(ProbeCache, "v")] + [
+            (WriteBack, None) for _ in targets[1:]
+        ]
+        driver = ScriptedDriver(answers)
+        outcome = driver.run(engine.retrieve(KEY, RoutingEpochs(4, None, None)))
+        assert outcome.served_by == targets[0]
+        assert not outcome.failover
+        assert outcome.probes == 1
+        assert engine.failovers == 0
+
+    def test_replica_covers_for_missing_primary(self):
+        engine = self._engine()
+        targets = engine.router.read_targets(KEY, 4)
+        assert len(targets) >= 2
+        driver = ScriptedDriver(
+            [(ProbeCache, None), (ProbeCache, "v")]
+            + [(WriteBack, None)] * (len(targets) - 1)
+        )
+        outcome = driver.run(engine.retrieve(KEY, RoutingEpochs(4, None, None)))
+        assert outcome.served_by == targets[1]
+        assert outcome.failover
+        assert engine.failovers == 1
+
+    def test_skipped_probe_not_counted(self):
+        engine = self._engine()
+        targets = engine.router.read_targets(KEY, 4)
+        driver = ScriptedDriver(
+            [(ProbeCache, SKIPPED), (ProbeCache, "v")]
+            + [(WriteBack, None)] * (len(targets) - 1)
+        )
+        outcome = driver.run(engine.retrieve(KEY, RoutingEpochs(4, None, None)))
+        assert outcome.probes == 1
+
+    def test_all_miss_reads_db_and_repopulates_every_target(self):
+        engine = self._engine()
+        targets = engine.router.read_targets(KEY, 4)
+        driver = ScriptedDriver(
+            [(ProbeCache, None)] * len(targets)
+            + [(ReadDatabase, "db")]
+            + [(WriteBack, None)] * len(targets)
+        )
+        outcome = driver.run(engine.retrieve(KEY, RoutingEpochs(4, None, None)))
+        assert outcome.touched_database
+        assert outcome.served_by is None
+        assert engine.database_reads == 1
+        written = [c.server_id for c in driver.trace if isinstance(c, WriteBack)]
+        assert written == targets
+
+
+class TestLeaderWindowRegistry:
+    def test_open_window_returned_closed_window_none(self):
+        reg = LeaderWindowRegistry()
+        reg.announce("k", done_at=5.0, now=1.0)
+        assert reg.leader_done("k", now=4.0) == 5.0
+        assert reg.leader_done("k", now=5.0) is None
+        assert reg.leader_done("missing", now=0.0) is None
+
+    def test_prune_uses_current_clock_not_request_start(self):
+        # Regression: the pre-refactor prune compared against the request's
+        # *start* time, letting windows that closed mid-request survive an
+        # extra pass.  The registry prunes against the clock it is given.
+        reg = LeaderWindowRegistry(max_entries=2)
+        reg.announce("a", done_at=1.0, now=0.0)
+        reg.announce("b", done_at=2.0, now=0.0)
+        # This announce overflows max_entries; now=1.5 means "a" (closed at
+        # 1.0) must be dropped even though the request started earlier.
+        reg.announce("c", done_at=9.0, now=1.5)
+        assert len(reg) == 2
+        assert reg.leader_done("a", now=0.5) is None
+        assert reg.leader_done("b", now=1.6) == 2.0
+        assert reg.leader_done("c", now=1.6) == 9.0
+
+    def test_bounded_by_concurrent_misses(self):
+        reg = LeaderWindowRegistry(max_entries=8)
+        for i in range(100):
+            # Every window closes almost immediately; the map never grows
+            # past max_entries + 1 before a prune.
+            reg.announce(f"k{i}", done_at=i + 0.1, now=float(i))
+        assert len(reg) <= 9

@@ -1,0 +1,60 @@
+"""Regression lock on the Fig. 9 spike ordering.
+
+The paper's headline response-time result: abrupt (Naive) transitions dump
+remapped keys onto the database and spike the tail latency, while Proteus's
+smooth transitions keep the curve flat.  This test pins the *ordering* of
+the spike ratios on a small :class:`ClusterExperiment` run, so refactors of
+the retrieval path (e.g. moving Algorithm 2 into the sans-IO engine)
+provably do not change experiment behaviour.
+"""
+
+import pytest
+
+from repro.experiments.cluster import (
+    ClusterExperiment,
+    ExperimentConfig,
+    ScenarioSpec,
+)
+from repro.provisioning.policies import ProvisioningSchedule
+
+
+@pytest.fixture(scope="module")
+def reports():
+    # One scale-down only: the slots around it carry the spike, the rest
+    # stay quiet, so peak-over-median isolates the transition penalty.
+    config = ExperimentConfig(
+        schedule=ProvisioningSchedule(30.0, [4, 3, 3, 3]),
+        users_per_slot=[40, 30, 30, 30],
+        num_cache_servers=4,
+        num_web_servers=2,
+        num_db_shards=3,
+        catalogue_size=2000,
+        cache_capacity_bytes=4096 * 800,
+        ttl=15.0,
+        plot_slots=12,
+        pages_per_user=20,
+        seed=5,
+        warmup_seconds=10.0,
+    )
+    return {
+        spec.name: ClusterExperiment(spec, config).run()
+        for spec in (ScenarioSpec.naive(), ScenarioSpec.proteus())
+    }
+
+
+class TestSpikeOrdering:
+    def test_naive_spike_ratio_dominates_proteus(self, reports):
+        naive = reports["Naive"].spike_ratio(99.0)
+        proteus = reports["Proteus"].spike_ratio(99.0)
+        assert naive > 3 * proteus
+
+    def test_proteus_stays_near_flat(self, reports):
+        # ~1 means no transition spike; leave headroom for queueing noise
+        # at this small scale, but far below the Naive spike.
+        assert reports["Proteus"].spike_ratio(99.0) < 20.0
+
+    def test_naive_spikes_visibly(self, reports):
+        assert reports["Naive"].spike_ratio(99.0) > 20.0
+
+    def test_smooth_transition_keeps_db_quiet(self, reports):
+        assert reports["Proteus"].db_requests < reports["Naive"].db_requests
