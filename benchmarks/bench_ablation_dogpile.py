@@ -35,19 +35,16 @@ def build_config():
     )
 
 
-def run_one(spec: ScenarioSpec, coalesce: bool):
-    experiment = ClusterExperiment(spec, build_config())
-    for web in experiment.webs:
-        web.coalesce_misses = coalesce
-    return experiment.run()
+def run_one(spec: ScenarioSpec):
+    return ClusterExperiment(spec, build_config()).run()
 
 
 def test_ablation_dogpile(benchmark):
     results = benchmark.pedantic(
         lambda: {
-            "naive": run_one(ScenarioSpec.naive(), coalesce=False),
-            "naive+coalesce": run_one(ScenarioSpec.naive(), coalesce=True),
-            "proteus": run_one(ScenarioSpec.proteus(), coalesce=False),
+            "naive": run_one(ScenarioSpec.naive()),
+            "naive+coalesce": run_one(ScenarioSpec.naive().with_coalescing()),
+            "proteus": run_one(ScenarioSpec.proteus()),
         },
         rounds=1, iterations=1,
     )

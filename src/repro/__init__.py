@@ -41,6 +41,7 @@ from repro.cache.cluster import CacheCluster
 from repro.core import (
     ConsistentRouter,
     FetchPath,
+    FetchResult,
     FetchStats,
     HashRing,
     NaiveRouter,
@@ -48,6 +49,7 @@ from repro.core import (
     ProteusRouter,
     ReplicatedProteusRouter,
     ReplicatedRetrievalEngine,
+    RetrievalConfig,
     RetrievalEngine,
     Router,
     StaticRouter,
@@ -111,6 +113,7 @@ __all__ = [
     "ExperimentConfig",
     "ExperimentReport",
     "FetchPath",
+    "FetchResult",
     "FetchStats",
     "HashRing",
     "KeyValueStore",
@@ -126,6 +129,7 @@ __all__ = [
     "ReplicatedProteusRouter",
     "ReplicatedRetrievalEngine",
     "ReplicatedWebServer",
+    "RetrievalConfig",
     "RetrievalEngine",
     "Router",
     "ScenarioSpec",

@@ -109,6 +109,11 @@ class ChunkingCacheAdapter:
     Wraps one cache server (or anything store-shaped).  ``set`` splits,
     ``get`` reassembles; a missing piece surfaces as a miss (``None``) and
     the stale manifest is deleted so the next write starts clean.
+
+    When the backend can batch (``get_many_fn``), ``get`` fetches all of
+    an object's pieces through **one** call instead of a piece-at-a-time
+    loop — the manifest expansion is exactly where multiget amortization
+    pays, since one logical get turns into N piece gets.
     """
 
     def __init__(
@@ -117,18 +122,36 @@ class ChunkingCacheAdapter:
         set_fn: Callable,
         delete_fn: Callable,
         piece_size: int = DEFAULT_PIECE_SIZE,
+        get_many_fn: Optional[Callable] = None,
     ) -> None:
         if piece_size < 1:
             raise ConfigurationError(f"piece_size must be >= 1, got {piece_size}")
         self._get = get_fn
         self._set = set_fn
         self._delete = delete_fn
+        self._get_many_fn = get_many_fn
         self.piece_size = piece_size
 
     @classmethod
     def over_server(cls, server, piece_size: int = DEFAULT_PIECE_SIZE):
-        """Adapter over a :class:`~repro.cache.server.CacheServer`."""
-        return cls(server.get, server.set, server.delete, piece_size)
+        """Adapter over a :class:`~repro.cache.server.CacheServer` — piece
+        reads go through the server's multiget."""
+        return cls(
+            server.get, server.set, server.delete, piece_size,
+            get_many_fn=getattr(server, "get_many", None),
+        )
+
+    def _get_pieces(self, keys: List[str], now: float) -> dict:
+        """Hit map for *keys*: one batched call when the backend offers
+        one, else the compatibility loop."""
+        if self._get_many_fn is not None:
+            return self._get_many_fn(keys, now)
+        hits = {}
+        for key in keys:
+            value = self._get(key, now)
+            if value is not None:
+                hits[key] = value
+        return hits
 
     def set(self, key: str, value: bytes, now: float = 0.0) -> int:
         """Store *value* in pieces; returns how many cache sets were issued."""
@@ -146,7 +169,9 @@ class ChunkingCacheAdapter:
         if not is_manifest(stored):
             return stored
         count, _total = parse_manifest(stored)
-        pieces = [self._get(piece_key(key, i), now) for i in range(count)]
+        derived = [piece_key(key, i) for i in range(count)]
+        fetched = self._get_pieces(derived, now)
+        pieces = [fetched.get(k) for k in derived]
         if any(piece is None for piece in pieces):
             # A piece was evicted independently: the object is unusable.
             self.delete(key, now)

@@ -112,6 +112,17 @@ class CacheServer:
         self._require_power()
         return self.store.get(key, now)
 
+    def get_many(self, keys, now: float = 0.0) -> dict:
+        """Values for every key that hits (multiget, one call; misses are
+        absent from the map); raises :class:`CacheError` when OFF."""
+        self._require_power()
+        hits = {}
+        for key in keys:
+            value = self.store.get(key, now)
+            if value is not None:
+                hits[key] = value
+        return hits
+
     def set(
         self,
         key: str,

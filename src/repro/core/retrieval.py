@@ -33,13 +33,38 @@ simulator reads them from :meth:`repro.cache.cluster.CacheCluster.\
 routing_epochs`, the live tier from its own
 :class:`~repro.core.transition.TransitionManager` — so the engine never
 needs to know where transition state lives.
+
+**Batched retrieval.**  :meth:`RetrievalEngine.retrieve_many` is the batch
+planner: it runs Algorithm 2 for a whole key set at once, grouping probes
+and write-backs by owning server per routing epoch so a driver can cover N
+keys with one multiget round trip per touched server instead of one round
+trip per key.  The batch protocol yields *rounds* — tuples of commands
+with no mutual dependencies — and receives a tuple of answers aligned by
+index, so a live driver may execute each round concurrently
+(``asyncio.gather`` over per-server ``get_multi`` calls) while a simulated
+driver charges one latency sample per server touched.  Per-item semantics
+are untouched: for any key set and transition state the outcome map and
+the :class:`FetchStats` counts are identical to N sequential
+:meth:`RetrievalEngine.retrieve` runs.
 """
 
 from __future__ import annotations
 
 import enum
+import warnings
 from dataclasses import dataclass, field
-from typing import Any, Dict, FrozenSet, Generator, Optional, Union
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Generator,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.core.transition import RoutingEpochs
 from repro.errors import RoutingError
@@ -47,18 +72,24 @@ from repro.errors import RoutingError
 __all__ = [
     "CheckDigest",
     "Command",
+    "CommandRound",
     "FetchPath",
+    "FetchResult",
     "FetchStats",
     "LeaderWindowRegistry",
     "ProbeCache",
+    "ProbeCacheMulti",
     "ReadDatabase",
     "ReplicatedOutcome",
     "ReplicatedRetrievalEngine",
+    "RetrievalConfig",
+    "RetrievalConfigMixin",
     "RetrievalEngine",
     "RetrievalOutcome",
     "SKIPPED",
     "WaitForLeader",
     "WriteBack",
+    "WriteBackMulti",
 ]
 
 
@@ -118,6 +149,62 @@ class FetchStats:
         return {path.value: count for path, count in self.counts.items()}
 
 
+# ------------------------------------------------------------- configuration
+
+
+@dataclass
+class RetrievalConfig:
+    """Engine-level retrieval options, shared by every driver.
+
+    One instance lives on the engine; drivers re-export it via
+    :class:`RetrievalConfigMixin` instead of copying property/setter
+    plumbing, so a new option lands in every substrate at once.
+    """
+
+    #: dog-pile protection — while a DB fetch for a key is in flight, later
+    #: misses for the same key wait for it instead of issuing duplicate DB
+    #: reads (the "memcache dog pile" the paper's introduction cites).  Off
+    #: by default: the paper's evaluation runs without it, and the Fig. 9
+    #: spike depends on the dog pile being possible.
+    coalesce_misses: bool = False
+    #: upper bound on keys per batched command (:class:`ProbeCacheMulti` /
+    #: :class:`WriteBackMulti`); larger groups are split, the way memcached
+    #: clients chunk oversized multigets.  ``0`` disables the limit.
+    max_multiget_keys: int = 64
+
+
+class RetrievalConfigMixin:
+    """Facade over the engine's :class:`RetrievalConfig` for drivers.
+
+    Any driver holding its engine at ``self.engine`` inherits the shared
+    config surface — ``config``, ``coalesce_misses``, ``max_multiget_keys``
+    — without re-implementing the properties per substrate.
+    """
+
+    engine: Any
+
+    @property
+    def config(self) -> RetrievalConfig:
+        """The engine's retrieval options (shared, live object)."""
+        return self.engine.config
+
+    @property
+    def coalesce_misses(self) -> bool:
+        return self.engine.config.coalesce_misses
+
+    @coalesce_misses.setter
+    def coalesce_misses(self, enabled: bool) -> None:
+        self.engine.config.coalesce_misses = enabled
+
+    @property
+    def max_multiget_keys(self) -> int:
+        return self.engine.config.max_multiget_keys
+
+    @max_multiget_keys.setter
+    def max_multiget_keys(self, limit: int) -> None:
+        self.engine.config.max_multiget_keys = limit
+
+
 # ------------------------------------------------------------------ commands
 
 
@@ -140,9 +227,14 @@ class CheckDigest:
     Driver answer: ``bool`` — membership according to the digest, ``False``
     when no digest was broadcast for that server (the safe fallback: skip
     the old owner, go to the database).
+
+    In single-key retrievals the driver knows the key from its own call
+    context and ``key`` stays ``None``; batched retrievals carry the key
+    explicitly because one round interleaves many keys.
     """
 
     server_id: int
+    key: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -152,7 +244,11 @@ class WaitForLeader:
     Driver answer: ``True`` when a leader existed and the wait completed
     (the engine then re-probes the new owner), ``False`` when there was no
     leader or its window already closed (the engine reads the DB itself).
+
+    ``key`` is set only on the batched path (see :class:`CheckDigest`).
     """
+
+    key: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -162,9 +258,12 @@ class ReadDatabase:
     Driver answer: the value.  When ``announce_leader`` is set the driver
     must also publish this request as the key's in-flight leader so that
     concurrent misses can coalesce behind it (see :class:`WaitForLeader`).
+
+    ``key`` is set only on the batched path (see :class:`CheckDigest`).
     """
 
     announce_leader: bool = False
+    key: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -179,11 +278,61 @@ class WriteBack:
     value: Any
 
 
-Command = Union[ProbeCache, CheckDigest, WaitForLeader, ReadDatabase, WriteBack]
+@dataclass(frozen=True)
+class ProbeCacheMulti:
+    """``get_multi`` *keys* from cache server *server_id* — one round trip.
 
-#: Driver answer to :class:`ProbeCache` meaning "server not serving; probe
-#: did not happen" — distinct from ``None`` (a real miss).
+    Driver answer: a ``dict`` mapping each key that **hit** to its value
+    (missing keys missed, exactly like memcached's multiget reply), or
+    :data:`SKIPPED` when the server is not serving requests (replicated
+    reads only; no probe happened for any key).
+    """
+
+    server_id: int
+    keys: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class WriteBackMulti:
+    """Install every ``(key, value)`` pair at server *server_id* — one
+    pipelined round trip.
+
+    Driver answer: ignored.  Replicated drivers silently skip write-backs
+    to servers that are not serving requests.
+    """
+
+    server_id: int
+    items: Tuple[Tuple[str, Any], ...]
+
+
+Command = Union[
+    ProbeCache,
+    CheckDigest,
+    WaitForLeader,
+    ReadDatabase,
+    WriteBack,
+    ProbeCacheMulti,
+    WriteBackMulti,
+]
+
+#: One step of the batched protocol: commands with no mutual dependencies,
+#: answered by a tuple of results aligned by index.  Drivers may execute a
+#: round's commands concurrently.
+CommandRound = Tuple[Command, ...]
+
+#: Driver answer to :class:`ProbeCache` / :class:`ProbeCacheMulti` meaning
+#: "server not serving; probe did not happen" — distinct from ``None`` (a
+#: real miss).
 SKIPPED = object()
+
+
+def _chunked(items: Sequence, size: int) -> Iterable[tuple]:
+    """Split *items* into tuples of at most *size* (``size <= 0``: one)."""
+    if size <= 0:
+        yield tuple(items)
+        return
+    for start in range(0, len(items), size):
+        yield tuple(items[start:start + size])
 
 
 # ------------------------------------------------------------------ outcomes
@@ -203,6 +352,57 @@ class RetrievalOutcome:
     @property
     def touched_database(self) -> bool:
         return self.path in (FetchPath.FALSE_POSITIVE_DB, FetchPath.MISS_DB)
+
+
+@dataclass
+class FetchResult:
+    """Outcome **and timing** of one retrieval — the unified fetch return
+    type across substrates.
+
+    The simulated :class:`~repro.web.frontend.WebServer` stamps ``started``
+    / ``completed`` with virtual-clock seconds, the live
+    :class:`~repro.net.webtier.AsyncProteusFrontend` with its (monotonic)
+    wall clock; everything else is substrate-independent, so reports built
+    from either tier diff field for field.
+
+    Deprecation shim: the live tier's ``fetch`` historically returned a
+    bare ``(value, path)`` tuple.  Iterating or indexing a
+    :class:`FetchResult` still unpacks to that pair — with a
+    ``DeprecationWarning`` — so ``value, path = await frontend.fetch(key)``
+    keeps working while callers migrate to the named fields.
+    """
+
+    key: str
+    value: Any
+    path: FetchPath
+    started: float
+    completed: float
+    new_server: int
+    old_server: Optional[int] = None
+
+    @property
+    def latency(self) -> float:
+        """End-to-end response time in seconds."""
+        return self.completed - self.started
+
+    @property
+    def touched_database(self) -> bool:
+        return self.path in (FetchPath.FALSE_POSITIVE_DB, FetchPath.MISS_DB)
+
+    def _legacy_pair(self) -> Tuple[Any, FetchPath]:
+        warnings.warn(
+            "unpacking FetchResult as a (value, path) tuple is deprecated; "
+            "use the .value and .path fields",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return (self.value, self.path)
+
+    def __iter__(self):
+        return iter(self._legacy_pair())
+
+    def __getitem__(self, index):
+        return self._legacy_pair()[index]
 
 
 @dataclass
@@ -229,13 +429,12 @@ class RetrievalEngine:
     Args:
         router: the deterministic routing strategy shared by every web
             server (the consistency objective: same router, same decisions).
-        coalesce_misses: dog-pile protection — while a DB fetch for a key is
-            in flight, later misses for the same key wait for it instead of
-            issuing duplicate DB reads (the "memcache dog pile" the paper's
-            introduction cites).  Off by default: the paper's evaluation
-            runs without it, and the Fig. 9 spike depends on the dog pile
-            being possible.
+        coalesce_misses: shorthand for
+            ``RetrievalConfig(coalesce_misses=...)`` (see
+            :class:`RetrievalConfig`); ignored when *config* is given.
         stats: per-path counters; a fresh :class:`FetchStats` by default.
+        config: the engine options object; drivers re-export it via
+            :class:`RetrievalConfigMixin`.
     """
 
     def __init__(
@@ -243,10 +442,23 @@ class RetrievalEngine:
         router,
         coalesce_misses: bool = False,
         stats: Optional[FetchStats] = None,
+        config: Optional[RetrievalConfig] = None,
     ) -> None:
         self.router = router
-        self.coalesce_misses = coalesce_misses
+        self.config = (
+            config
+            if config is not None
+            else RetrievalConfig(coalesce_misses=coalesce_misses)
+        )
         self.stats = stats if stats is not None else FetchStats()
+
+    @property
+    def coalesce_misses(self) -> bool:
+        return self.config.coalesce_misses
+
+    @coalesce_misses.setter
+    def coalesce_misses(self, enabled: bool) -> None:
+        self.config.coalesce_misses = enabled
 
     def retrieve(
         self, key: str, epochs: RoutingEpochs
@@ -301,6 +513,151 @@ class RetrievalEngine:
         yield WriteBack(new_id, value)
         return self._finish(key, value, path, new_id, old_id)
 
+    # ------------------------------------------------------------ batching
+
+    def retrieve_many(
+        self, keys: Iterable[str], epochs: RoutingEpochs
+    ) -> Generator[CommandRound, Any, Dict[str, RetrievalOutcome]]:
+        """The batch planner: Algorithm 2 over a whole key set at once.
+
+        Yields *rounds* — tuples of commands with no mutual dependencies —
+        and expects a tuple of answers aligned by index; a driver may
+        execute each round's commands concurrently.  Probes and write-backs
+        are grouped by owning server per routing epoch
+        (:class:`ProbeCacheMulti` / :class:`WriteBackMulti`, split at
+        ``config.max_multiget_keys``), so the whole batch costs at most one
+        multiget round trip per probed server per epoch; keys still in
+        transition fall back to per-key :class:`CheckDigest` /
+        :class:`ReadDatabase` commands exactly as Algorithm 2 demands.
+
+        Returns a map from key to :class:`RetrievalOutcome`.  Duplicate
+        keys collapse (the map has one entry per distinct key); for
+        distinct keys the outcomes, values, and :class:`FetchStats` counts
+        are identical to running :meth:`retrieve` once per key.
+        """
+        ordered = list(dict.fromkeys(keys))
+        outcomes: Dict[str, RetrievalOutcome] = {}
+        if not ordered:
+            return outcomes
+        new_owner = {key: self.router.route(key, epochs.new) for key in ordered}
+
+        # Phase 1 — Alg. 2 line 3, batched: probe every new owner once.
+        hits = yield from self._probe_many(ordered, new_owner)
+        pending: List[str] = []
+        for key in ordered:
+            value = hits.get(key)
+            if value is not None:
+                outcomes[key] = self._finish(
+                    key, value, FetchPath.HIT_NEW, new_owner[key], None
+                )
+            else:
+                pending.append(key)
+
+        old_owner: Dict[str, Optional[int]] = {key: None for key in pending}
+        fallback = {key: FetchPath.MISS_DB for key in pending}
+        write_backs: List[Tuple[int, str, Any]] = []
+
+        # Phase 2 — digest checks (local, no round trip) for keys whose
+        # owner moved, then one batched probe per old owner for digest hits.
+        if epochs.in_transition and pending:
+            moved = []
+            for key in pending:
+                old_id = self.router.route(key, epochs.old)
+                old_owner[key] = old_id
+                if old_id != new_owner[key]:
+                    moved.append(key)
+            digest_hits = set()
+            if moved:
+                answers = yield tuple(
+                    CheckDigest(old_owner[key], key=key) for key in moved
+                )
+                digest_hits = {
+                    key for key, hit in zip(moved, answers) if hit
+                }
+            if digest_hits:
+                old_values = yield from self._probe_many(
+                    [key for key in pending if key in digest_hits], old_owner
+                )
+                remaining = []
+                for key in pending:
+                    value = old_values.get(key)
+                    if value is not None:
+                        write_backs.append((new_owner[key], key, value))
+                        outcomes[key] = self._finish(
+                            key, value, FetchPath.HIT_OLD,
+                            new_owner[key], old_owner[key],
+                        )
+                    else:
+                        if key in digest_hits:
+                            fallback[key] = FetchPath.FALSE_POSITIVE_DB
+                        remaining.append(key)
+                pending = remaining
+
+        # Phase 3 — coalescing: wait behind in-flight leaders, then re-probe
+        # the new owners of the keys whose leader completed (batched).
+        if self.config.coalesce_misses and pending:
+            answers = yield tuple(WaitForLeader(key=key) for key in pending)
+            waited = [key for key, ok in zip(pending, answers) if ok]
+            if waited:
+                installed = yield from self._probe_many(waited, new_owner)
+                remaining = []
+                for key in pending:
+                    value = installed.get(key)
+                    if value is not None:
+                        outcomes[key] = self._finish(
+                            key, value, FetchPath.COALESCED,
+                            new_owner[key], old_owner[key],
+                        )
+                    else:
+                        remaining.append(key)
+                pending = remaining
+
+        # Phase 4 — per-key database reads (the DB never batches misses
+        # away; each distinct key costs one authoritative read).
+        if pending:
+            values = yield tuple(
+                ReadDatabase(
+                    announce_leader=self.config.coalesce_misses, key=key
+                )
+                for key in pending
+            )
+            for key, value in zip(pending, values):
+                write_backs.append((new_owner[key], key, value))
+                outcomes[key] = self._finish(
+                    key, value, fallback[key], new_owner[key], old_owner[key]
+                )
+
+        # Phase 5 — write-backs, grouped into one pipelined command per
+        # new owner (Alg. 2 line 12, amortized).
+        if write_backs:
+            grouped: Dict[int, List[Tuple[str, Any]]] = {}
+            for server_id, key, value in write_backs:
+                grouped.setdefault(server_id, []).append((key, value))
+            yield tuple(
+                WriteBackMulti(server_id, chunk)
+                for server_id, items in sorted(grouped.items())
+                for chunk in _chunked(items, self.config.max_multiget_keys)
+            )
+        return outcomes
+
+    def _probe_many(
+        self, keys: Sequence[str], owner_of: Dict[str, Any]
+    ) -> Generator[CommandRound, Any, Dict[str, Any]]:
+        """One round of per-server multiget probes; returns the hits."""
+        grouped: Dict[int, List[str]] = {}
+        for key in keys:
+            grouped.setdefault(owner_of[key], []).append(key)
+        answers = yield tuple(
+            ProbeCacheMulti(server_id, chunk)
+            for server_id, group in sorted(grouped.items())
+            for chunk in _chunked(group, self.config.max_multiget_keys)
+        )
+        hits: Dict[str, Any] = {}
+        for answer in answers:
+            if answer is not SKIPPED and answer:
+                hits.update(answer)
+        return hits
+
     def _finish(
         self,
         key: str,
@@ -331,8 +688,14 @@ class ReplicatedRetrievalEngine:
     conservative than the unreplicated fast path.
     """
 
-    def __init__(self, router) -> None:
+    def __init__(
+        self, router, config: Optional[RetrievalConfig] = None
+    ) -> None:
         self.router = router
+        #: engine options; only ``max_multiget_keys`` applies to replicated
+        #: reads today (coalescing is the unreplicated engine's concern),
+        #: but the shared object keeps the drivers' config surface uniform.
+        self.config = config if config is not None else RetrievalConfig()
         #: reads answered by a non-primary replica (failover events)
         self.failovers = 0
         #: reads that reached the database
@@ -379,6 +742,105 @@ class ReplicatedRetrievalEngine:
             touched_database=touched_db,
             failover=served_by is not None and served_by != primary,
         )
+
+    def retrieve_many(
+        self,
+        keys: Iterable[str],
+        epochs: RoutingEpochs,
+        failed: FrozenSet[int] = frozenset(),
+    ) -> Generator[CommandRound, Any, Dict[str, ReplicatedOutcome]]:
+        """Batched replica reads: ring round *r* probes every round-*r*
+        owner with one :class:`ProbeCacheMulti` per server.
+
+        Same round protocol as :meth:`RetrievalEngine.retrieve_many`; the
+        outcome map and the ``failovers`` / ``database_reads`` counters
+        match running :meth:`retrieve` once per distinct key.
+        """
+        ordered = list(dict.fromkeys(keys))
+        if not ordered:
+            return {}
+        targets_of: Dict[str, List[int]] = {}
+        primary_of: Dict[str, int] = {}
+        for key in ordered:
+            try:
+                targets_of[key] = self.router.read_targets(
+                    key, epochs.new, exclude=failed
+                )
+            except RoutingError:
+                targets_of[key] = []  # every replica crashed: DB only
+            primary_of[key] = self.router.route(key, epochs.new)
+        value_of: Dict[str, Any] = {}
+        served_by: Dict[str, Optional[int]] = {key: None for key in ordered}
+        probes = {key: 0 for key in ordered}
+
+        ring_round = 0
+        unresolved = list(ordered)
+        while unresolved:
+            grouped: Dict[int, List[str]] = {}
+            for key in unresolved:
+                targets = targets_of[key]
+                if ring_round < len(targets):
+                    grouped.setdefault(targets[ring_round], []).append(key)
+            if not grouped:
+                break
+            commands = tuple(
+                ProbeCacheMulti(server_id, chunk)
+                for server_id, group in sorted(grouped.items())
+                for chunk in _chunked(group, self.config.max_multiget_keys)
+            )
+            answers = yield commands
+            for command, answer in zip(commands, answers):
+                if answer is SKIPPED:
+                    continue  # server not serving: no probe happened
+                hits = answer or {}
+                for key in command.keys:
+                    probes[key] += 1
+                    value = hits.get(key)
+                    if value is not None:
+                        value_of[key] = value
+                        served_by[key] = command.server_id
+                        if command.server_id != primary_of[key]:
+                            self.failovers += 1
+            unresolved = [key for key in unresolved if key not in value_of]
+            ring_round += 1
+
+        db_keys = [key for key in ordered if key not in value_of]
+        db_set = frozenset(db_keys)
+        if db_keys:
+            values = yield tuple(ReadDatabase(key=key) for key in db_keys)
+            for key, value in zip(db_keys, values):
+                value_of[key] = value
+                self.database_reads += 1
+
+        # Repopulate every live replica owner that missed (write-through),
+        # one pipelined command per server.
+        grouped_wb: Dict[int, List[Tuple[str, Any]]] = {}
+        for key in ordered:
+            for target in targets_of[key]:
+                if target != served_by[key]:
+                    grouped_wb.setdefault(target, []).append(
+                        (key, value_of[key])
+                    )
+        if grouped_wb:
+            yield tuple(
+                WriteBackMulti(server_id, chunk)
+                for server_id, items in sorted(grouped_wb.items())
+                for chunk in _chunked(items, self.config.max_multiget_keys)
+            )
+        return {
+            key: ReplicatedOutcome(
+                key=key,
+                value=value_of[key],
+                served_by=served_by[key],
+                probes=probes[key],
+                touched_database=key in db_set,
+                failover=(
+                    served_by[key] is not None
+                    and served_by[key] != primary_of[key]
+                ),
+            )
+            for key in ordered
+        }
 
 
 # ------------------------------------------------------- coalescing windows

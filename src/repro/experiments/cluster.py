@@ -14,7 +14,7 @@ the load-distribution algorithm and the transition behaviour.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Optional
 
 from repro.bloom.config import BloomConfig, optimal_config
@@ -41,12 +41,25 @@ from repro.workload.synthetic import SyntheticUser, UserPopulation
 
 @dataclass(frozen=True)
 class ScenarioSpec:
-    """One Table II scenario: router family + provisioning behaviour."""
+    """One Table II scenario: router family + provisioning behaviour.
+
+    ``coalesce_misses`` is a per-scenario override of the engine's dog-pile
+    protection: ``None`` (the default) defers to
+    :attr:`ExperimentConfig.coalesce_misses`, so ablations can flip the flag
+    for one scenario without forking the shared config.
+    """
 
     name: str
     router_factory: Callable[[int], Router]
     smooth: bool
     dynamic: bool
+    coalesce_misses: Optional[bool] = None
+
+    def with_coalescing(self, enabled: bool = True) -> "ScenarioSpec":
+        """This scenario with dog-pile coalescing forced on (or off)."""
+        suffix = "+coalesce" if enabled else "-coalesce"
+        name = self.name if self.name.endswith(suffix) else self.name + suffix
+        return replace(self, name=name, coalesce_misses=enabled)
 
     @staticmethod
     def static() -> "ScenarioSpec":
@@ -265,6 +278,11 @@ class ClusterExperiment:
             service_model=Exponential(cfg.db_service_mean),
             seed=cfg.seed,
         )
+        coalesce = (
+            spec.coalesce_misses
+            if spec.coalesce_misses is not None
+            else cfg.coalesce_misses
+        )
         self.webs: List[WebServer] = [
             WebServer(
                 i,
@@ -273,7 +291,7 @@ class ClusterExperiment:
                 cache_latency=Constant(cfg.cache_op_latency),
                 web_overhead=Constant(cfg.web_overhead),
                 seed=cfg.seed,
-                coalesce_misses=cfg.coalesce_misses,
+                coalesce_misses=coalesce,
             )
             for i in range(cfg.num_web_servers)
         ]

@@ -154,6 +154,36 @@ class MemcachedClient:
             else:
                 raise ProtocolError(f"unexpected get response line: {line!r}")
 
+    async def set_multi(
+        self, items, flags: int = 0, exptime: int = 0
+    ) -> int:
+        """Pipelined sets: write every command, flush once, then read the
+        replies in order; returns how many were STORED.
+
+        The write-back half of a batched retrieval: one round trip per
+        server for the whole batch, the same amortization ``get_multi``
+        gives the probe half.
+        """
+        pairs = list(items.items() if isinstance(items, dict) else items)
+        if not pairs:
+            return 0
+        buffer = bytearray()
+        for key, value in pairs:
+            proto.validate_key(key)
+            buffer += f"set {key} {flags} {exptime} {len(value)}\r\n".encode(
+                "utf-8"
+            )
+            buffer += value + proto.CRLF
+        await self._command(bytes(buffer))
+        stored = 0
+        for _ in pairs:
+            reply = await self._read_line()
+            if reply == b"STORED":
+                stored += 1
+            elif reply != b"NOT_STORED":
+                raise ProtocolError(f"unexpected set reply: {reply!r}")
+        return stored
+
     async def gets(self, key: str) -> Optional["CasValue"]:
         """Value plus its cas unique id, or ``None`` on miss."""
         proto.validate_key(key)

@@ -28,19 +28,34 @@ from __future__ import annotations
 
 import asyncio
 import time
-from typing import Awaitable, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    Awaitable,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.bloom.bloom import BloomFilter
 from repro.bloom.config import BloomConfig
 from repro.core.retrieval import (
     CheckDigest,
+    Command,
     FetchPath,
+    FetchResult,
     FetchStats,
     ProbeCache,
+    ProbeCacheMulti,
     ReadDatabase,
+    RetrievalConfig,
+    RetrievalConfigMixin,
     RetrievalEngine,
     WaitForLeader,
     WriteBack,
+    WriteBackMulti,
 )
 from repro.core.router import ProteusRouter
 from repro.core.transition import Transition, TransitionManager
@@ -51,7 +66,7 @@ from repro.net.client import MemcachedClient
 DatabaseFetch = Callable[[str], Awaitable[bytes]]
 
 
-class AsyncProteusFrontend:
+class AsyncProteusFrontend(RetrievalConfigMixin):
     """Algorithm 2 over TCP memcached endpoints.
 
     Args:
@@ -62,7 +77,9 @@ class AsyncProteusFrontend:
         initial_active: ``n(0)``.
         clock: time source for TTL deadlines (injectable in tests).
         coalesce_misses: dog-pile protection (see
-            :class:`~repro.core.retrieval.RetrievalEngine`).
+            :class:`~repro.core.retrieval.RetrievalConfig`).
+        config: full engine options (overrides *coalesce_misses*); shared
+            config surface via :class:`RetrievalConfigMixin`.
     """
 
     def __init__(
@@ -73,6 +90,7 @@ class AsyncProteusFrontend:
         initial_active: Optional[int] = None,
         clock: Callable[[], float] = time.monotonic,
         coalesce_misses: bool = False,
+        config: Optional[RetrievalConfig] = None,
     ) -> None:
         if not endpoints:
             raise ConfigurationError("need at least one cache endpoint")
@@ -80,7 +98,9 @@ class AsyncProteusFrontend:
         self.bloom_config = bloom_config
         self.database = database
         self.router = ProteusRouter(len(self.endpoints))
-        self.engine = RetrievalEngine(self.router, coalesce_misses=coalesce_misses)
+        self.engine = RetrievalEngine(
+            self.router, coalesce_misses=coalesce_misses, config=config
+        )
         self._clock = clock
         self._clients: List[Optional[MemcachedClient]] = [None] * len(endpoints)
         self._locks = [asyncio.Lock() for _ in endpoints]
@@ -103,14 +123,6 @@ class AsyncProteusFrontend:
         """Per-path counters (owned by the engine), same
         :class:`FetchPath` keys as the simulator's."""
         return self.engine.stats
-
-    @property
-    def coalesce_misses(self) -> bool:
-        return self.engine.coalesce_misses
-
-    @coalesce_misses.setter
-    def coalesce_misses(self, enabled: bool) -> None:
-        self.engine.coalesce_misses = enabled
 
     # ----------------------------------------------------------- lifecycle
 
@@ -151,6 +163,18 @@ class AsyncProteusFrontend:
         async with self._locks[server_id]:
             await client.set(key, value)
 
+    async def _get_multi(
+        self, server_id: int, keys: Sequence[str]
+    ) -> Dict[str, bytes]:
+        client = self._client(server_id)
+        async with self._locks[server_id]:
+            return await client.get_multi(keys)
+
+    async def _set_multi(self, server_id: int, items) -> None:
+        client = self._client(server_id)
+        async with self._locks[server_id]:
+            await client.set_multi(items)
+
     # ----------------------------------------------------------- transitions
 
     def _current_transition(self) -> Optional[Transition]:
@@ -184,14 +208,19 @@ class AsyncProteusFrontend:
 
     # ------------------------------------------------------------ Algorithm 2
 
-    async def fetch(self, key: str) -> Tuple[bytes, FetchPath]:
-        """Retrieve *key*; returns ``(value, path)``.
+    async def fetch(self, key: str) -> FetchResult:
+        """Retrieve *key*; returns the unified
+        :class:`~repro.core.retrieval.FetchResult` — the same type the
+        simulated tier returns, timed against this frontend's clock.
 
-        ``path`` is a :class:`~repro.core.retrieval.FetchPath` — a ``str``
-        subclass, so comparisons against the wire labels (``"hit_new"``,
-        ...) keep working.
+        ``result.path`` is a :class:`~repro.core.retrieval.FetchPath` — a
+        ``str`` subclass, so comparisons against the wire labels
+        (``"hit_new"``, ...) keep working.  The historical
+        ``value, path = await frontend.fetch(key)`` tuple unpacking still
+        works via a deprecation shim on :class:`FetchResult`.
         """
-        epochs = self._manager.routing_counts(self._clock())
+        started = self._clock()
+        epochs = self._manager.routing_counts(started)
         steps = self.engine.retrieve(key, epochs)
         result = None
         leader: Optional[asyncio.Future] = None
@@ -234,7 +263,87 @@ class AsyncProteusFrontend:
                     del self._inflight[key]
                 if not leader.done():
                     leader.set_result(None)
-        return outcome.value, outcome.path
+        return FetchResult(
+            key=key, value=outcome.value, path=outcome.path,
+            started=started, completed=self._clock(),
+            new_server=outcome.new_server, old_server=outcome.old_server,
+        )
+
+    async def fetch_many(self, keys: Iterable[str]) -> Dict[str, FetchResult]:
+        """Retrieve a whole key set with at most one ``get_multi`` round
+        trip per probed server per routing epoch.
+
+        Drives :meth:`RetrievalEngine.retrieve_many`: each round's commands
+        execute concurrently (``asyncio.gather``), so probes of different
+        servers overlap the way spymemcached pipelines a page's lookups.
+        Values, paths, and :class:`FetchStats` counts are identical to
+        awaiting :meth:`fetch` once per key.
+        """
+        started = self._clock()
+        epochs = self._manager.routing_counts(started)
+        steps = self.engine.retrieve_many(keys, epochs)
+        answers = None
+        leaders: Dict[str, asyncio.Future] = {}
+        try:
+            while True:
+                round_ = steps.send(answers)
+                answers = tuple(
+                    await asyncio.gather(
+                        *(
+                            self._execute_batched(command, epochs, leaders)
+                            for command in round_
+                        )
+                    )
+                )
+        except StopIteration as stop:
+            outcomes = stop.value
+        finally:
+            for key, leader in leaders.items():
+                if self._inflight.get(key) is leader:
+                    del self._inflight[key]
+                if not leader.done():
+                    leader.set_result(None)
+        completed = self._clock()
+        return {
+            key: FetchResult(
+                key=key, value=outcome.value, path=outcome.path,
+                started=started, completed=completed,
+                new_server=outcome.new_server, old_server=outcome.old_server,
+            )
+            for key, outcome in outcomes.items()
+        }
+
+    async def _execute_batched(
+        self,
+        command: Command,
+        epochs,
+        leaders: Dict[str, asyncio.Future],
+    ):
+        """Perform one batched-round command (rounds run under gather)."""
+        if isinstance(command, ProbeCacheMulti):
+            return await self._get_multi(command.server_id, command.keys)
+        if isinstance(command, WriteBackMulti):
+            await self._set_multi(command.server_id, command.items)
+            return None
+        if isinstance(command, CheckDigest):
+            transition = epochs.transition
+            return transition is not None and transition.digest_hit(
+                command.server_id, command.key
+            )
+        if isinstance(command, WaitForLeader):
+            pending = self._inflight.get(command.key)
+            if pending is None:
+                return False
+            await asyncio.shield(pending)
+            return True
+        if isinstance(command, ReadDatabase):
+            key = command.key
+            if command.announce_leader and key not in self._inflight:
+                leader = asyncio.get_running_loop().create_future()
+                self._inflight[key] = leader
+                leaders[key] = leader
+            return await self.database(key)
+        raise ConfigurationError(f"unknown batched command: {command!r}")
 
     async def put(self, key: str, value: bytes) -> None:
         """Write-through to the authoritative owner under the new mapping."""

@@ -20,21 +20,26 @@ over live TCP.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
-from typing import Any, Optional, Tuple
+from typing import Any, Dict, Iterable, Optional, Tuple
 
 from repro.cache.cluster import CacheCluster
 from repro.core.retrieval import (
     CheckDigest,
     Command,
+    CommandRound,
     FetchPath,
+    FetchResult,
     FetchStats,
     LeaderWindowRegistry,
     ProbeCache,
+    ProbeCacheMulti,
     ReadDatabase,
+    RetrievalConfig,
+    RetrievalConfigMixin,
     RetrievalEngine,
     WaitForLeader,
     WriteBack,
+    WriteBackMulti,
 )
 from repro.core.transition import RoutingEpochs
 from repro.database.cluster import DatabaseCluster
@@ -48,29 +53,7 @@ DEFAULT_CACHE_OP_LATENCY = 0.001
 DEFAULT_WEB_OVERHEAD = 0.002
 
 
-@dataclass
-class FetchResult:
-    """Outcome and timing of one Algorithm-2 retrieval."""
-
-    key: str
-    value: Any
-    path: FetchPath
-    started: float
-    completed: float
-    new_server: int
-    old_server: Optional[int] = None
-
-    @property
-    def latency(self) -> float:
-        """End-to-end response time in seconds."""
-        return self.completed - self.started
-
-    @property
-    def touched_database(self) -> bool:
-        return self.path in (FetchPath.FALSE_POSITIVE_DB, FetchPath.MISS_DB)
-
-
-class WebServer:
+class WebServer(RetrievalConfigMixin):
     """One servlet container driving the shared retrieval engine.
 
     Args:
@@ -82,8 +65,10 @@ class WebServer:
         pools: connection-pool registry (accounting; singleton per backend).
         seed: RNG seed for latency sampling.
         coalesce_misses: dog-pile protection (see
-            :class:`~repro.core.retrieval.RetrievalEngine`); off by default
+            :class:`~repro.core.retrieval.RetrievalConfig`); off by default
             as in the paper's evaluation.
+        config: full engine options (overrides *coalesce_misses*); shared
+            config surface via :class:`RetrievalConfigMixin`.
     """
 
     def __init__(
@@ -96,6 +81,7 @@ class WebServer:
         pools: Optional[PoolRegistry] = None,
         seed: int = 0,
         coalesce_misses: bool = False,
+        config: Optional[RetrievalConfig] = None,
     ) -> None:
         if server_id < 0:
             raise ConfigurationError(f"server_id must be >= 0, got {server_id}")
@@ -105,7 +91,9 @@ class WebServer:
         self.cache_latency = cache_latency or Constant(DEFAULT_CACHE_OP_LATENCY)
         self.web_overhead = web_overhead or Constant(DEFAULT_WEB_OVERHEAD)
         self.pools = pools or PoolRegistry()
-        self.engine = RetrievalEngine(cache.router, coalesce_misses=coalesce_misses)
+        self.engine = RetrievalEngine(
+            cache.router, coalesce_misses=coalesce_misses, config=config
+        )
         self._rng = random.Random((seed << 16) ^ server_id)
         #: in-flight DB-fetch windows for dog-pile coalescing
         self._leaders = LeaderWindowRegistry()
@@ -116,14 +104,6 @@ class WebServer:
     def stats(self) -> FetchStats:
         """Per-path counters (owned by the engine)."""
         return self.engine.stats
-
-    @property
-    def coalesce_misses(self) -> bool:
-        return self.engine.coalesce_misses
-
-    @coalesce_misses.setter
-    def coalesce_misses(self, enabled: bool) -> None:
-        self.engine.coalesce_misses = enabled
 
     # ------------------------------------------------------------- helpers
 
@@ -192,3 +172,94 @@ class WebServer:
             )
             return None, clock
         raise ConfigurationError(f"unknown engine command: {command!r}")
+
+    # ------------------------------------------------------ batched fetches
+
+    def fetch_many(
+        self, keys: Iterable[str], now: float
+    ) -> Dict[str, FetchResult]:
+        """Retrieve a whole key set through the engine's batch planner.
+
+        One logical page request: probes and write-backs are grouped per
+        owning server, so the batch charges **one latency sample per server
+        touched per round** instead of one per key — commands within a
+        round model concurrent fan-out (the clock advances by the slowest
+        command of the round, as a real multiget fan-out would).  Values,
+        paths, and :class:`FetchStats` counts are identical to looping
+        :meth:`fetch` over the keys; the batch completes as a unit, so
+        every key shares the batch's completion time.
+        """
+        epochs = self.cache.routing_epochs(now)
+        clock = now + self.web_overhead.sample(self._rng)
+        steps = self.engine.retrieve_many(keys, epochs)
+        answers: Any = None
+        try:
+            while True:
+                round_ = steps.send(answers)
+                results = []
+                done_times = []
+                for command in round_:
+                    answer, done = self._execute_batched(command, epochs, clock)
+                    results.append(answer)
+                    done_times.append(done)
+                if done_times:
+                    clock = max(done_times)
+                answers = tuple(results)
+        except StopIteration as stop:
+            outcomes = stop.value
+        return {
+            key: FetchResult(
+                key=key, value=outcome.value, path=outcome.path,
+                started=now, completed=clock,
+                new_server=outcome.new_server, old_server=outcome.old_server,
+            )
+            for key, outcome in outcomes.items()
+        }
+
+    def _execute_batched(
+        self, command: Command, epochs: RoutingEpochs, clock: float
+    ) -> Tuple[Any, float]:
+        """Perform one batched-round command starting at *clock*; returns
+        (answer, completion time).  Commands in a round all start at the
+        round's base clock — they run concurrently."""
+        if isinstance(command, ProbeCacheMulti):
+            pool = self.pools.pool(f"cache:{command.server_id}")
+            clock += pool.acquire()
+            clock = self._cache_op(clock)
+            server = self.cache.server(command.server_id)
+            hits = {}
+            for key in command.keys:
+                value = server.get(key, clock)
+                if value is not None:
+                    hits[key] = value
+            pool.release()
+            return hits, clock
+        if isinstance(command, WriteBackMulti):
+            clock = self._cache_op(clock)
+            server = self.cache.server(command.server_id)
+            for key, value in command.items:
+                server.set(key, value, now=clock)
+            return None, clock
+        if isinstance(command, CheckDigest):
+            transition = epochs.transition
+            hit = transition is not None and transition.digest_hit(
+                command.server_id, command.key
+            )
+            return hit, clock
+        if isinstance(command, WaitForLeader):
+            leader_done = self._leaders.leader_done(command.key, clock)
+            if leader_done is None:
+                return False, clock
+            return True, leader_done
+        if isinstance(command, ReadDatabase):
+            db_pool = self.pools.pool("database")
+            clock += db_pool.acquire()
+            response = self.database.get(command.key, clock)
+            db_pool.release()
+            clock = response.completion_time
+            if command.announce_leader:
+                self._leaders.announce(
+                    command.key, clock + 2 * self.cache_latency.mean, now=clock
+                )
+            return response.value, clock
+        raise ConfigurationError(f"unknown batched command: {command!r}")

@@ -26,16 +26,21 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Any, List, Optional
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.cache.cluster import CacheCluster
 from repro.core.replication import ReplicatedProteusRouter
 from repro.core.retrieval import (
+    Command,
     ProbeCache,
+    ProbeCacheMulti,
     ReadDatabase,
     ReplicatedRetrievalEngine,
+    RetrievalConfig,
+    RetrievalConfigMixin,
     SKIPPED,
     WriteBack,
+    WriteBackMulti,
 )
 from repro.database.cluster import DatabaseCluster
 from repro.errors import ConfigurationError, RoutingError
@@ -62,7 +67,7 @@ class ReplicatedFetchResult:
         return self.completed - self.started
 
 
-class ReplicatedWebServer:
+class ReplicatedWebServer(RetrievalConfigMixin):
     """Algorithm-2-style retrieval over ``r`` replica rings with failover."""
 
     def __init__(
@@ -73,6 +78,7 @@ class ReplicatedWebServer:
         cache_latency: Optional[LatencyModel] = None,
         web_overhead: Optional[LatencyModel] = None,
         seed: int = 0,
+        config: Optional[RetrievalConfig] = None,
     ) -> None:
         if not isinstance(cache.router, ReplicatedProteusRouter):
             raise ConfigurationError(
@@ -85,7 +91,7 @@ class ReplicatedWebServer:
         self.database = database
         self.cache_latency = cache_latency or Constant(DEFAULT_CACHE_OP_LATENCY)
         self.web_overhead = web_overhead or Constant(DEFAULT_WEB_OVERHEAD)
-        self.engine = ReplicatedRetrievalEngine(cache.router)
+        self.engine = ReplicatedRetrievalEngine(cache.router, config=config)
         self._rng = random.Random((seed << 12) ^ server_id)
 
     # ------------------------------------------------------------- facade
@@ -146,6 +152,67 @@ class ReplicatedWebServer:
             served_by=outcome.served_by, probes=outcome.probes,
             touched_database=outcome.touched_database,
         )
+
+    def fetch_many(
+        self, keys: Iterable[str], now: float
+    ) -> Dict[str, ReplicatedFetchResult]:
+        """Read a whole key set, one multiget per replica owner per ring
+        round; outcomes match looping :meth:`fetch` over the keys."""
+        epochs = self.cache.routing_epochs(now)
+        clock = now + self.web_overhead.sample(self._rng)
+        steps = self.engine.retrieve_many(
+            keys, epochs, failed=self.cache.failed_servers()
+        )
+        answers: Any = None
+        try:
+            while True:
+                round_ = steps.send(answers)
+                results = []
+                done_times = []
+                for command in round_:
+                    answer, done = self._execute_batched(command, clock)
+                    results.append(answer)
+                    done_times.append(done)
+                if done_times:
+                    clock = max(done_times)
+                answers = tuple(results)
+        except StopIteration as stop:
+            outcomes = stop.value
+        return {
+            key: ReplicatedFetchResult(
+                key=key, value=outcome.value, started=now, completed=clock,
+                served_by=outcome.served_by, probes=outcome.probes,
+                touched_database=outcome.touched_database,
+            )
+            for key, outcome in outcomes.items()
+        }
+
+    def _execute_batched(
+        self, command: Command, clock: float
+    ) -> Tuple[Any, float]:
+        """Perform one batched-round command; returns (answer, done time)."""
+        if isinstance(command, ProbeCacheMulti):
+            server = self.cache.server(command.server_id)
+            if not server.state.serves_requests:
+                return SKIPPED, clock
+            clock += self.cache_latency.sample(self._rng)
+            hits = {}
+            for key in command.keys:
+                value = server.get(key, clock)
+                if value is not None:
+                    hits[key] = value
+            return hits, clock
+        if isinstance(command, ReadDatabase):
+            response = self.database.get(command.key, clock)
+            return response.value, response.completion_time
+        if isinstance(command, WriteBackMulti):
+            server = self.cache.server(command.server_id)
+            if server.state.serves_requests:
+                clock += self.cache_latency.sample(self._rng)
+                for key, value in command.items:
+                    server.set(key, value, now=clock)
+            return None, clock
+        raise ConfigurationError(f"unexpected batched command: {command!r}")
 
     def put(self, key: str, value: Any, now: float) -> List[int]:
         """Write *key* to every live distinct replica owner; returns them."""

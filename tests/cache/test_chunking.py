@@ -129,3 +129,59 @@ class TestAdapter:
     def test_get_absent(self):
         _, adapter = self.adapter()
         assert adapter.get("ghost") is None
+
+
+class TestBatchedPieceFetch:
+    def test_over_server_reads_pieces_through_one_multiget(self):
+        server = CacheServer(0, capacity_bytes=4096 * 100, bloom_config=CFG)
+        calls = []
+        real_get_many = server.get_many
+
+        def counting_get_many(keys, now=0.0):
+            calls.append(list(keys))
+            return real_get_many(keys, now)
+
+        server.get_many = counting_get_many
+        adapter = ChunkingCacheAdapter.over_server(server)
+        value = b"D" * 20_000
+        adapter.set("obj", value, now=0.0)
+        assert adapter.get("obj", now=1.0) == value
+        # One batched call covering every piece, not one get per piece.
+        assert len(calls) == 1
+        assert calls[0] == [piece_key("obj", i) for i in range(5)]
+
+    def test_small_object_never_batches(self):
+        server = CacheServer(0, capacity_bytes=4096 * 100, bloom_config=CFG)
+        calls = []
+        server.get_many = lambda keys, now=0.0: calls.append(keys) or {}
+        adapter = ChunkingCacheAdapter.over_server(server)
+        adapter.set("small", b"v", now=0.0)
+        assert adapter.get("small", now=1.0) == b"v"
+        assert calls == []
+
+    def test_fallback_loop_without_get_many(self):
+        # A store-shaped backend with no multiget still works piece by piece.
+        store = {}
+        adapter = ChunkingCacheAdapter(
+            get_fn=lambda key, now=0.0: store.get(key),
+            set_fn=lambda key, value, now=0.0, size=None: store.__setitem__(
+                key, value
+            ),
+            delete_fn=lambda key, now=0.0: store.pop(key, None) is not None,
+        )
+        value = b"E" * 9_000
+        adapter.set("obj", value, now=0.0)
+        assert adapter.get("obj", now=1.0) == value
+
+    def test_server_get_many_requires_power_and_skips_misses(self):
+        server = CacheServer(0, capacity_bytes=4096 * 100, bloom_config=CFG)
+        server.set("a", b"1", now=0.0)
+        server.set("b", b"2", now=0.0)
+        assert server.get_many(["a", "b", "ghost"], now=1.0) == {
+            "a": b"1", "b": b"2",
+        }
+        server.power_off()
+        from repro.errors import CacheError
+
+        with pytest.raises(CacheError):
+            server.get_many(["a"], now=2.0)

@@ -11,12 +11,15 @@ from repro.core.retrieval import (
     FetchStats,
     LeaderWindowRegistry,
     ProbeCache,
+    ProbeCacheMulti,
     ReadDatabase,
     ReplicatedRetrievalEngine,
+    RetrievalConfig,
     RetrievalEngine,
     SKIPPED,
     WaitForLeader,
     WriteBack,
+    WriteBackMulti,
 )
 from repro.core.router import ProteusRouter
 from repro.core.transition import RoutingEpochs, Transition
@@ -219,6 +222,258 @@ class TestUnreplicatedPaths:
         # str mix-in: members compare and hash like their labels.
         assert FetchPath.HIT_NEW == "hit_new"
         assert stats.counts["hit_new"] == 1
+
+
+class StoreDriver:
+    """Executes engine commands against dict-backed stores.
+
+    Answers both the single-key command set (:meth:`run_single`) and the
+    batched round protocol (:meth:`run_batch`), so the same cluster state
+    can drive ``retrieve`` and ``retrieve_many`` for equivalence checks.
+    """
+
+    def __init__(self, stores, db, digests=None, leaders=()):
+        #: server_id -> {key: value}
+        self.stores = {sid: dict(store) for sid, store in stores.items()}
+        self.db = db
+        #: server_id -> set of keys the broadcast digest claims
+        self.digests = digests or {}
+        #: keys with an in-flight leader (WaitForLeader answers True)
+        self.leaders = set(leaders)
+        self.rounds = []
+
+    def _lookup(self, server_id, key):
+        return self.stores.get(server_id, {}).get(key)
+
+    def run_single(self, generator, key):
+        result = None
+        try:
+            while True:
+                command = generator.send(result)
+                if isinstance(command, ProbeCache):
+                    result = self._lookup(command.server_id, key)
+                elif isinstance(command, CheckDigest):
+                    result = key in self.digests.get(command.server_id, ())
+                elif isinstance(command, WaitForLeader):
+                    result = key in self.leaders
+                elif isinstance(command, ReadDatabase):
+                    result = self.db[key]
+                elif isinstance(command, WriteBack):
+                    self.stores.setdefault(command.server_id, {})[key] = (
+                        command.value
+                    )
+                    result = None
+                else:
+                    raise AssertionError(f"unexpected command {command!r}")
+        except StopIteration as stop:
+            return stop.value
+
+    def _answer(self, command):
+        if isinstance(command, ProbeCacheMulti):
+            store = self.stores.get(command.server_id, {})
+            return {k: store[k] for k in command.keys if k in store}
+        if isinstance(command, CheckDigest):
+            return command.key in self.digests.get(command.server_id, ())
+        if isinstance(command, WaitForLeader):
+            return command.key in self.leaders
+        if isinstance(command, ReadDatabase):
+            return self.db[command.key]
+        if isinstance(command, WriteBackMulti):
+            store = self.stores.setdefault(command.server_id, {})
+            for key, value in command.items:
+                store[key] = value
+            return None
+        raise AssertionError(f"unexpected batched command {command!r}")
+
+    def run_batch(self, generator):
+        answers = None
+        try:
+            while True:
+                round_ = generator.send(answers)
+                self.rounds.append(round_)
+                answers = tuple(self._answer(c) for c in round_)
+        except StopIteration as stop:
+            return stop.value
+
+
+class TestBatchPlanner:
+    def _keys_by_owner(self, epochs, count_per_kind=3):
+        """Keys partitioned by transition behaviour under 4 -> 3."""
+        moved, stayed = [], []
+        for i in range(100_000):
+            key = f"page:{i}"
+            if ROUTER.route(key, 4) != ROUTER.route(key, 3):
+                if len(moved) < count_per_kind:
+                    moved.append(key)
+            elif len(stayed) < count_per_kind:
+                stayed.append(key)
+            if len(moved) == count_per_kind and len(stayed) == count_per_kind:
+                return moved, stayed
+        raise AssertionError("key search exhausted")
+
+    def test_all_hits_is_one_probe_round_grouped_by_server(self):
+        keys = [f"page:{i}" for i in range(12)]
+        stores = {}
+        for key in keys:
+            stores.setdefault(ROUTER.route(key, 3), {})[key] = f"v-{key}"
+        engine = RetrievalEngine(ROUTER)
+        driver = StoreDriver(stores, db={})
+        outcomes = driver.run_batch(engine.retrieve_many(keys, STEADY))
+        assert len(driver.rounds) == 1
+        probed = [c.server_id for c in driver.rounds[0]]
+        assert all(isinstance(c, ProbeCacheMulti) for c in driver.rounds[0])
+        # One multiget per distinct owner, no server probed twice.
+        assert len(probed) == len(set(probed))
+        assert set(probed) == set(stores)
+        assert all(
+            outcomes[key].path is FetchPath.HIT_NEW for key in keys
+        )
+        assert all(outcomes[key].value == f"v-{key}" for key in keys)
+
+    def test_batch_equals_sequential_mid_transition(self):
+        # Mixed batch: hits at the new owner, hot keys at the old owner,
+        # digest false positives, and plain misses — in one retrieve_many.
+        moved, stayed = self._keys_by_owner(DRAINING)
+        hot, false_positive, cold = moved
+        warm, miss, _ = stayed
+        stores = {}
+        stores.setdefault(ROUTER.route(warm, 3), {})[warm] = "warm"
+        stores.setdefault(ROUTER.route(hot, 4), {})[hot] = "hot"
+        digests = {}
+        digests.setdefault(ROUTER.route(hot, 4), set()).add(hot)
+        digests.setdefault(
+            ROUTER.route(false_positive, 4), set()
+        ).add(false_positive)
+        db = {false_positive: "fp-db", cold: "cold-db", miss: "miss-db"}
+        keys = [warm, hot, false_positive, cold, miss]
+
+        batch_engine = RetrievalEngine(ROUTER)
+        batch_driver = StoreDriver(stores, db, digests)
+        batched = batch_driver.run_batch(
+            batch_engine.retrieve_many(keys, DRAINING)
+        )
+
+        seq_engine = RetrievalEngine(ROUTER)
+        seq_driver = StoreDriver(stores, db, digests)
+        sequential = {
+            key: seq_driver.run_single(
+                seq_engine.retrieve(key, DRAINING), key
+            )
+            for key in keys
+        }
+
+        assert set(batched) == set(sequential)
+        for key in keys:
+            assert batched[key].path is sequential[key].path
+            assert batched[key].value == sequential[key].value
+            assert batched[key].new_server == sequential[key].new_server
+            assert batched[key].old_server == sequential[key].old_server
+        assert batch_engine.stats.counts == seq_engine.stats.counts
+        assert batched[warm].path is FetchPath.HIT_NEW
+        assert batched[hot].path is FetchPath.HIT_OLD
+        assert batched[false_positive].path is FetchPath.FALSE_POSITIVE_DB
+        assert batched[cold].path is FetchPath.MISS_DB
+        # Both drivers leave identical cluster state behind.
+        assert batch_driver.stores == seq_driver.stores
+
+    def test_duplicate_keys_collapse_to_one_outcome(self):
+        engine = RetrievalEngine(ROUTER)
+        driver = StoreDriver({}, db={KEY: "v"})
+        outcomes = driver.run_batch(
+            engine.retrieve_many([KEY, KEY, KEY], STEADY)
+        )
+        assert list(outcomes) == [KEY]
+        assert engine.stats.total == 1
+        # Exactly one DB read despite three requests for the key.
+        reads = [
+            c for round_ in driver.rounds for c in round_
+            if isinstance(c, ReadDatabase)
+        ]
+        assert len(reads) == 1
+
+    def test_max_multiget_keys_chunks_oversized_groups(self):
+        engine = RetrievalEngine(
+            ROUTER, config=RetrievalConfig(max_multiget_keys=2)
+        )
+        keys = [f"page:{i}" for i in range(100_000)]
+        same_owner = [k for k in keys if ROUTER.route(k, 3) == 0][:5]
+        driver = StoreDriver(
+            {0: {k: "v" for k in same_owner}}, db={}
+        )
+        driver.run_batch(engine.retrieve_many(same_owner, STEADY))
+        probe_round = driver.rounds[0]
+        assert [len(c.keys) for c in probe_round] == [2, 2, 1]
+        assert all(c.server_id == 0 for c in probe_round)
+
+    def test_empty_batch_yields_nothing(self):
+        engine = RetrievalEngine(ROUTER)
+        driver = StoreDriver({}, db={})
+        assert driver.run_batch(engine.retrieve_many([], STEADY)) == {}
+        assert driver.rounds == []
+        assert engine.stats.total == 0
+
+    def test_coalesced_batch_reprobes_instead_of_reading_db(self):
+        engine = RetrievalEngine(ROUTER, coalesce_misses=True)
+        new_id = ROUTER.route(KEY, 3)
+
+        # The leader's write-back lands while this batch waits: emulate by
+        # installing the value at the new owner when WaitForLeader fires.
+        class LeaderDriver(StoreDriver):
+            def _answer(self, command):
+                if isinstance(command, WaitForLeader):
+                    self.stores.setdefault(new_id, {})[KEY] = "installed"
+                    return True
+                return super()._answer(command)
+
+        leader_driver = LeaderDriver({}, db={}, leaders=[KEY])
+        outcomes = leader_driver.run_batch(
+            engine.retrieve_many([KEY], STEADY)
+        )
+        assert outcomes[KEY].path is FetchPath.COALESCED
+        assert outcomes[KEY].value == "installed"
+        reads = [
+            c for round_ in leader_driver.rounds for c in round_
+            if isinstance(c, ReadDatabase)
+        ]
+        assert reads == []
+
+    def test_replicated_batch_equals_sequential(self):
+        from repro.core.replication import ReplicatedProteusRouter
+
+        router = ReplicatedProteusRouter(4, replicas=2, ring_size=2 ** 20)
+        epochs = RoutingEpochs(4, None, None)
+        keys = [f"page:{i}" for i in range(8)]
+        # Prime half the keys at their primary, leave half to the DB.
+        stores = {}
+        for key in keys[:4]:
+            stores.setdefault(router.route(key, 4), {})[key] = f"v-{key}"
+        db = {key: f"db-{key}" for key in keys}
+
+        batch_engine = ReplicatedRetrievalEngine(router)
+        batch_driver = StoreDriver(stores, db)
+        batched = batch_driver.run_batch(
+            batch_engine.retrieve_many(keys, epochs)
+        )
+
+        seq_engine = ReplicatedRetrievalEngine(router)
+        seq_driver = StoreDriver(stores, db)
+        sequential = {
+            key: seq_driver.run_single(seq_engine.retrieve(key, epochs), key)
+            for key in keys
+        }
+
+        for key in keys:
+            assert batched[key].value == sequential[key].value
+            assert batched[key].served_by == sequential[key].served_by
+            assert batched[key].probes == sequential[key].probes
+            assert (
+                batched[key].touched_database
+                == sequential[key].touched_database
+            )
+            assert batched[key].failover == sequential[key].failover
+        assert batch_engine.failovers == seq_engine.failovers
+        assert batch_engine.database_reads == seq_engine.database_reads
+        assert batch_driver.stores == seq_driver.stores
 
 
 class TestReplicatedEngine:

@@ -44,6 +44,30 @@ class TestScenarioSpec:
         for spec in ScenarioSpec.all_four():
             assert spec.dynamic == (spec.name != "Static")
 
+    def test_coalescing_defers_to_config_by_default(self):
+        for spec in ScenarioSpec.all_four():
+            assert spec.coalesce_misses is None
+        experiment = ClusterExperiment(
+            ScenarioSpec.naive(), small_config(coalesce_misses=True)
+        )
+        assert all(web.coalesce_misses for web in experiment.webs)
+
+    def test_with_coalescing_overrides_config(self):
+        spec = ScenarioSpec.naive().with_coalescing()
+        assert spec.name == "Naive+coalesce"
+        assert spec.coalesce_misses is True
+        experiment = ClusterExperiment(
+            spec, small_config(coalesce_misses=False)
+        )
+        assert all(web.coalesce_misses for web in experiment.webs)
+        # The override works in both directions.
+        off = ScenarioSpec.naive().with_coalescing(False)
+        assert off.name == "Naive-coalesce"
+        experiment = ClusterExperiment(
+            off, small_config(coalesce_misses=True)
+        )
+        assert not any(web.coalesce_misses for web in experiment.webs)
+
 
 class TestConfigValidation:
     def test_slot_mismatch_rejected(self):
