@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench figures examples clean
+.PHONY: install test bench bench-smoke figures examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -15,6 +15,12 @@ test-output:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# One-round routing/bloom microbenches: fast CI canary for the vectorized
+# hot path (speedup gates still enforced; absolute numbers are noisy).
+bench-smoke:
+	PROTEUS_BENCH_ROUNDS=1 $(PYTHON) -m pytest \
+		benchmarks/bench_routing_perf.py --benchmark-disable -q -s
 
 # Regenerate every paper figure as printed tables.
 figures:

@@ -33,12 +33,14 @@ from repro.bloom import (
     BloomConfig,
     BloomFilter,
     CountingBloomFilter,
+    KeyHashes,
     optimal_config,
 )
 from repro.cache import CacheServer, CacheStats, KeyValueStore, PowerState
 from repro.config import ClusterConfig, DigestGeometry
 from repro.cache.cluster import CacheCluster
 from repro.core import (
+    CompiledRingTable,
     ConsistentRouter,
     FetchPath,
     FetchResult,
@@ -105,6 +107,7 @@ __all__ = [
     "CacheStats",
     "ClusterConfig",
     "ClusterExperiment",
+    "CompiledRingTable",
     "ConsistentRouter",
     "CountingBloomFilter",
     "DatabaseCluster",
@@ -116,6 +119,7 @@ __all__ = [
     "FetchResult",
     "FetchStats",
     "HashRing",
+    "KeyHashes",
     "KeyValueStore",
     "MemcachedClient",
     "MemcachedServer",

@@ -11,13 +11,25 @@ from repro.bloom.config import (
     optimal_config,
 )
 from repro.bloom.counting import CountingBloomFilter
-from repro.bloom.hashing import DoubleHashFamily, ring_position, stable_hash64
+from repro.bloom.hashing import (
+    DoubleHashFamily,
+    KeyHashes,
+    digest_bases_many,
+    ring_position,
+    ring_positions_many,
+    stable_hash64,
+    stable_hash64_many,
+)
 
 __all__ = [
     "BloomFilter",
     "BloomConfig",
     "CountingBloomFilter",
     "DoubleHashFamily",
+    "KeyHashes",
+    "digest_bases_many",
+    "ring_positions_many",
+    "stable_hash64_many",
     "counter_bits_closed_form",
     "counter_bits_enumerated",
     "false_negative_bound",

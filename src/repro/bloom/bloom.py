@@ -7,13 +7,20 @@ deletions.  The paper's digests are *counting* Bloom filters
 (Section V-A3) only needs membership queries — web servers never delete —
 so snapshotting a counting filter down to a bit array shrinks the broadcast
 by a factor of ``b``.
+
+Batch operations (:meth:`BloomFilter.add_many`,
+:meth:`BloomFilter.contains_many`) compute all probe indexes in one
+vectorized double-hash pass and touch the bit array with ``numpy`` fancy
+indexing; results are bit-identical to the scalar loop.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Iterable, List, Optional, Sequence, Tuple
 
-from repro.bloom.hashing import DoubleHashFamily, Key
+import numpy as np
+
+from repro.bloom.hashing import DoubleHashFamily, Key, KeyHashes
 
 
 class BloomFilter:
@@ -35,16 +42,30 @@ class BloomFilter:
         #: number of keys inserted so far (not deduplicated)
         self.count = 0
 
-    def add(self, key: Key) -> None:
-        """Insert *key*."""
-        for idx in self._family.iter_indexes(key):
+    def add(self, key: Key, hashes: Optional[KeyHashes] = None) -> None:
+        """Insert *key* (pass *hashes* to reuse an existing double-hash pair)."""
+        for idx in self._family.iter_indexes(key, hashes):
             self._bits[idx >> 3] |= 1 << (idx & 7)
         self.count += 1
 
+    def add_many(self, keys: Sequence[Key]) -> None:
+        """Insert a whole key batch — one hash pass, one fancy-index store.
+
+        Identical final bits and count to calling :meth:`add` per key.
+        """
+        keys = list(keys)
+        if not keys:
+            return
+        indexes = self._family.indexes_many(keys).ravel()
+        view = np.frombuffer(self._bits, dtype=np.uint8)
+        np.bitwise_or.at(
+            view, indexes >> 3, (1 << (indexes & 7)).astype(np.uint8)
+        )
+        self.count += len(keys)
+
     def update(self, keys: Iterable[Key]) -> None:
         """Insert every key in *keys*."""
-        for key in keys:
-            self.add(key)
+        self.add_many(list(keys))
 
     def __contains__(self, key: Key) -> bool:
         return all(
@@ -52,9 +73,32 @@ class BloomFilter:
             for idx in self._family.iter_indexes(key)
         )
 
-    def contains(self, key: Key) -> bool:
+    def contains(self, key: Key, hashes: Optional[KeyHashes] = None) -> bool:
         """Membership query; may return false positives, never false negatives."""
-        return key in self
+        if hashes is None:
+            return key in self
+        return all(
+            self._bits[idx >> 3] & (1 << (idx & 7))
+            for idx in self._family.iter_indexes(key, hashes)
+        )
+
+    def contains_many(
+        self,
+        keys: Sequence[Key],
+        bases: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+    ) -> List[bool]:
+        """Vectorized membership: element ``i`` is ``contains(keys[i])``.
+
+        Pass *bases* (from :func:`~repro.bloom.hashing.digest_bases_many`)
+        to reuse already-computed double-hash pairs.
+        """
+        keys = list(keys)
+        if not keys:
+            return []
+        indexes = self._family.indexes_many(keys, bases)
+        view = np.frombuffer(self._bits, dtype=np.uint8)
+        hit = (view[indexes >> 3] & (1 << (indexes & 7)).astype(np.uint8)) != 0
+        return hit.all(axis=1).tolist()
 
     def expected_false_positive_rate(self, kappa: Optional[int] = None) -> float:
         """Paper Eq. 4: ``(1 - e^(-kappa*h/l))^h``.
@@ -70,7 +114,8 @@ class BloomFilter:
 
     def fill_ratio(self) -> float:
         """Fraction of bits set to 1."""
-        ones = sum(bin(b).count("1") for b in self._bits)
+        view = np.frombuffer(self._bits, dtype=np.uint8)
+        ones = int(np.unpackbits(view).sum())
         return ones / self.num_bits
 
     def size_bytes(self) -> int:

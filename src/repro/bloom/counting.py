@@ -12,14 +12,25 @@ Deleting a key that was never inserted raises :class:`~repro.errors.DigestError`
 in strict mode: the paper argues this never happens because deletions are
 driven solely by memcached item-unlink events, so we treat it as a bug
 rather than corrupting the counters.
+
+Batch operations (:meth:`CountingBloomFilter.add_many`,
+:meth:`~CountingBloomFilter.remove_many`,
+:meth:`~CountingBloomFilter.contains_many`) hash every key in one vectorized
+pass and apply all counter deltas with one ``np.bincount``.  Saturating unit
+increments and zero-clamped unit decrements commute, so the per-counter
+results — including the saturation/overflow accounting — are exactly what
+the scalar loop produces; :meth:`remove_many` is additionally *atomic* in
+strict mode (a failing batch raises without mutating any counter).
 """
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.bloom.bloom import BloomFilter
-from repro.bloom.hashing import DoubleHashFamily, Key
+from repro.bloom.hashing import DoubleHashFamily, Key, KeyHashes
 from repro.errors import DigestError
 
 
@@ -76,11 +87,11 @@ class CountingBloomFilter:
 
     # ------------------------------------------------------------------ ops
 
-    def add(self, key: Key) -> None:
+    def add(self, key: Key, hashes: Optional[KeyHashes] = None) -> None:
         """Insert *key*, incrementing its ``h`` counters (saturating)."""
         counters = self._counters
         max_val = self._max
-        for idx in self._family.iter_indexes(key):
+        for idx in self._family.iter_indexes(key, hashes):
             current = counters[idx]
             if current >= max_val:
                 self.overflow_events += 1
@@ -88,7 +99,7 @@ class CountingBloomFilter:
                 counters[idx] = current + 1
         self.count += 1
 
-    def remove(self, key: Key) -> None:
+    def remove(self, key: Key, hashes: Optional[KeyHashes] = None) -> None:
         """Delete *key*, decrementing its ``h`` counters.
 
         Raises:
@@ -96,7 +107,7 @@ class CountingBloomFilter:
                 zero (deleting an absent element).
         """
         counters = self._counters
-        indexes = self._family.indexes(key)
+        indexes = self._family.indexes(key, hashes)
         if self.strict and any(counters[idx] == 0 for idx in indexes):
             raise DigestError(f"removing key absent from digest: {key!r}")
         for idx in indexes:
@@ -106,20 +117,134 @@ class CountingBloomFilter:
 
     def update(self, keys: Iterable[Key]) -> None:
         """Insert every key in *keys*."""
-        for key in keys:
-            self.add(key)
+        self.add_many(list(keys))
+
+    # ------------------------------------------------------------ batch ops
+
+    def _counter_view(self) -> Optional[np.ndarray]:
+        """Writable uint8 view of the counter array, or ``None`` for ``b > 8``."""
+        if isinstance(self._counters, bytearray):
+            return np.frombuffer(self._counters, dtype=np.uint8)
+        return None
+
+    def add_many(
+        self,
+        keys: Sequence[Key],
+        bases: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+    ) -> None:
+        """Insert a key batch: one hash pass, one ``np.bincount`` of deltas.
+
+        Saturating unit increments commute, so for a counter at ``c``
+        receiving ``k`` increments the final value is ``min(2^b-1, c+k)``
+        and exactly ``max(0, c+k-(2^b-1))`` of them overflow — identical
+        counters, ``count``, and ``overflow_events`` to the scalar loop,
+        in any order.
+        """
+        keys = list(keys)
+        if not keys:
+            return
+        view = self._counter_view()
+        if view is None:  # wide counters: python-int storage, scalar loop
+            for key in keys:
+                self.add(key)
+            return
+        indexes = self._family.indexes_many(keys, bases)
+        delta = np.bincount(indexes.ravel(), minlength=self.num_counters)
+        raised = view.astype(np.int64) + delta
+        overflow = raised - self._max
+        self.overflow_events += int(overflow[overflow > 0].sum())
+        np.minimum(raised, self._max, out=raised)
+        view[:] = raised.astype(np.uint8)
+        self.count += len(keys)
+
+    def remove_many(
+        self,
+        keys: Sequence[Key],
+        bases: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+    ) -> None:
+        """Delete a key batch; atomic in strict mode.
+
+        On success the counters and ``count`` equal those of calling
+        :meth:`remove` per key.  In strict mode a batch that would delete an
+        absent key raises :class:`DigestError` naming the first offending
+        key *without mutating anything* (the scalar loop would stop midway
+        with earlier removes applied; batch semantics are all-or-nothing).
+        """
+        keys = list(keys)
+        if not keys:
+            return
+        view = self._counter_view()
+        if view is None:
+            self._remove_replay(keys, None)
+            return
+        indexes = self._family.indexes_many(keys, bases)
+        # A key probing the same counter twice (double-hash collision) is
+        # check-once / clamp-per-probe in the scalar path, which bincount
+        # deltas cannot express — replay those batches key by key.
+        sorted_rows = np.sort(indexes, axis=1)
+        has_within_key_dup = bool((sorted_rows[:, 1:] == sorted_rows[:, :-1]).any())
+        if self.strict and has_within_key_dup:
+            self._remove_replay(keys, indexes)
+            return
+        delta = np.bincount(indexes.ravel(), minlength=self.num_counters)
+        lowered = view.astype(np.int64) - delta
+        if self.strict and (lowered < 0).any():
+            self._remove_replay(keys, indexes)  # re-raises, naming the key
+            raise AssertionError("strict replay must have raised")
+        np.maximum(lowered, 0, out=lowered)
+        view[:] = lowered.astype(np.uint8)
+        self.count = max(0, self.count - len(keys))
+
+    def _remove_replay(
+        self, keys: List[Key], indexes: Optional[np.ndarray]
+    ) -> None:
+        """Sequential-semantics removal on a copy, committed atomically."""
+        counters = self._counters[:] if not isinstance(self._counters, bytearray) else bytearray(self._counters)
+        rows = (
+            (self._family.indexes(key) for key in keys)
+            if indexes is None
+            else (row.tolist() for row in indexes)
+        )
+        for key, row in zip(keys, rows):
+            if self.strict and any(counters[idx] == 0 for idx in row):
+                raise DigestError(f"removing key absent from digest: {key!r}")
+            for idx in row:
+                if counters[idx] > 0:
+                    counters[idx] -= 1
+        self._counters = counters
+        self.count = max(0, self.count - len(keys))
+
+    def contains_many(
+        self,
+        keys: Sequence[Key],
+        bases: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+    ) -> List[bool]:
+        """Vectorized membership: element ``i`` is ``contains(keys[i])``."""
+        keys = list(keys)
+        if not keys:
+            return []
+        view = self._counter_view()
+        if view is None:
+            return [key in self for key in keys]
+        indexes = self._family.indexes_many(keys, bases)
+        return (view[indexes] > 0).all(axis=1).tolist()
 
     def __contains__(self, key: Key) -> bool:
         counters = self._counters
         return all(counters[idx] > 0 for idx in self._family.iter_indexes(key))
 
-    def contains(self, key: Key) -> bool:
+    def contains(self, key: Key, hashes: Optional[KeyHashes] = None) -> bool:
         """Membership query.
 
         May return false positives (hash collisions) and — after counter
         overflow followed by deletions — false negatives.
         """
-        return key in self
+        if hashes is None:
+            return key in self
+        counters = self._counters
+        return all(
+            counters[idx] > 0 for idx in self._family.iter_indexes(key, hashes)
+        )
 
     def clear(self) -> None:
         """Reset every counter to zero (server flush)."""
@@ -139,10 +264,15 @@ class CountingBloomFilter:
         broadcast payload is a bit per counter instead of ``b`` bits.
         """
         bf = BloomFilter(self.num_counters, self.num_hashes)
-        bits = bf._bits
-        for idx, value in enumerate(self._counters):
-            if value > 0:
-                bits[idx >> 3] |= 1 << (idx & 7)
+        view = self._counter_view()
+        if view is None:
+            bits = bf._bits
+            for idx, value in enumerate(self._counters):
+                if value > 0:
+                    bits[idx >> 3] |= 1 << (idx & 7)
+        else:
+            packed = np.packbits(view > 0, bitorder="little")
+            bf._bits = bytearray(packed.tobytes())
         bf.count = self.count
         return bf
 
@@ -152,6 +282,9 @@ class CountingBloomFilter:
 
     def max_counter(self) -> int:
         """Largest counter value currently held."""
+        view = self._counter_view()
+        if view is not None:
+            return int(view.max()) if self.num_counters else 0
         return max(self._counters) if self.num_counters else 0
 
     def size_bytes(self) -> int:
@@ -160,6 +293,9 @@ class CountingBloomFilter:
 
     def saturated_fraction(self) -> float:
         """Fraction of counters currently pinned at ``2^b - 1``."""
+        view = self._counter_view()
+        if view is not None:
+            return int(np.count_nonzero(view >= self._max)) / self.num_counters
         max_val = self._max
         saturated = sum(1 for value in self._counters if value >= max_val)
         return saturated / self.num_counters

@@ -8,16 +8,50 @@ asymptotics).  blake2b with distinct salts is overkill speed-wise for a real
 memcached but is deterministic across processes and platforms, which the
 paper's consistency objective (Section I, objective 3: decisions must agree
 across all web servers) makes mandatory.
+
+Hot-path layout (Section I, objective 3 — the decision runs on every web
+request):
+
+* :func:`stable_hash64` hashes through a per-salt *template* blake2b object
+  that is built once and ``copy()``-ed per key — the salted parameter block
+  is parsed once instead of on every call, which roughly halves the cost of
+  a hash while producing bit-identical digests.
+* Every ``(key, salt)`` result is memoized in a bounded LRU
+  (:data:`_HASH_MEMO_SIZE` entries).  The hash is a pure function, so the
+  memo cannot change any decision; it turns the steady-state cost of
+  routing a hot key into a dict hit.  Zipf-like web traffic keeps the memo
+  hit rate high — the same skew that makes a memory cache pay off at all.
+* :func:`stable_hash64_many` hashes a whole key batch into one ``numpy``
+  ``uint64`` array through the same memo.
+* :class:`KeyHashes` memoizes the blake2b bases one retrieval needs — the
+  modulo-hash base, the ring base per replica, and the digest double-hash
+  pair — so routing under two epochs plus all digest probes cost at most
+  one blake2b per base instead of rehashing the key at every step.
 """
 
 from __future__ import annotations
 
 import hashlib
-from typing import Iterator, List, Union
+from functools import lru_cache
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 Key = Union[str, bytes]
 
 _MASK64 = (1 << 64) - 1
+
+#: Entries in the salted-hash memo.  Web traffic routes the same hot keys
+#: over and over (that is what makes a memory cache worth running), so the
+#: steady-state cost of a routing decision is one dict hit, not one blake2b.
+_HASH_MEMO_SIZE = 1 << 16
+
+#: Salt of the digest double-hash base ``h1`` (see :class:`DoubleHashFamily`).
+DIGEST_SALT_H1 = 0x51
+#: Salt of the digest double-hash base ``h2``.
+DIGEST_SALT_H2 = 0x52
+#: Salt of ring replica 0 (see :func:`ring_position`).
+RING_SALT_BASE = 0x100
 
 
 def _as_bytes(key: Key) -> bytes:
@@ -27,6 +61,29 @@ def _as_bytes(key: Key) -> bytes:
     return key.encode("utf-8")
 
 
+#: Per-salt blake2b templates; ``template.copy()`` is ~2x cheaper than
+#: re-parsing the salted parameter block in the constructor, and the digest
+#: is bit-identical, so every historical routing decision is preserved.
+_TEMPLATES: Dict[int, "hashlib._Hash"] = {}
+
+
+def _template(salt: int):
+    template = _TEMPLATES.get(salt)
+    if template is None:
+        template = hashlib.blake2b(
+            digest_size=8, salt=salt.to_bytes(8, "little")
+        )
+        _TEMPLATES[salt] = template
+    return template
+
+
+@lru_cache(maxsize=_HASH_MEMO_SIZE)
+def _hash64_memo(key: Key, salt: int) -> int:
+    digest = _template(salt).copy()
+    digest.update(_as_bytes(key))
+    return int.from_bytes(digest.digest(), "little")
+
+
 def stable_hash64(key: Key, salt: int = 0) -> int:
     """Return a deterministic 64-bit hash of *key*.
 
@@ -34,14 +91,91 @@ def stable_hash64(key: Key, salt: int = 0) -> int:
     ``PYTHONHASHSEED``, so every web server computes the same value — the
     consistency requirement of Section I.
 
+    The hash is a pure function of ``(key, salt)``, so results are memoized
+    in a bounded LRU: repeat routings of a hot key (the common case for a
+    memory-cache web tier) cost a dict hit instead of a blake2b.
+
     Args:
         key: text or bytes key.
         salt: selects an independent function from the family.
     """
-    digest = hashlib.blake2b(
-        _as_bytes(key), digest_size=8, salt=salt.to_bytes(8, "little")
-    ).digest()
-    return int.from_bytes(digest, "little")
+    return _hash64_memo(key, salt)
+
+
+def stable_hash64_many(keys: Sequence[Key], salt: int = 0) -> np.ndarray:
+    """Vectorized :func:`stable_hash64`: one ``uint64`` per key.
+
+    Value ``i`` equals ``stable_hash64(keys[i], salt)`` exactly.  Hashes go
+    through the same salted-hash memo as the scalar form, so a batch over a
+    warm working set is one dict hit per key and a cold batch fills the memo
+    for every later scalar or batch call.
+    """
+    memo = _hash64_memo
+    return np.fromiter(
+        (memo(key, salt) for key in keys), dtype=np.uint64, count=len(keys)
+    )
+
+
+class KeyHashes:
+    """The blake2b bases one retrieval needs, computed at most once each.
+
+    Algorithm 2 hashes the *same* key repeatedly: routing under the new
+    epoch, routing under the old epoch, and the ``h`` digest probes all
+    start from a salted blake2b of the key.  A :class:`KeyHashes` is built
+    once per fetch and threaded through the engine and its commands, so
+    each base is computed lazily on first use and reused after that —
+    values are bit-identical to calling :func:`stable_hash64` directly.
+    """
+
+    __slots__ = ("key", "_base", "_rings", "_digest")
+
+    def __init__(
+        self,
+        key: Key,
+        digest_bases: Optional[Tuple[int, int]] = None,
+    ) -> None:
+        self.key = key
+        self._base: Optional[int] = None
+        self._rings: Optional[Dict[int, int]] = None
+        self._digest = digest_bases
+
+    @property
+    def base64(self) -> int:
+        """``stable_hash64(key)`` — the modulo-router base (salt 0)."""
+        if self._base is None:
+            self._base = stable_hash64(self.key)
+        return self._base
+
+    def ring_position(self, ring_size: int, replica: int = 0) -> int:
+        """:func:`ring_position` with the replica base hashed only once."""
+        rings = self._rings
+        if rings is None:
+            rings = self._rings = {}
+        base = rings.get(replica)
+        if base is None:
+            base = rings[replica] = stable_hash64(
+                self.key, salt=RING_SALT_BASE + replica
+            )
+        return base % ring_size
+
+    def digest_bases(self) -> Tuple[int, int]:
+        """The double-hash pair ``(h1, h2)`` shared by every digest probe."""
+        if self._digest is None:
+            self._digest = (
+                stable_hash64(self.key, salt=DIGEST_SALT_H1),
+                stable_hash64(self.key, salt=DIGEST_SALT_H2) | 1,
+            )
+        return self._digest
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"KeyHashes({self.key!r})"
+
+
+def digest_bases_many(keys: Sequence[Key]) -> Tuple[np.ndarray, np.ndarray]:
+    """Batched double-hash bases: ``(h1[], h2[])`` for a whole key set."""
+    h1 = stable_hash64_many(keys, salt=DIGEST_SALT_H1)
+    h2 = stable_hash64_many(keys, salt=DIGEST_SALT_H2) | np.uint64(1)
+    return h1, h2
 
 
 class DoubleHashFamily:
@@ -60,20 +194,48 @@ class DoubleHashFamily:
         self.num_hashes = num_hashes
         self.size = size
 
-    def indexes(self, key: Key) -> List[int]:
+    def _bases(
+        self, key: Key, hashes: Optional[KeyHashes] = None
+    ) -> Tuple[int, int]:
+        """The ``(h1, h2)`` pair — reused from *hashes* when provided."""
+        if hashes is not None:
+            return hashes.digest_bases()
+        return (
+            stable_hash64(key, salt=DIGEST_SALT_H1),
+            stable_hash64(key, salt=DIGEST_SALT_H2) | 1,
+        )
+
+    def indexes(
+        self, key: Key, hashes: Optional[KeyHashes] = None
+    ) -> List[int]:
         """Return the ``num_hashes`` probe positions for *key*."""
-        h1 = stable_hash64(key, salt=0x51)
-        h2 = stable_hash64(key, salt=0x52) | 1
+        h1, h2 = self._bases(key, hashes)
         size = self.size
         return [((h1 + i * h2) & _MASK64) % size for i in range(self.num_hashes)]
 
-    def iter_indexes(self, key: Key) -> Iterator[int]:
-        """Lazily yield probe positions (same values as :meth:`indexes`)."""
-        h1 = stable_hash64(key, salt=0x51)
-        h2 = stable_hash64(key, salt=0x52) | 1
-        size = self.size
-        for i in range(self.num_hashes):
-            yield ((h1 + i * h2) & _MASK64) % size
+    def iter_indexes(
+        self, key: Key, hashes: Optional[KeyHashes] = None
+    ) -> Iterator[int]:
+        """Iterate the probe positions (same values as :meth:`indexes`)."""
+        return iter(self.indexes(key, hashes))
+
+    def indexes_many(
+        self,
+        keys: Sequence[Key],
+        bases: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+    ) -> np.ndarray:
+        """Probe positions for a key batch: shape ``(len(keys), num_hashes)``.
+
+        Row ``i`` equals ``indexes(keys[i])`` exactly — ``uint64`` wrap-around
+        in numpy matches the scalar ``& _MASK64``.  Pass *bases* (from
+        :func:`digest_bases_many`) to reuse already-computed hashes.
+        """
+        if bases is None:
+            bases = digest_bases_many(keys)
+        h1, h2 = bases
+        strides = np.arange(self.num_hashes, dtype=np.uint64)
+        mixed = h1[:, None] + strides[None, :] * h2[:, None]
+        return (mixed % np.uint64(self.size)).astype(np.int64)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"DoubleHashFamily(num_hashes={self.num_hashes}, size={self.size})"
@@ -87,4 +249,14 @@ def ring_position(key: Key, ring_size: int, replica: int = 0) -> int:
     """
     if ring_size < 1:
         raise ValueError(f"ring_size must be >= 1, got {ring_size}")
-    return stable_hash64(key, salt=0x100 + replica) % ring_size
+    return stable_hash64(key, salt=RING_SALT_BASE + replica) % ring_size
+
+
+def ring_positions_many(
+    keys: Sequence[Key], ring_size: int, replica: int = 0
+) -> np.ndarray:
+    """Vectorized :func:`ring_position` over a key batch (``int64`` array)."""
+    if ring_size < 1:
+        raise ValueError(f"ring_size must be >= 1, got {ring_size}")
+    hashes = stable_hash64_many(keys, salt=RING_SALT_BASE + replica)
+    return (hashes % np.uint64(ring_size)).astype(np.int64)

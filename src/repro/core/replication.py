@@ -10,15 +10,20 @@ distinct servers (Eq. 3) is::
     P_nc = prod_{i=0}^{r-1} (n(t) - i) / n(t)
 
 which approaches 1 for small ``r`` and large ``n``.
+
+All lookups go through the shared ring's per-epoch compiled table
+(:meth:`~repro.core.ring.HashRing.compiled_for`): one table serves every
+replica ring because the rings differ only in the key hash, not in the
+virtual-node placement.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence, Tuple
 
-from repro.bloom.hashing import Key, ring_position
+from repro.bloom.hashing import Key, KeyHashes, ring_position
 from repro.core.placement import Placement, place_virtual_nodes
-from repro.core.ring import HashRing, prefix_active
+from repro.core.ring import HashRing
 from repro.core.router import DEFAULT_RING_SIZE, Router
 from repro.errors import ConfigurationError, RoutingError
 
@@ -56,33 +61,71 @@ class ReplicatedProteusRouter(Router):
         self.placement: Placement = place_virtual_nodes(num_servers, ring_size)
         self._ring: HashRing = self.placement.build_ring()
 
-    def replica_servers(self, key: Key, num_active: int) -> List[int]:
+    def replica_servers(
+        self, key: Key, num_active: int, hashes: Optional[KeyHashes] = None
+    ) -> List[int]:
         """Servers holding each replica of *key* (may contain duplicates).
 
         Index ``i`` of the result is the owner on ring ``i``.  Duplicates are
         *not* removed: Eq. 3 is about how often they occur, and callers that
-        want distinct storage targets can dedupe.
+        want distinct storage targets can dedupe.  Pass *hashes* to reuse
+        already-computed replica bases.
         """
         self._check_active(num_active)
-        active = prefix_active(num_active)
+        table = self._ring.compiled_for(num_active)
+        size = self._ring.size
+        if hashes is not None:
+            return [
+                table.lookup(hashes.ring_position(size, replica=i))
+                for i in range(self.replicas)
+            ]
         return [
-            self._ring.lookup(ring_position(key, self._ring.size, replica=i), active)
+            table.lookup(ring_position(key, size, replica=i))
             for i in range(self.replicas)
         ]
 
-    def distinct_replica_servers(self, key: Key, num_active: int) -> List[int]:
+    def distinct_replica_servers(
+        self, key: Key, num_active: int, hashes: Optional[KeyHashes] = None
+    ) -> List[int]:
         """Deduplicated replica owners, primary ring first."""
         seen: List[int] = []
-        for server in self.replica_servers(key, num_active):
+        for server in self.replica_servers(key, num_active, hashes=hashes):
             if server not in seen:
                 seen.append(server)
         return seen
 
     def route(self, key: Key, num_active: int) -> int:
-        """Primary owner of *key* (ring 0) — the read target."""
-        return self.replica_servers(key, num_active)[0]
+        """Primary owner of *key* (ring 0) — the read target.
 
-    def read_targets(self, key: Key, num_active: int, exclude: Sequence[int] = ()) -> List[int]:
+        Hashes only the primary ring, not all ``r`` replicas.
+        """
+        self._check_active(num_active)
+        return self._ring.compiled_for(num_active).lookup(
+            ring_position(key, self._ring.size, replica=0)
+        )
+
+    def route_hashed(self, hashes: KeyHashes, num_active: int) -> int:
+        self._check_active(num_active)
+        return self._ring.compiled_for(num_active).lookup(
+            hashes.ring_position(self._ring.size, replica=0)
+        )
+
+    def route_many(self, keys: Sequence[Key], num_active: int) -> List[int]:
+        from repro.bloom.hashing import ring_positions_many
+
+        self._check_active(num_active)
+        table = self._ring.compiled_for(num_active)
+        return table.lookup_many(
+            ring_positions_many(keys, self._ring.size, replica=0)
+        ).tolist()
+
+    def read_targets(
+        self,
+        key: Key,
+        num_active: int,
+        exclude: Sequence[int] = (),
+        hashes: Optional[KeyHashes] = None,
+    ) -> List[int]:
         """Replica owners excluding failed servers in *exclude*.
 
         Raises:
@@ -90,7 +133,7 @@ class ReplicatedProteusRouter(Router):
         """
         targets = [
             server
-            for server in self.distinct_replica_servers(key, num_active)
+            for server in self.distinct_replica_servers(key, num_active, hashes=hashes)
             if server not in exclude
         ]
         if not targets:
@@ -98,6 +141,28 @@ class ReplicatedProteusRouter(Router):
                 f"all {self.replicas} replicas of {key!r} are on failed servers"
             )
         return targets
+
+    def read_plan(
+        self,
+        key: Key,
+        num_active: int,
+        exclude: Sequence[int] = (),
+        hashes: Optional[KeyHashes] = None,
+    ) -> Tuple[List[int], int]:
+        """One-pass read plan: ``(surviving targets, primary owner)``.
+
+        The replicated retrieval engine needs both the failover probe order
+        *and* the primary owner (for write-backs); computing them together
+        hashes each replica ring once instead of twice.  Unlike
+        :meth:`read_targets`, an empty target list is returned, not raised —
+        the engine reports the all-replicas-failed miss itself.
+        """
+        owners = self.replica_servers(key, num_active, hashes=hashes)
+        targets: List[int] = []
+        for server in owners:
+            if server not in targets and server not in exclude:
+                targets.append(server)
+        return targets, owners[0]
 
     def empirical_conflict_rate(
         self, num_active: int, num_samples: int = 5000, seed: int = 11

@@ -66,8 +66,8 @@ from typing import (
     Union,
 )
 
+from repro.bloom.hashing import KeyHashes, digest_bases_many
 from repro.core.transition import RoutingEpochs
-from repro.errors import RoutingError
 
 __all__ = [
     "CheckDigest",
@@ -231,10 +231,17 @@ class CheckDigest:
     In single-key retrievals the driver knows the key from its own call
     context and ``key`` stays ``None``; batched retrievals carry the key
     explicitly because one round interleaves many keys.
+
+    ``hashes`` (when set) is the key's memoized
+    :class:`~repro.bloom.hashing.KeyHashes`; drivers forward it to
+    :meth:`~repro.core.transition.Transition.digest_hit` so the digest
+    probes reuse the double-hash pair instead of rehashing the key.  It is
+    excluded from equality so command traces compare on the decision alone.
     """
 
     server_id: int
     key: Optional[str] = None
+    hashes: Optional[KeyHashes] = field(compare=False, repr=False, default=None)
 
 
 @dataclass(frozen=True)
@@ -479,8 +486,14 @@ class RetrievalEngine:
         touches the old server; the write-back in step 4 makes every
         subsequent request a step-1 hit.  Property 2: after TTL seconds
         every hot key has migrated, so the old server can power off.
+
+        The key is hashed at most once per base: one
+        :class:`~repro.bloom.hashing.KeyHashes` carries the ring hash to
+        both epochs' routing lookups and the double-hash pair to the digest
+        check.  Decisions are bit-identical to routing/probing per step.
         """
-        new_id = self.router.route(key, epochs.new)
+        hashes = KeyHashes(key)
+        new_id = self.router.route_hashed(hashes, epochs.new)
         value = yield ProbeCache(new_id)
         if value is not None:
             return self._finish(key, value, FetchPath.HIT_NEW, new_id, None)
@@ -488,8 +501,8 @@ class RetrievalEngine:
         old_id: Optional[int] = None
         path = FetchPath.MISS_DB
         if epochs.in_transition:
-            old_id = self.router.route(key, epochs.old)
-            if old_id != new_id and (yield CheckDigest(old_id)):
+            old_id = self.router.route_hashed(hashes, epochs.old)
+            if old_id != new_id and (yield CheckDigest(old_id, hashes=hashes)):
                 value = yield ProbeCache(old_id)
                 if value is not None:
                     yield WriteBack(new_id, value)
@@ -539,7 +552,7 @@ class RetrievalEngine:
         outcomes: Dict[str, RetrievalOutcome] = {}
         if not ordered:
             return outcomes
-        new_owner = {key: self.router.route(key, epochs.new) for key in ordered}
+        new_owner = dict(zip(ordered, self.router.route_many(ordered, epochs.new)))
 
         # Phase 1 — Alg. 2 line 3, batched: probe every new owner once.
         hits = yield from self._probe_many(ordered, new_owner)
@@ -561,15 +574,28 @@ class RetrievalEngine:
         # owner moved, then one batched probe per old owner for digest hits.
         if epochs.in_transition and pending:
             moved = []
-            for key in pending:
-                old_id = self.router.route(key, epochs.old)
+            for key, old_id in zip(
+                pending, self.router.route_many(pending, epochs.old)
+            ):
                 old_owner[key] = old_id
                 if old_id != new_owner[key]:
                     moved.append(key)
             digest_hits = set()
             if moved:
+                # One vectorized double-hash pass covers every digest check
+                # in the round; the per-key KeyHashes carries the pair so
+                # the old-owner probe (and any driver-side re-check) reuses
+                # it instead of rehashing.
+                h1s, h2s = digest_bases_many(moved)
                 answers = yield tuple(
-                    CheckDigest(old_owner[key], key=key) for key in moved
+                    CheckDigest(
+                        old_owner[key],
+                        key=key,
+                        hashes=KeyHashes(
+                            key, digest_bases=(int(h1), int(h2))
+                        ),
+                    )
+                    for key, h1, h2 in zip(moved, h1s, h2s)
                 )
                 digest_hits = {
                     key for key, hit in zip(moved, answers) if hit
@@ -708,11 +734,10 @@ class ReplicatedRetrievalEngine:
         failed: FrozenSet[int] = frozenset(),
     ) -> Generator[Command, Any, ReplicatedOutcome]:
         """Yield the commands that read *key* from the first live replica."""
-        try:
-            targets = self.router.read_targets(key, epochs.new, exclude=failed)
-        except RoutingError:
-            targets = []  # every replica crashed: only the DB can answer
-        primary = self.router.route(key, epochs.new)
+        # One pass over the replica rings yields both the surviving probe
+        # order and the ring-0 primary (an empty target list replaces the
+        # read_targets RoutingError: every replica crashed, DB only).
+        targets, primary = self.router.read_plan(key, epochs.new, exclude=failed)
         value: Any = None
         served_by: Optional[int] = None
         probes = 0
@@ -762,13 +787,9 @@ class ReplicatedRetrievalEngine:
         targets_of: Dict[str, List[int]] = {}
         primary_of: Dict[str, int] = {}
         for key in ordered:
-            try:
-                targets_of[key] = self.router.read_targets(
-                    key, epochs.new, exclude=failed
-                )
-            except RoutingError:
-                targets_of[key] = []  # every replica crashed: DB only
-            primary_of[key] = self.router.route(key, epochs.new)
+            targets_of[key], primary_of[key] = self.router.read_plan(
+                key, epochs.new, exclude=failed
+            )
         value_of: Dict[str, Any] = {}
         served_by: Dict[str, Optional[int]] = {key: None for key in ordered}
         probes = {key: 0 for key in ordered}

@@ -12,18 +12,39 @@ With this convention a virtual node whose assigned host range is
 server powers off, the range drains to the next active virtual node
 clockwise — which the Proteus placement (Algorithm 1) arranges to be exactly
 the lender the range was borrowed from.
+
+**Compiled lookups.**  :meth:`HashRing.lookup` re-resolves the
+inactive-skip chain through a Python predicate on every call — fine for
+construction-time queries, too slow for the per-request hot path
+(Section I, objective 3 demands the decision be *efficient*).
+:meth:`HashRing.compile` resolves the chain *once* into a
+:class:`CompiledRingTable`: a flat sorted integer position array plus a
+parallel pre-resolved owner array, so a lookup is one bisection with zero
+Python callbacks and a batch of lookups is one vectorized
+``np.searchsorted``.  :meth:`HashRing.compiled_for` caches one table per
+``num_active`` prefix (an LRU over the old/new epochs in force).  The
+compiled table is an equivalent *representation*, not a new policy: for
+every integer position it returns exactly what :meth:`lookup` returns.
 """
 
 from __future__ import annotations
 
+import math
 from bisect import bisect_right
 from dataclasses import dataclass
 from fractions import Fraction
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
+import numpy as np
+
 from repro.errors import ConfigurationError, RoutingError
 
 Position = Union[int, Fraction]
+
+#: Compiled tables cached per ring (one per recent ``num_active``); two
+#: epochs are in force during a transition, the rest is headroom for
+#: schedules that oscillate.
+_COMPILED_CACHE_SIZE = 8
 
 
 @dataclass(frozen=True, order=True)
@@ -34,12 +55,57 @@ class VirtualNode:
     server: int
 
 
+class CompiledRingTable:
+    """One activity set's lookup structure, resolved ahead of time.
+
+    ``bounds[i]`` is ``ceil(position_i)`` of the ``i``-th virtual node (ring
+    order) and ``owners[i]`` is the *pre-resolved* owner of the arc ending
+    at that node — the first active server at or clockwise-after node ``i``.
+    For an **integer** query position ``k`` (key hashes are integers),
+    ``position_i > k  iff  ceil(position_i) > k``, and two distinct exact
+    positions sharing a ceil admit no integer strictly between them, so
+    ``bisect_right`` over the ceils lands on exactly the node the exact-
+    arithmetic :meth:`HashRing.lookup` would pick — bit-identical owners
+    with no :class:`~fractions.Fraction` comparisons on the hot path.
+    """
+
+    __slots__ = ("size", "_bounds", "_owners", "_bounds_np", "_owners_np")
+
+    def __init__(self, size: int, bounds: List[int], owners: List[int]) -> None:
+        self.size = size
+        self._bounds = bounds
+        self._owners = owners
+        self._bounds_np = np.asarray(bounds, dtype=np.int64)
+        self._owners_np = np.asarray(owners, dtype=np.int64)
+
+    def __len__(self) -> int:
+        return len(self._bounds)
+
+    def lookup(self, position: int) -> int:
+        """Owner of integer *position* — one bisection, no callbacks."""
+        bounds = self._bounds
+        index = bisect_right(bounds, position % self.size)
+        if index == len(bounds):
+            index = 0
+        return self._owners[index]
+
+    def lookup_many(self, positions: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`lookup` over an integer position array."""
+        indexes = np.searchsorted(
+            self._bounds_np, positions % self.size, side="right"
+        )
+        indexes[indexes == len(self._bounds)] = 0
+        return self._owners_np[indexes]
+
+
 class HashRing:
     """A consistent-hashing ring over positions ``[0, size)``.
 
     Virtual nodes may be added in any order; lookups are ``O(log V)`` via
     bisection plus a clockwise scan past inactive servers (``O(V)`` worst
-    case, short in practice because inactive runs are short).
+    case, short in practice because inactive runs are short).  Request
+    routing should go through :meth:`compiled_for`, which eliminates the
+    scan entirely.
 
     Args:
         size: key-space size ``K``; positions live in ``[0, size)``.
@@ -51,6 +117,7 @@ class HashRing:
         self.size = size
         self._nodes: List[VirtualNode] = []  # kept sorted by position
         self._positions: List[Position] = []  # parallel sorted positions
+        self._compiled: Dict[int, CompiledRingTable] = {}  # num_active -> table
 
     # ----------------------------------------------------------- mutation
 
@@ -65,11 +132,32 @@ class HashRing:
             raise ConfigurationError(f"duplicate virtual node position {pos}")
         self._positions.insert(idx, pos)
         self._nodes.insert(idx, node)
+        self._compiled.clear()
 
     def add_many(self, nodes: Sequence[VirtualNode]) -> None:
-        """Bulk-add virtual nodes."""
-        for node in nodes:
-            self.add(node.position, node.server)
+        """Bulk-add virtual nodes: one sort instead of V shifting inserts.
+
+        Equivalent to calling :meth:`add` per node but ``O(V log V)``
+        total instead of ``O(V^2)``, and atomic — a duplicate position
+        raises :class:`~repro.errors.ConfigurationError` without mutating
+        the ring.
+        """
+        if not nodes:
+            return
+        merged = list(self._nodes)
+        merged.extend(
+            VirtualNode(node.position % self.size, node.server)
+            for node in nodes
+        )
+        merged.sort(key=lambda node: node.position)
+        for left, right in zip(merged, merged[1:]):
+            if left.position == right.position:
+                raise ConfigurationError(
+                    f"duplicate virtual node position {right.position}"
+                )
+        self._nodes = merged
+        self._positions = [node.position for node in merged]
+        self._compiled.clear()
 
     # ------------------------------------------------------------ queries
 
@@ -109,6 +197,61 @@ class HashRing:
             if is_active(node.server):
                 return node.server
         raise RoutingError("no active server on the ring")
+
+    # ---------------------------------------------------------- compiling
+
+    def compile(
+        self, is_active: Optional[Callable[[int], bool]] = None
+    ) -> CompiledRingTable:
+        """Resolve the inactive-skip chain once into a flat lookup table.
+
+        The predicate is evaluated ``V`` times here and never again: the
+        returned table answers every integer-position lookup with one
+        bisection (or one ``searchsorted`` for a batch) and is bit-identical
+        to :meth:`lookup` under the same predicate.
+
+        Raises:
+            RoutingError: the ring is empty or no active server exists.
+        """
+        count = len(self._nodes)
+        if count == 0:
+            raise RoutingError("lookup on an empty ring")
+        if is_active is None:
+            active = [True] * count
+        else:
+            active = [is_active(node.server) for node in self._nodes]
+            if not any(active):
+                raise RoutingError("no active server on the ring")
+        owners = [0] * count
+        # Two backward sweeps resolve "first active at/after i, wrapping":
+        # the first seeds the wrap-around owner, the second fixes the tail.
+        resolved: Optional[int] = None
+        for _ in range(2):
+            for index in range(count - 1, -1, -1):
+                if active[index]:
+                    resolved = self._nodes[index].server
+                owners[index] = resolved  # type: ignore[assignment]
+        bounds = [
+            pos if isinstance(pos, int) else math.ceil(pos)
+            for pos in self._positions
+        ]
+        return CompiledRingTable(self.size, bounds, owners)
+
+    def compiled_for(self, num_active: int) -> CompiledRingTable:
+        """The compiled table for the ``server < num_active`` activity set.
+
+        Cached per ``num_active`` (bounded LRU; mutation clears it), so the
+        two epochs in force during a transition each compile once and every
+        subsequent ``route()`` is hash + bisect.
+        """
+        table = self._compiled.get(num_active)
+        if table is None:
+            table = self.compile(prefix_active(num_active))
+            if len(self._compiled) >= _COMPILED_CACHE_SIZE:
+                # Evict the oldest insertion (dicts preserve order).
+                self._compiled.pop(next(iter(self._compiled)))
+            self._compiled[num_active] = table
+        return table
 
     def owned_lengths(
         self, is_active: Optional[Callable[[int], bool]] = None

@@ -15,6 +15,14 @@ Scenario            Server provisioning        Workload distribution
                                                server, or n^2/2 total)
 ``Proteus``         dynamically tuned          Algorithm 1 placement
 ==================  =========================  ===============================
+
+Objective 3 also demands the decision be *efficient* — it runs on every web
+request — so the ring-based routers route through
+:meth:`~repro.core.ring.HashRing.compiled_for`: the inactive-skip chain is
+resolved once per ``num_active`` epoch into a flat table, ``route()`` is
+hash + one bisection with zero Python callbacks, and :meth:`Router.route_many`
+answers a whole key batch with one vectorized ``np.searchsorted``.  Routing
+decisions are bit-identical to the uncompiled ``ring.lookup`` path.
 """
 
 from __future__ import annotations
@@ -22,11 +30,18 @@ from __future__ import annotations
 import math
 import random
 from abc import ABC, abstractmethod
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
-from repro.bloom.hashing import Key, ring_position, stable_hash64
+from repro.bloom.hashing import (
+    Key,
+    KeyHashes,
+    ring_position,
+    ring_positions_many,
+    stable_hash64,
+    stable_hash64_many,
+)
 from repro.core.placement import Placement, place_virtual_nodes
-from repro.core.ring import HashRing, prefix_active
+from repro.core.ring import HashRing, VirtualNode
 from repro.errors import ConfigurationError, RoutingError
 
 #: Default key-space size for consistent-hashing rings.  2^32 matches common
@@ -52,6 +67,24 @@ class Router(ABC):
     def route(self, key: Key, num_active: int) -> int:
         """Return the server id (< ``num_active`` unless Static) serving *key*."""
 
+    def route_hashed(self, hashes: KeyHashes, num_active: int) -> int:
+        """:meth:`route` reusing an already-hashed key.
+
+        The retrieval engine routes the same key under two epochs per fetch;
+        passing one :class:`~repro.bloom.hashing.KeyHashes` makes the second
+        route a pure table lookup.  Decisions are identical to
+        ``route(hashes.key, num_active)``.
+        """
+        return self.route(hashes.key, num_active)
+
+    def route_many(self, keys: Sequence[Key], num_active: int) -> List[int]:
+        """Route a whole key batch; element ``i`` is ``route(keys[i], n)``.
+
+        Subclasses vectorize this (one hash pass + one ``searchsorted``);
+        the base implementation is the sequential loop.
+        """
+        return [self.route(key, num_active) for key in keys]
+
     @property
     def name(self) -> str:
         """Short scenario name used in benchmark tables."""
@@ -68,6 +101,14 @@ class StaticRouter(Router):
     def route(self, key: Key, num_active: int) -> int:
         return stable_hash64(key) % self.num_servers
 
+    def route_hashed(self, hashes: KeyHashes, num_active: int) -> int:
+        return hashes.base64 % self.num_servers
+
+    def route_many(self, keys: Sequence[Key], num_active: int) -> List[int]:
+        import numpy as np
+
+        return (stable_hash64_many(keys) % np.uint64(self.num_servers)).tolist()
+
 
 class NaiveRouter(Router):
     """Table II "Naive": ``hash(key) mod n(t)`` over the active servers.
@@ -81,8 +122,48 @@ class NaiveRouter(Router):
         self._check_active(num_active)
         return stable_hash64(key) % num_active
 
+    def route_hashed(self, hashes: KeyHashes, num_active: int) -> int:
+        self._check_active(num_active)
+        return hashes.base64 % num_active
 
-class ConsistentRouter(Router):
+    def route_many(self, keys: Sequence[Key], num_active: int) -> List[int]:
+        import numpy as np
+
+        self._check_active(num_active)
+        return (stable_hash64_many(keys) % np.uint64(num_active)).tolist()
+
+
+class RingRouter(Router):
+    """Shared fast path of the ring-based routers (Consistent, Proteus).
+
+    Subclasses populate ``self.ring``; routing then goes through the ring's
+    per-epoch compiled table — one blake2b plus one bisection per key, or
+    one vectorized ``searchsorted`` per batch.
+    """
+
+    ring: HashRing
+
+    def route(self, key: Key, num_active: int) -> int:
+        self._check_active(num_active)
+        return self.ring.compiled_for(num_active).lookup(
+            ring_position(key, self.ring.size)
+        )
+
+    def route_hashed(self, hashes: KeyHashes, num_active: int) -> int:
+        self._check_active(num_active)
+        return self.ring.compiled_for(num_active).lookup(
+            hashes.ring_position(self.ring.size)
+        )
+
+    def route_many(self, keys: Sequence[Key], num_active: int) -> List[int]:
+        self._check_active(num_active)
+        table = self.ring.compiled_for(num_active)
+        return table.lookup_many(
+            ring_positions_many(keys, self.ring.size)
+        ).tolist()
+
+
+class ConsistentRouter(RingRouter):
     """Table II "Consistent": classic consistent hashing, random virtual nodes.
 
     Two variants from the paper's evaluation (Fig. 5 / Fig. 9):
@@ -126,15 +207,21 @@ class ConsistentRouter(Router):
                 )
             base, extra = divmod(total_vnodes, num_servers)
             counts = [base + (1 if s < extra else 0) for s in range(num_servers)]
+        # Draw positions exactly as the per-add loop did (same PRNG stream,
+        # duplicates redrawn against every node placed so far), then build
+        # the ring in one bulk sort instead of ~V^2/2 shifting inserts.
+        drawn: set = set()
+        nodes: List[VirtualNode] = []
         for server, count in enumerate(counts):
             placed = 0
             while placed < count:
                 position = rng.randrange(ring_size)
-                try:
-                    self.ring.add(position, server)
-                except ConfigurationError:
+                if position in drawn:
                     continue  # duplicate position: redraw
+                drawn.add(position)
+                nodes.append(VirtualNode(position, server))
                 placed += 1
+        self.ring.add_many(nodes)
 
     @classmethod
     def log_variant(cls, num_servers: int, seed: int = 0) -> "ConsistentRouter":
@@ -146,18 +233,12 @@ class ConsistentRouter(Router):
         """The n^2/2-total-virtual-nodes variant (Fig. 5 stars, Fig. 9 triangles)."""
         return cls(num_servers, total_vnodes=max(num_servers, num_servers ** 2 // 2), seed=seed)
 
-    def route(self, key: Key, num_active: int) -> int:
-        self._check_active(num_active)
-        return self.ring.lookup(
-            ring_position(key, self.ring.size), prefix_active(num_active)
-        )
-
     @property
     def name(self) -> str:
         return "Consistent"
 
 
-class ProteusRouter(Router):
+class ProteusRouter(RingRouter):
     """Table II "Proteus": Algorithm 1 deterministic virtual-node placement.
 
     Exactly ``N(N-1)/2 + 1`` virtual nodes; every active prefix owns equal
@@ -168,12 +249,6 @@ class ProteusRouter(Router):
         super().__init__(num_servers)
         self.placement: Placement = place_virtual_nodes(num_servers, ring_size)
         self.ring = self.placement.build_ring()
-
-    def route(self, key: Key, num_active: int) -> int:
-        self._check_active(num_active)
-        return self.ring.lookup(
-            ring_position(key, self.ring.size), prefix_active(num_active)
-        )
 
 
 def make_router(scenario: str, num_servers: int, **kwargs) -> Router:

@@ -72,15 +72,17 @@ class Transition:
         """True once the drain window has closed."""
         return now >= self.deadline
 
-    def digest_hit(self, server: int, key) -> bool:
+    def digest_hit(self, server: int, key, hashes=None) -> bool:
         """Check *key* against *server*'s broadcast digest.
 
         Returns False when no digest was broadcast for *server* — routing
         then skips the old server entirely and goes straight to the DB,
-        which is the safe (if slower) fallback.
+        which is the safe (if slower) fallback.  Pass *hashes* (a
+        :class:`~repro.bloom.hashing.KeyHashes`) to reuse the double-hash
+        pair the retrieval engine already computed for this key.
         """
         digest = self.digests.get(server)
-        return digest is not None and digest.contains(key)
+        return digest is not None and digest.contains(key, hashes)
 
 
 class TransitionManager:

@@ -80,11 +80,18 @@ def evaluate_load_balance(
     for slot in range(num_slots):
         active = router.num_servers if is_static else schedule.counts[slot]
         slot_loads[slot][_ACTIVE_SENTINEL] = active
+    # Group the trace per slot, then answer each slot's keys with one
+    # vectorized route_many batch (identical decisions to per-record route).
+    slot_keys: List[List[str]] = [[] for _ in range(num_slots)]
     for record in trace:
-        slot = schedule.slot_of(record.time)
+        slot_keys[schedule.slot_of(record.time)].append(record.key)
+    for slot, keys in enumerate(slot_keys):
+        if not keys:
+            continue
         active = slot_loads[slot][_ACTIVE_SENTINEL]
-        server = router.route(record.key, active)
-        slot_loads[slot][server] = slot_loads[slot].get(server, 0) + 1
+        loads = slot_loads[slot]
+        for server in router.route_many(keys, active):
+            loads[server] = loads.get(server, 0) + 1
     return LoadBalanceResult(
         router_name=router.name,
         slot_seconds=schedule.slot_seconds,

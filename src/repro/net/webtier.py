@@ -232,7 +232,7 @@ class AsyncProteusFrontend(RetrievalConfigMixin):
                 elif isinstance(command, CheckDigest):
                     transition = epochs.transition
                     result = transition is not None and transition.digest_hit(
-                        command.server_id, key
+                        command.server_id, key, command.hashes
                     )
                 elif isinstance(command, WaitForLeader):
                     pending = self._inflight.get(key)
@@ -328,7 +328,7 @@ class AsyncProteusFrontend(RetrievalConfigMixin):
         if isinstance(command, CheckDigest):
             transition = epochs.transition
             return transition is not None and transition.digest_hit(
-                command.server_id, command.key
+                command.server_id, command.key, command.hashes
             )
         if isinstance(command, WaitForLeader):
             pending = self._inflight.get(command.key)

@@ -145,7 +145,7 @@ class WebServer(RetrievalConfigMixin):
         if isinstance(command, CheckDigest):
             transition = epochs.transition
             hit = transition is not None and transition.digest_hit(
-                command.server_id, key
+                command.server_id, key, command.hashes
             )
             return hit, clock
         if isinstance(command, WaitForLeader):
@@ -243,7 +243,7 @@ class WebServer(RetrievalConfigMixin):
         if isinstance(command, CheckDigest):
             transition = epochs.transition
             hit = transition is not None and transition.digest_hit(
-                command.server_id, command.key
+                command.server_id, command.key, command.hashes
             )
             return hit, clock
         if isinstance(command, WaitForLeader):

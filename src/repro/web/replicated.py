@@ -43,7 +43,7 @@ from repro.core.retrieval import (
     WriteBackMulti,
 )
 from repro.database.cluster import DatabaseCluster
-from repro.errors import ConfigurationError, RoutingError
+from repro.errors import ConfigurationError
 from repro.sim.latency import Constant, LatencyModel
 from repro.web.frontend import DEFAULT_CACHE_OP_LATENCY, DEFAULT_WEB_OVERHEAD
 
@@ -108,10 +108,8 @@ class ReplicatedWebServer(RetrievalConfigMixin):
 
     def _live_targets(self, key: str, num_active: int) -> List[int]:
         failed = self.cache.failed_servers()
-        try:
-            return self.router.read_targets(key, num_active, exclude=failed)
-        except RoutingError:
-            return []  # every replica crashed: only the DB can answer
+        targets, _ = self.router.read_plan(key, num_active, exclude=failed)
+        return targets  # empty when every replica crashed: DB only
 
     def fetch(self, key: str, now: float) -> ReplicatedFetchResult:
         """Read *key* from the first live replica, else the database."""
@@ -223,4 +221,38 @@ class ReplicatedWebServer(RetrievalConfigMixin):
             if server.state.serves_requests:
                 server.set(key, value, now=now)
                 written.append(target)
+        return written
+
+    def put_many(
+        self, items: Iterable[Tuple[str, Any]], now: float
+    ) -> Dict[str, List[int]]:
+        """Batched :meth:`put`: write each pair to its live replica owners.
+
+        Writes are grouped per server (the way a client pipelines a
+        ``set_multi``), but the stored values and the returned
+        key -> written-servers map are identical to calling :meth:`put`
+        per pair.  Duplicate keys collapse: the last value wins and the
+        key is written once.
+        """
+        epochs = self.cache.routing_epochs(now)
+        failed = self.cache.failed_servers()
+        final: Dict[str, Any] = {}
+        for key, value in items:
+            final[key] = value
+        written: Dict[str, List[int]] = {}
+        grouped: Dict[int, List[str]] = {}
+        for key in final:
+            targets, _ = self.router.read_plan(key, epochs.new, exclude=failed)
+            live = [
+                target
+                for target in targets
+                if self.cache.server(target).state.serves_requests
+            ]
+            written[key] = live  # replica-ring order, as put() returns
+            for target in live:
+                grouped.setdefault(target, []).append(key)
+        for target in sorted(grouped):
+            server = self.cache.server(target)
+            for key in grouped[target]:
+                server.set(key, final[key], now=now)
         return written

@@ -1,0 +1,320 @@
+"""Properties of the compiled/vectorized hot path.
+
+The compiled ring table, the batched router entry points, the memoized
+:class:`~repro.bloom.hashing.KeyHashes`, and the vectorized Bloom-filter
+batch operations are all *representations* of existing decision procedures,
+not new policies — so each property here pins an exact equivalence against
+the scalar reference implementation:
+
+* compiled-table lookups == ``HashRing.lookup`` for random rings (integer
+  and Fraction positions), every ``num_active`` prefix, and arbitrary
+  activity sets;
+* ``route_many`` / ``route_hashed`` == per-key ``route`` for all routers;
+* vectorized ``add_many`` / ``remove_many`` / ``contains_many`` == scalar
+  loops, including saturation/overflow accounting and the strict-removal
+  error/atomicity contract.
+"""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bloom.bloom import BloomFilter
+from repro.bloom.counting import CountingBloomFilter
+from repro.bloom.hashing import KeyHashes, digest_bases_many, ring_position
+from repro.core.replication import ReplicatedProteusRouter
+from repro.core.ring import HashRing, VirtualNode, prefix_active
+from repro.core.router import (
+    ConsistentRouter,
+    NaiveRouter,
+    ProteusRouter,
+    StaticRouter,
+)
+from repro.errors import DigestError
+
+keys = st.text(min_size=1, max_size=24)
+key_lists = st.lists(keys, max_size=30)
+
+
+# ----------------------------------------------------------- compiled tables
+
+
+@st.composite
+def rings(draw):
+    """A random ring: int or Fraction positions, arbitrary server ids."""
+    size = draw(st.integers(min_value=4, max_value=2 ** 16))
+    count = draw(st.integers(min_value=1, max_value=min(24, size)))
+    positions = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=size - 1),
+            min_size=count, max_size=count, unique=True,
+        )
+    )
+    use_fractions = draw(st.booleans())
+    if use_fractions:
+        denominators = draw(
+            st.lists(
+                st.integers(min_value=1, max_value=7),
+                min_size=count, max_size=count,
+            )
+        )
+        numerators = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=6),
+                min_size=count, max_size=count,
+            )
+        )
+        positions = sorted(
+            {
+                (pos + Fraction(num % den, den)) % size
+                for pos, num, den in zip(positions, numerators, denominators)
+            }
+        )
+    servers = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=9),
+            min_size=len(positions), max_size=len(positions),
+        )
+    )
+    ring = HashRing(size)
+    ring.add_many(
+        [VirtualNode(pos, srv) for pos, srv in zip(positions, servers)]
+    )
+    return ring
+
+
+@given(
+    ring=rings(),
+    active_set=st.sets(st.integers(min_value=0, max_value=9)),
+    probes=st.lists(st.integers(min_value=0, max_value=2 ** 17), max_size=30),
+)
+@settings(max_examples=120, deadline=None)
+def test_compiled_table_matches_lookup_for_arbitrary_activity(
+    ring, active_set, probes
+):
+    on_ring = {node.server for node in ring.nodes}
+    if not (active_set & on_ring):
+        active_set = on_ring  # guarantee at least one active server
+    is_active = lambda server: server in active_set
+    table = ring.compile(is_active)
+    batch = (
+        table.lookup_many(np.asarray(probes, dtype=np.int64)).tolist()
+        if probes
+        else []
+    )
+    for position, from_batch in zip(probes, batch):
+        expected = ring.lookup(position, is_active)
+        assert table.lookup(position) == expected
+        assert from_batch == expected
+
+
+@given(num_servers=st.integers(min_value=1, max_value=16), batch=key_lists)
+@settings(max_examples=60, deadline=None)
+def test_compiled_table_matches_lookup_for_every_prefix(num_servers, batch):
+    router = ProteusRouter(num_servers, ring_size=2 ** 20)
+    ring = router.ring
+    for num_active in range(1, num_servers + 1):
+        table = ring.compiled_for(num_active)
+        predicate = prefix_active(num_active)
+        for key in batch:
+            position = ring_position(key, ring.size)
+            assert table.lookup(position) == ring.lookup(position, predicate)
+
+
+# ------------------------------------------------------------- batch routing
+
+
+@given(
+    num_servers=st.integers(min_value=1, max_value=12),
+    batch=key_lists,
+    data=st.data(),
+)
+@settings(max_examples=80, deadline=None)
+def test_route_many_and_route_hashed_match_route(num_servers, batch, data):
+    num_active = data.draw(
+        st.integers(min_value=1, max_value=num_servers)
+    )
+    routers = [
+        StaticRouter(num_servers),
+        NaiveRouter(num_servers),
+        ConsistentRouter.log_variant(num_servers),
+        ProteusRouter(num_servers, ring_size=2 ** 20),
+        ReplicatedProteusRouter(num_servers, replicas=2, ring_size=2 ** 20),
+    ]
+    for router in routers:
+        expected = [router.route(key, num_active) for key in batch]
+        assert router.route_many(batch, num_active) == expected
+        for key, want in zip(batch, expected):
+            assert router.route_hashed(KeyHashes(key), num_active) == want
+
+
+@given(
+    num_servers=st.integers(min_value=1, max_value=10),
+    replicas=st.integers(min_value=1, max_value=3),
+    batch=st.lists(keys, min_size=1, max_size=15),
+    data=st.data(),
+)
+@settings(max_examples=60, deadline=None)
+def test_read_plan_matches_replica_servers(num_servers, replicas, batch, data):
+    num_active = data.draw(st.integers(min_value=1, max_value=num_servers))
+    exclude = data.draw(
+        st.sets(st.integers(min_value=0, max_value=num_servers - 1))
+    )
+    router = ReplicatedProteusRouter(
+        num_servers, replicas=replicas, ring_size=2 ** 20
+    )
+    for key in batch:
+        owners = router.replica_servers(key, num_active)
+        targets, primary = router.read_plan(key, num_active, exclude=exclude)
+        assert primary == owners[0] == router.route(key, num_active)
+        want = []
+        for server in owners:
+            if server not in want and server not in exclude:
+                want.append(server)
+        assert targets == want
+        hashed = router.replica_servers(key, num_active, hashes=KeyHashes(key))
+        assert hashed == owners
+
+
+# ------------------------------------------------------------ bloom batches
+
+
+def _state(cbf):
+    return (bytes(cbf._counters), cbf.count, cbf.overflow_events)
+
+
+@given(
+    num_bits=st.integers(min_value=1, max_value=256),
+    num_hashes=st.integers(min_value=1, max_value=5),
+    inserts=key_lists,
+    probes=key_lists,
+)
+@settings(max_examples=80, deadline=None)
+def test_bloom_batch_matches_scalar(num_bits, num_hashes, inserts, probes):
+    scalar = BloomFilter(num_bits, num_hashes)
+    batch = BloomFilter(num_bits, num_hashes)
+    for key in inserts:
+        scalar.add(key)
+    batch.add_many(inserts)
+    assert bytes(scalar._bits) == bytes(batch._bits)
+    assert scalar.count == batch.count
+    expected = [key in scalar for key in probes]
+    assert batch.contains_many(probes) == expected
+    assert (
+        batch.contains_many(probes, bases=digest_bases_many(probes))
+        == expected
+    ) if probes else True
+    for key, want in zip(probes, expected):
+        assert batch.contains(key, KeyHashes(key)) == want
+    assert scalar.fill_ratio() == batch.fill_ratio()
+
+
+@given(
+    num_counters=st.integers(min_value=1, max_value=64),
+    counter_bits=st.integers(min_value=1, max_value=8),
+    num_hashes=st.integers(min_value=1, max_value=5),
+    inserts=st.lists(keys, max_size=60),
+    probes=key_lists,
+)
+@settings(max_examples=100, deadline=None)
+def test_counting_add_many_matches_scalar_with_overflow(
+    num_counters, counter_bits, num_hashes, inserts, probes
+):
+    # Tiny geometries force probe collisions, saturation, and overflow.
+    scalar = CountingBloomFilter(num_counters, counter_bits, num_hashes)
+    batch = CountingBloomFilter(num_counters, counter_bits, num_hashes)
+    for key in inserts:
+        scalar.add(key)
+    batch.add_many(inserts)
+    assert _state(scalar) == _state(batch)
+    assert batch.contains_many(probes) == [key in scalar for key in probes]
+    assert scalar.max_counter() == batch.max_counter()
+    assert scalar.saturated_fraction() == batch.saturated_fraction()
+    assert bytes(scalar.snapshot().to_bytes()) == bytes(
+        batch.snapshot().to_bytes()
+    )
+
+
+@given(
+    num_counters=st.integers(min_value=1, max_value=48),
+    counter_bits=st.integers(min_value=1, max_value=6),
+    num_hashes=st.integers(min_value=1, max_value=5),
+    strict=st.booleans(),
+    inserts=st.lists(keys, max_size=40),
+    extra_removes=st.lists(keys, max_size=4),
+    data=st.data(),
+)
+@settings(max_examples=100, deadline=None)
+def test_counting_remove_many_matches_scalar(
+    num_counters, counter_bits, num_hashes, strict, inserts, extra_removes, data
+):
+    reference = CountingBloomFilter(
+        num_counters, counter_bits, num_hashes, strict=strict
+    )
+    batch = CountingBloomFilter(
+        num_counters, counter_bits, num_hashes, strict=strict
+    )
+    reference.update(inserts)
+    batch.add_many(inserts)
+    removes = data.draw(st.permutations(inserts)) if inserts else []
+    removes = removes[: data.draw(st.integers(0, len(removes)))]
+    removes = removes + extra_removes
+    scalar_error = None
+    try:
+        for key in removes:
+            reference.remove(key)
+    except DigestError as err:
+        scalar_error = err
+    before = _state(batch)
+    try:
+        batch.remove_many(removes)
+    except DigestError as err:
+        # Atomic: the failed batch must not have mutated anything, and the
+        # scalar loop (same order) must also have failed on that key.
+        assert _state(batch) == before
+        assert scalar_error is not None
+        assert str(err) == str(scalar_error)
+    else:
+        assert scalar_error is None
+        assert _state(reference) == _state(batch)
+
+
+@given(
+    inserts=st.lists(keys, max_size=30),
+    removes_count=st.integers(min_value=0, max_value=30),
+)
+@settings(max_examples=40, deadline=None)
+def test_counting_wide_counters_fallback(inserts, removes_count):
+    # b > 8 uses python-int storage; batch ops must still match scalars.
+    scalar = CountingBloomFilter(16, 12, 4)
+    batch = CountingBloomFilter(16, 12, 4)
+    for key in inserts:
+        scalar.add(key)
+    batch.add_many(inserts)
+    assert list(scalar._counters) == list(batch._counters)
+    removes = inserts[:removes_count]
+    for key in removes:
+        scalar.remove(key)
+    batch.remove_many(removes)
+    assert list(scalar._counters) == list(batch._counters)
+    assert batch.contains_many(inserts) == [key in scalar for key in inserts]
+
+
+def test_remove_many_strict_failure_is_atomic_even_after_partial_progress():
+    cbf = CountingBloomFilter(64, 4, 4, strict=True)
+    cbf.add_many(["a", "b"])
+    snapshot = _state(cbf)
+    with pytest.raises(DigestError):
+        cbf.remove_many(["a", "never-inserted", "b"])
+    assert _state(cbf) == snapshot
+    # The same sequence through the scalar API mutates before raising —
+    # that is exactly the divergence the batch contract closes.
+    scalar = CountingBloomFilter(64, 4, 4, strict=True)
+    scalar.update(["a", "b"])
+    with pytest.raises(DigestError):
+        for key in ["a", "never-inserted", "b"]:
+            scalar.remove(key)
+    assert _state(scalar) != snapshot
