@@ -16,11 +16,13 @@ test-output:
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
-# One-round routing/bloom microbenches: fast CI canary for the vectorized
-# hot path (speedup gates still enforced; absolute numbers are noisy).
+# One-round routing/bloom microbenches plus the chaos availability check:
+# fast CI canary for the vectorized hot path and the degraded fetch path
+# (speedup/availability gates still enforced; absolute numbers are noisy).
 bench-smoke:
 	PROTEUS_BENCH_ROUNDS=1 $(PYTHON) -m pytest \
 		benchmarks/bench_routing_perf.py --benchmark-disable -q -s
+	$(PYTHON) benchmarks/bench_fault_tolerance.py --rounds 1
 
 # Regenerate every paper figure as printed tables.
 figures:

@@ -14,7 +14,9 @@ its evaluation depends on:
   three-tier testbed of Fig. 3, in-process;
 * :mod:`repro.net` — a real asyncio memcached-protocol server/client with
   the ``SET_BLOOM_FILTER`` / ``BLOOM_FILTER`` reserved keys of
-  Section V-A3;
+  Section V-A3, plus a chaos proxy for fault injection;
+* :mod:`repro.resilience` — retry/breaker/deadline policies and the
+  fault-plan vocabulary shared by the simulator and the live tier;
 * :mod:`repro.sim` — the discrete-event cluster experiment that regenerates
   Figs. 9-11, and the routing/hit-ratio analyses behind Figs. 5-6;
 * :mod:`repro.power` — the PDU-style power metering of Section VI-D;
@@ -66,6 +68,14 @@ from repro.core import (
 from repro.database import DatabaseCluster
 from repro.errors import ProteusError
 from repro.net import AsyncProteusFrontend, MemcachedClient, MemcachedServer
+from repro.resilience import (
+    CircuitBreaker,
+    Deadline,
+    FaultPlan,
+    FaultSchedule,
+    ResiliencePolicy,
+    RetryPolicy,
+)
 from repro.provisioning import (
     DelayFeedbackController,
     ProvisioningActuator,
@@ -105,16 +115,20 @@ __all__ = [
     "CacheCluster",
     "CacheServer",
     "CacheStats",
+    "CircuitBreaker",
     "ClusterConfig",
     "ClusterExperiment",
     "CompiledRingTable",
     "ConsistentRouter",
     "CountingBloomFilter",
     "DatabaseCluster",
+    "Deadline",
     "DelayFeedbackController",
     "DigestGeometry",
     "ExperimentConfig",
     "ExperimentReport",
+    "FaultPlan",
+    "FaultSchedule",
     "FetchPath",
     "FetchResult",
     "FetchStats",
@@ -133,8 +147,10 @@ __all__ = [
     "ReplicatedProteusRouter",
     "ReplicatedRetrievalEngine",
     "ReplicatedWebServer",
+    "ResiliencePolicy",
     "RetrievalConfig",
     "RetrievalEngine",
+    "RetryPolicy",
     "Router",
     "ScenarioSpec",
     "StaticRouter",

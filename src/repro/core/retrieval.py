@@ -73,6 +73,7 @@ __all__ = [
     "CheckDigest",
     "Command",
     "CommandRound",
+    "DEGRADED_EVENTS",
     "FetchPath",
     "FetchResult",
     "FetchStats",
@@ -86,6 +87,7 @@ __all__ = [
     "RetrievalConfigMixin",
     "RetrievalEngine",
     "RetrievalOutcome",
+    "SERVER_UNAVAILABLE",
     "SKIPPED",
     "WaitForLeader",
     "WriteBack",
@@ -115,6 +117,17 @@ class FetchPath(str, enum.Enum):
     #: coalesced behind an in-flight DB fetch for the same key (dog-pile
     #: protection, the paper's reference [12] scenario).
     COALESCED = "coalesced"
+    #: a cache fault (dead/unreachable server, unknown digest) blocked the
+    #: normal path and the database served instead — the *failure* fallback
+    #: of Algorithm 2, as opposed to the ordinary-miss fallbacks above.
+    DEGRADED_DB = "degraded_db"
+
+
+#: The degraded-path event labels :class:`FetchStats` counts — one per
+#: fault the engine can serve around: the new owner's probe skipped, the
+#: old owner's probe skipped, a digest consult answered "unknown", and a
+#: write-back that could not be installed.
+DEGRADED_EVENTS = ("probe_new", "probe_old", "digest", "writeback")
 
 
 @dataclass
@@ -124,13 +137,27 @@ class FetchStats:
     counts: Dict[FetchPath, int] = field(
         default_factory=lambda: {path: 0 for path in FetchPath}
     )
+    #: how often the engine served *around* a fault, per degraded event
+    #: (see :data:`DEGRADED_EVENTS`); one request may record several.
+    degraded: Dict[str, int] = field(
+        default_factory=lambda: {event: 0 for event in DEGRADED_EVENTS}
+    )
 
     def record(self, path: FetchPath) -> None:
         self.counts[path] += 1
 
+    def record_degraded(self, event: str) -> None:
+        """Count one served-around fault (see :data:`DEGRADED_EVENTS`)."""
+        self.degraded[event] = self.degraded.get(event, 0) + 1
+
     @property
     def total(self) -> int:
         return sum(self.counts.values())
+
+    @property
+    def degraded_events(self) -> int:
+        """Total faults served around (sum over the degraded counters)."""
+        return sum(self.degraded.values())
 
     @property
     def database_fraction(self) -> float:
@@ -141,6 +168,7 @@ class FetchStats:
         db = (
             self.counts[FetchPath.FALSE_POSITIVE_DB]
             + self.counts[FetchPath.MISS_DB]
+            + self.counts[FetchPath.DEGRADED_DB]
         )
         return db / total
 
@@ -327,10 +355,38 @@ Command = Union[
 #: round's commands concurrently.
 CommandRound = Tuple[Command, ...]
 
+class _DriverSignal:
+    """An identity sentinel a driver may answer a command with.
+
+    Falsy on purpose: a :class:`CheckDigest` answered with a signal must
+    not read as a digest hit in any driver that forgets to special-case it.
+    """
+
+    __slots__ = ("_name",)
+
+    def __init__(self, name: str) -> None:
+        self._name = name
+
+    def __repr__(self) -> str:
+        return self._name
+
+    def __bool__(self) -> bool:
+        return False
+
+
 #: Driver answer to :class:`ProbeCache` / :class:`ProbeCacheMulti` meaning
 #: "server not serving; probe did not happen" — distinct from ``None`` (a
 #: real miss).
-SKIPPED = object()
+SKIPPED = _DriverSignal("SKIPPED")
+
+#: Driver answer to :class:`ProbeCache` / :class:`ProbeCacheMulti` /
+#: :class:`CheckDigest` / :class:`WriteBack` / :class:`WriteBackMulti`
+#: meaning "the server could not be reached (dead, hung, or open-circuit)".
+#: The engine *degrades* instead of failing: a skipped probe is a forced
+#: miss, an unanswerable digest consult skips the old owner, and a failed
+#: write-back is recorded but never fails the fetch — the request still
+#: completes via the database (:attr:`FetchPath.DEGRADED_DB`).
+SERVER_UNAVAILABLE = _DriverSignal("SERVER_UNAVAILABLE")
 
 
 def _chunked(items: Sequence, size: int) -> Iterable[tuple]:
@@ -355,10 +411,17 @@ class RetrievalOutcome:
     path: FetchPath
     new_server: int
     old_server: Optional[int] = None
+    #: True when the engine served *around* at least one fault (skipped
+    #: probe, unknown digest, or failed write-back) on the way.
+    degraded: bool = False
 
     @property
     def touched_database(self) -> bool:
-        return self.path in (FetchPath.FALSE_POSITIVE_DB, FetchPath.MISS_DB)
+        return self.path in (
+            FetchPath.FALSE_POSITIVE_DB,
+            FetchPath.MISS_DB,
+            FetchPath.DEGRADED_DB,
+        )
 
 
 @dataclass
@@ -386,6 +449,9 @@ class FetchResult:
     completed: float
     new_server: int
     old_server: Optional[int] = None
+    #: True when a fault was served around (see
+    #: :attr:`RetrievalOutcome.degraded`).
+    degraded: bool = False
 
     @property
     def latency(self) -> float:
@@ -394,7 +460,11 @@ class FetchResult:
 
     @property
     def touched_database(self) -> bool:
-        return self.path in (FetchPath.FALSE_POSITIVE_DB, FetchPath.MISS_DB)
+        return self.path in (
+            FetchPath.FALSE_POSITIVE_DB,
+            FetchPath.MISS_DB,
+            FetchPath.DEGRADED_DB,
+        )
 
     def _legacy_pair(self) -> Tuple[Any, FetchPath]:
         warnings.warn(
@@ -491,40 +561,75 @@ class RetrievalEngine:
         :class:`~repro.bloom.hashing.KeyHashes` carries the ring hash to
         both epochs' routing lookups and the double-hash pair to the digest
         check.  Decisions are bit-identical to routing/probing per step.
+
+        **Degraded mode.**  Any probe, digest consult, or write-back may be
+        answered with :data:`SERVER_UNAVAILABLE`; the engine serves around
+        the fault instead of raising — a skipped probe is a forced miss, an
+        unknown digest skips the old owner, a failed write-back never fails
+        the fetch — and a request the database served *because of* a fault
+        records :attr:`FetchPath.DEGRADED_DB` (plus per-event counters in
+        :class:`FetchStats`), never a plain miss.
         """
         hashes = KeyHashes(key)
         new_id = self.router.route_hashed(hashes, epochs.new)
-        value = yield ProbeCache(new_id)
-        if value is not None:
-            return self._finish(key, value, FetchPath.HIT_NEW, new_id, None)
+        events: List[str] = []
+        forced_db = False
+        answer = yield ProbeCache(new_id)
+        if answer is SERVER_UNAVAILABLE:
+            events.append("probe_new")
+            forced_db = True
+            answer = None
+        if answer is not None:
+            return self._finish(key, answer, FetchPath.HIT_NEW, new_id, None)
 
         old_id: Optional[int] = None
         path = FetchPath.MISS_DB
         if epochs.in_transition:
             old_id = self.router.route_hashed(hashes, epochs.old)
-            if old_id != new_id and (yield CheckDigest(old_id, hashes=hashes)):
-                value = yield ProbeCache(old_id)
-                if value is not None:
-                    yield WriteBack(new_id, value)
-                    return self._finish(
-                        key, value, FetchPath.HIT_OLD, new_id, old_id
-                    )
-                path = FetchPath.FALSE_POSITIVE_DB
+            if old_id != new_id:
+                digest_hit = yield CheckDigest(old_id, hashes=hashes)
+                if digest_hit is SERVER_UNAVAILABLE:
+                    # Digest unknown (broadcast failed): forced miss — the
+                    # safe fallback is the database, never a stale guess.
+                    events.append("digest")
+                    forced_db = True
+                elif digest_hit:
+                    answer = yield ProbeCache(old_id)
+                    if answer is SERVER_UNAVAILABLE:
+                        # Dead old owner: the hot copy is unreachable, fall
+                        # through to the authoritative store.
+                        events.append("probe_old")
+                        forced_db = True
+                    elif answer is not None:
+                        if (yield WriteBack(new_id, answer)) is SERVER_UNAVAILABLE:
+                            events.append("writeback")
+                        return self._finish(
+                            key, answer, FetchPath.HIT_OLD, new_id, old_id,
+                            events,
+                        )
+                    else:
+                        path = FetchPath.FALSE_POSITIVE_DB
 
         if self.coalesce_misses and (yield WaitForLeader()):
             # The leader's write-back has installed the value at the new
             # owner: one more cache probe instead of a DB read.  No
             # write-back of our own — rewriting would push the item's
             # creation time past later coalescing followers.
-            value = yield ProbeCache(new_id)
-            if value is not None:
+            answer = yield ProbeCache(new_id)
+            if answer is SERVER_UNAVAILABLE:
+                events.append("probe_new")
+                forced_db = True
+            elif answer is not None:
                 return self._finish(
-                    key, value, FetchPath.COALESCED, new_id, old_id
+                    key, answer, FetchPath.COALESCED, new_id, old_id, events
                 )
 
         value = yield ReadDatabase(announce_leader=self.coalesce_misses)
-        yield WriteBack(new_id, value)
-        return self._finish(key, value, path, new_id, old_id)
+        if (yield WriteBack(new_id, value)) is SERVER_UNAVAILABLE:
+            events.append("writeback")
+        if forced_db:
+            path = FetchPath.DEGRADED_DB
+        return self._finish(key, value, path, new_id, old_id, events)
 
     # ------------------------------------------------------------ batching
 
@@ -553,9 +658,17 @@ class RetrievalEngine:
         if not ordered:
             return outcomes
         new_owner = dict(zip(ordered, self.router.route_many(ordered, epochs.new)))
+        #: key -> degraded event labels accumulated on the way (parity with
+        #: the scalar path's per-request ``events`` list)
+        events: Dict[str, List[str]] = {}
+        #: keys whose database read (if any) was *forced* by a fault
+        forced: set = set()
 
         # Phase 1 — Alg. 2 line 3, batched: probe every new owner once.
-        hits = yield from self._probe_many(ordered, new_owner)
+        hits, down = yield from self._probe_many(ordered, new_owner)
+        for key in down:
+            events.setdefault(key, []).append("probe_new")
+            forced.add(key)
         pending: List[str] = []
         for key in ordered:
             value = hits.get(key)
@@ -597,11 +710,15 @@ class RetrievalEngine:
                     )
                     for key, h1, h2 in zip(moved, h1s, h2s)
                 )
-                digest_hits = {
-                    key for key, hit in zip(moved, answers) if hit
-                }
+                for key, hit in zip(moved, answers):
+                    if hit is SERVER_UNAVAILABLE:
+                        # Digest unknown: forced miss, straight to the DB.
+                        events.setdefault(key, []).append("digest")
+                        forced.add(key)
+                    elif hit:
+                        digest_hits.add(key)
             if digest_hits:
-                old_values = yield from self._probe_many(
+                old_values, old_down = yield from self._probe_many(
                     [key for key in pending if key in digest_hits], old_owner
                 )
                 remaining = []
@@ -612,9 +729,15 @@ class RetrievalEngine:
                         outcomes[key] = self._finish(
                             key, value, FetchPath.HIT_OLD,
                             new_owner[key], old_owner[key],
+                            events.get(key, ()),
                         )
                     else:
-                        if key in digest_hits:
+                        if key in old_down:
+                            # Dead old owner: degraded DB fallback, not a
+                            # false positive — no probe ever happened.
+                            events.setdefault(key, []).append("probe_old")
+                            forced.add(key)
+                        elif key in digest_hits:
                             fallback[key] = FetchPath.FALSE_POSITIVE_DB
                         remaining.append(key)
                 pending = remaining
@@ -625,7 +748,12 @@ class RetrievalEngine:
             answers = yield tuple(WaitForLeader(key=key) for key in pending)
             waited = [key for key, ok in zip(pending, answers) if ok]
             if waited:
-                installed = yield from self._probe_many(waited, new_owner)
+                installed, wait_down = yield from self._probe_many(
+                    waited, new_owner
+                )
+                for key in wait_down:
+                    events.setdefault(key, []).append("probe_new")
+                    forced.add(key)
                 remaining = []
                 for key in pending:
                     value = installed.get(key)
@@ -633,6 +761,7 @@ class RetrievalEngine:
                         outcomes[key] = self._finish(
                             key, value, FetchPath.COALESCED,
                             new_owner[key], old_owner[key],
+                            events.get(key, ()),
                         )
                     else:
                         remaining.append(key)
@@ -649,8 +778,12 @@ class RetrievalEngine:
             )
             for key, value in zip(pending, values):
                 write_backs.append((new_owner[key], key, value))
+                path = (
+                    FetchPath.DEGRADED_DB if key in forced else fallback[key]
+                )
                 outcomes[key] = self._finish(
-                    key, value, fallback[key], new_owner[key], old_owner[key]
+                    key, value, path, new_owner[key], old_owner[key],
+                    events.get(key, ()),
                 )
 
         # Phase 5 — write-backs, grouped into one pipelined command per
@@ -659,30 +792,48 @@ class RetrievalEngine:
             grouped: Dict[int, List[Tuple[str, Any]]] = {}
             for server_id, key, value in write_backs:
                 grouped.setdefault(server_id, []).append((key, value))
-            yield tuple(
+            commands = tuple(
                 WriteBackMulti(server_id, chunk)
                 for server_id, items in sorted(grouped.items())
                 for chunk in _chunked(items, self.config.max_multiget_keys)
             )
+            answers = yield commands
+            for command, answer in zip(commands, answers):
+                if answer is SERVER_UNAVAILABLE:
+                    # Recorded, never fatal: the values were served already;
+                    # the next fetch of these keys just misses again.
+                    for key, _ in command.items:
+                        self.stats.record_degraded("writeback")
+                        outcome = outcomes.get(key)
+                        if outcome is not None:
+                            outcome.degraded = True
         return outcomes
 
     def _probe_many(
         self, keys: Sequence[str], owner_of: Dict[str, Any]
-    ) -> Generator[CommandRound, Any, Dict[str, Any]]:
-        """One round of per-server multiget probes; returns the hits."""
+    ) -> Generator[CommandRound, Any, Tuple[Dict[str, Any], set]]:
+        """One round of per-server multiget probes.
+
+        Returns ``(hits, unavailable_keys)``: the values that hit, plus
+        every key whose probe was answered :data:`SERVER_UNAVAILABLE` (no
+        probe happened; the caller degrades those keys)."""
         grouped: Dict[int, List[str]] = {}
         for key in keys:
             grouped.setdefault(owner_of[key], []).append(key)
-        answers = yield tuple(
+        commands = tuple(
             ProbeCacheMulti(server_id, chunk)
             for server_id, group in sorted(grouped.items())
             for chunk in _chunked(group, self.config.max_multiget_keys)
         )
+        answers = yield commands
         hits: Dict[str, Any] = {}
-        for answer in answers:
-            if answer is not SKIPPED and answer:
+        unavailable: set = set()
+        for command, answer in zip(commands, answers):
+            if answer is SERVER_UNAVAILABLE:
+                unavailable.update(command.keys)
+            elif answer is not SKIPPED and answer:
                 hits.update(answer)
-        return hits
+        return hits, unavailable
 
     def _finish(
         self,
@@ -691,11 +842,15 @@ class RetrievalEngine:
         path: FetchPath,
         new_server: int,
         old_server: Optional[int],
+        events: Sequence[str] = (),
     ) -> RetrievalOutcome:
         self.stats.record(path)
+        for event in events:
+            self.stats.record_degraded(event)
         return RetrievalOutcome(
             key=key, value=value, path=path,
             new_server=new_server, old_server=old_server,
+            degraded=bool(events),
         )
 
 
@@ -743,7 +898,9 @@ class ReplicatedRetrievalEngine:
         probes = 0
         for target in targets:
             result = yield ProbeCache(target)
-            if result is SKIPPED:
+            if result is SKIPPED or result is SERVER_UNAVAILABLE:
+                # Not serving / unreachable: no probe happened; the next
+                # replica ring covers, exactly as for a routed-out server.
                 continue
             probes += 1
             if result is not None:
@@ -811,8 +968,8 @@ class ReplicatedRetrievalEngine:
             )
             answers = yield commands
             for command, answer in zip(commands, answers):
-                if answer is SKIPPED:
-                    continue  # server not serving: no probe happened
+                if answer is SKIPPED or answer is SERVER_UNAVAILABLE:
+                    continue  # not serving / unreachable: no probe happened
                 hits = answer or {}
                 for key in command.keys:
                     probes[key] += 1

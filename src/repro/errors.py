@@ -61,8 +61,39 @@ class DigestError(ProteusError):
     """
 
 
+class DigestBroadcastError(TransitionError):
+    """The digest broadcast that arms a transition failed on some servers.
+
+    Carries ``failures`` — a map from server id to the exception that made
+    that server's snapshot/fetch fail — so callers can retry, exclude the
+    dead servers, or surface the detail.  The transition is *not* armed when
+    this is raised: routing epochs are untouched and a later ``scale_to``
+    may retry from scratch.
+    """
+
+    def __init__(self, message: str, failures=None) -> None:
+        super().__init__(message)
+        #: server id -> exception for every server whose digest calls failed
+        self.failures = dict(failures or {})
+
+
 class ProtocolError(ProteusError):
     """A malformed memcached-protocol request or response was seen."""
+
+
+class TransportError(ProteusError):
+    """A network operation against a cache server failed in transit.
+
+    Covers connection resets, unexpected EOF mid-reply, and per-operation
+    timeouts — the *transient* fault class: the request may be retried on a
+    fresh connection, as opposed to :class:`ProtocolError` proper (the bytes
+    arrived but were nonsense) or :class:`ConfigurationError` (retrying
+    cannot help).
+    """
+
+
+class DeadlineExceeded(ProteusError):
+    """A request's time budget ran out before the operation completed."""
 
 
 class SimulationError(ProteusError):

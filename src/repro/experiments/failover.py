@@ -18,6 +18,7 @@ from repro.cache.cluster import CacheCluster
 from repro.core.replication import ReplicatedProteusRouter
 from repro.database.cluster import DatabaseCluster
 from repro.errors import ConfigurationError
+from repro.resilience import FaultSchedule
 from repro.sim.events import EventLoop
 from repro.sim.metrics import SlottedRecorder, TimeSeries
 from repro.web.replicated import ReplicatedWebServer
@@ -37,6 +38,29 @@ class FailureEvent:
             raise ConfigurationError(f"when must be >= 0, got {self.when}")
         if self.repair_at is not None and self.repair_at <= self.when:
             raise ConfigurationError("repair_at must be after the crash")
+
+
+def failure_events_from_schedule(schedule: FaultSchedule) -> List[FailureEvent]:
+    """Convert a shared :class:`~repro.resilience.FaultSchedule` to the
+    simulator's crash/repair events.
+
+    Only the ``kills_server`` plans map — a crash is the simulator's whole
+    fault vocabulary; delay/reset/partial-write plans have no sim
+    equivalent and are skipped.  This is the bridge that lets a chaos test
+    hand the *same scripted outage* to both substrates and compare their
+    degraded-path accounting.
+    """
+    events = []
+    for entry in schedule.entries:
+        if entry.plan.kills_server:
+            events.append(
+                FailureEvent(
+                    when=entry.at,
+                    server_id=entry.server_id,
+                    repair_at=entry.clear_at,
+                )
+            )
+    return events
 
 
 @dataclass

@@ -1,0 +1,267 @@
+"""A fault-injecting TCP proxy: the live realization of a FaultPlan.
+
+Sits between a frontend and one cache server and misbehaves on purpose:
+
+* ``reject_connections`` — refuse every new dial and abort live
+  connections (the hard-down server);
+* ``blackhole`` — accept and swallow traffic, never answer (the hung
+  server; only per-op timeouts get a client out);
+* ``reset_probability`` — abort the connection before forwarding a
+  response chunk (the flaky NIC / dying process);
+* ``partial_write_probability`` — forward a *prefix* of a response chunk
+  and then abort, leaving the client mid-reply (the desync case the
+  hardened :class:`~repro.net.client.MemcachedClient` must poison on);
+* ``delay`` / ``delay_jitter`` — added response latency (the overloaded
+  server the breaker should learn to avoid).
+
+The proxy realizes the declarative :class:`~repro.resilience.FaultPlan`
+vocabulary, so chaos tests and the fault-tolerance bench script an outage
+once (a :class:`~repro.resilience.FaultSchedule`) and replay it here,
+while the simulator replays the same schedule as crash/repair events —
+that shared script is what makes sim-vs-live degraded accounting
+comparable.
+
+All faults are injected on the **response** direction (server to client):
+that is where the memcached text protocol keeps its state, so that is
+where desync hurts.  Request bytes pass through unmodified so the
+upstream server itself stays healthy — the *path* is what fails.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from typing import Optional, Set
+
+from repro.errors import ConfigurationError
+from repro.resilience import FaultPlan
+
+__all__ = ["ChaosProxy"]
+
+#: forwarding buffer; small enough that multi-line replies span chunks,
+#: which is what makes partial-write faults land mid-reply
+CHUNK = 4096
+
+
+class ChaosProxy:
+    """One fault-injecting proxy in front of one upstream server.
+
+    Args:
+        upstream_host: the real server's host.
+        upstream_port: the real server's port.
+        plan: the initial fault plan (:meth:`FaultPlan.none` by default).
+        host: interface to listen on.
+
+    Use ``await proxy.start()`` then point a frontend at ``proxy.port``.
+    Swap behaviour mid-run with :meth:`set_plan` — setting a
+    ``reject_connections`` plan also aborts live connections, so a
+    "server killed mid-fetch" script is one call.
+    """
+
+    def __init__(
+        self,
+        upstream_host: str,
+        upstream_port: int,
+        plan: Optional[FaultPlan] = None,
+        host: str = "127.0.0.1",
+    ) -> None:
+        self.upstream_host = upstream_host
+        self.upstream_port = upstream_port
+        self.host = host
+        self._plan = plan or FaultPlan.none()
+        self._rng = random.Random(self._plan.seed)
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._tasks: Set[asyncio.Task] = set()
+        self._writers: Set[asyncio.StreamWriter] = set()
+        #: accepted client connections over the proxy's lifetime
+        self.connections = 0
+        #: dials refused while ``reject_connections`` was in force
+        self.rejected = 0
+        #: connections aborted by an injected reset
+        self.resets = 0
+        #: response chunks truncated then aborted
+        self.partial_writes = 0
+        #: response chunks swallowed by a blackhole plan
+        self.blackholed = 0
+        #: response chunks forwarded after an injected delay
+        self.delayed = 0
+
+    # ------------------------------------------------------------ lifecycle
+
+    @property
+    def port(self) -> int:
+        """The listening port (only valid after :meth:`start`)."""
+        if self._server is None:
+            raise ConfigurationError("proxy is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self, port: int = 0) -> "ChaosProxy":
+        """Begin listening (port 0: let the OS pick)."""
+        if self._server is not None:
+            raise ConfigurationError("proxy already started")
+        self._server = await asyncio.start_server(
+            self._handle_client, self.host, port
+        )
+        return self
+
+    async def close(self) -> None:
+        """Stop listening and tear down every live connection."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self._abort_live_connections()
+        if self._tasks:
+            await asyncio.gather(*self._tasks, return_exceptions=True)
+        self._tasks.clear()
+
+    async def __aenter__(self) -> "ChaosProxy":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------- planning
+
+    @property
+    def plan(self) -> FaultPlan:
+        return self._plan
+
+    def set_plan(self, plan: FaultPlan) -> None:
+        """Swap the fault plan; a killing plan aborts live connections.
+
+        The PRNG is re-seeded from the new plan, so replaying a schedule
+        reproduces the same fault sequence.
+        """
+        self._plan = plan
+        self._rng = random.Random(plan.seed)
+        if plan.reject_connections:
+            self._abort_live_connections()
+
+    def _abort_live_connections(self) -> None:
+        for writer in list(self._writers):
+            try:
+                writer.transport.abort()
+            except Exception:  # pragma: no cover - transport already dead
+                pass
+        self._writers.clear()
+
+    # ----------------------------------------------------------- connections
+
+    def _track(self, coro) -> asyncio.Task:
+        """Spawn a pump task whose exception is always retrieved."""
+        task = asyncio.ensure_future(coro)
+        self._tasks.add(task)
+        task.add_done_callback(self._reap)
+        return task
+
+    def _reap(self, task: asyncio.Task) -> None:
+        self._tasks.discard(task)
+        if not task.cancelled():
+            task.exception()  # retrieve it so asyncio never warns
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        if self._plan.reject_connections:
+            self.rejected += 1
+            writer.transport.abort()
+            return
+        try:
+            up_reader, up_writer = await asyncio.open_connection(
+                self.upstream_host, self.upstream_port
+            )
+        except (ConnectionError, OSError):
+            writer.transport.abort()
+            return
+        self.connections += 1
+        self._writers.add(writer)
+        self._writers.add(up_writer)
+        request = self._track(self._pump_requests(reader, up_writer))
+        response = self._track(
+            self._pump_responses(up_reader, writer, up_writer)
+        )
+        await asyncio.gather(request, response, return_exceptions=True)
+        self._writers.discard(writer)
+        self._writers.discard(up_writer)
+        for w in (writer, up_writer):
+            try:
+                w.transport.abort()
+            except Exception:  # pragma: no cover
+                pass
+
+    async def _pump_requests(
+        self, reader: asyncio.StreamReader, up_writer: asyncio.StreamWriter
+    ) -> None:
+        """Client -> upstream: pass-through (the path's faults are on the
+        way back); a blackhole still swallows requests too."""
+        try:
+            while True:
+                chunk = await reader.read(CHUNK)
+                if not chunk:
+                    break
+                if self._plan.blackhole:
+                    self.blackholed += 1
+                    continue
+                up_writer.write(chunk)
+                await up_writer.drain()
+        except (ConnectionError, OSError, asyncio.CancelledError):
+            pass
+        finally:
+            try:
+                up_writer.transport.abort()
+            except Exception:  # pragma: no cover
+                pass
+
+    async def _pump_responses(
+        self,
+        up_reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        up_writer: asyncio.StreamWriter,
+    ) -> None:
+        """Upstream -> client, with the plan's faults applied per chunk."""
+        try:
+            while True:
+                chunk = await up_reader.read(CHUNK)
+                if not chunk:
+                    break
+                plan = self._plan
+                if plan.blackhole:
+                    self.blackholed += 1
+                    continue
+                if plan.delay > 0 or plan.delay_jitter > 0:
+                    extra = plan.delay
+                    if plan.delay_jitter > 0:
+                        extra += self._rng.uniform(0, plan.delay_jitter)
+                    self.delayed += 1
+                    await asyncio.sleep(extra)
+                if (
+                    plan.reset_probability > 0
+                    and self._rng.random() < plan.reset_probability
+                ):
+                    self.resets += 1
+                    writer.transport.abort()
+                    up_writer.transport.abort()
+                    return
+                if (
+                    plan.partial_write_probability > 0
+                    and self._rng.random() < plan.partial_write_probability
+                ):
+                    self.partial_writes += 1
+                    writer.write(chunk[: max(1, len(chunk) // 2)])
+                    try:
+                        await writer.drain()
+                    except (ConnectionError, OSError):
+                        pass
+                    writer.transport.abort()
+                    up_writer.transport.abort()
+                    return
+                writer.write(chunk)
+                await writer.drain()
+        except (ConnectionError, OSError, asyncio.CancelledError):
+            pass
+        finally:
+            try:
+                writer.transport.abort()
+            except Exception:  # pragma: no cover
+                pass

@@ -5,18 +5,33 @@ real memcached for the standard commands.  Adds the two digest calls of
 Section V-A3 as first-class methods: :meth:`snapshot_digest` and
 :meth:`fetch_digest`, which a transition coordinator uses to broadcast
 digests to web servers.
+
+**Fault behaviour.**  A memcached text-protocol exchange has no framing
+beyond the reply itself, so *any* mid-reply failure — timeout, reset, EOF,
+or an unparseable line — leaves the stream position unknown; reading on
+would parse garbage (or worse, a later reply as this one's).  The client
+therefore *poisons* the connection on every such failure: the transport is
+aborted, :attr:`broken` is set, and the next call transparently reconnects
+(``auto_reconnect``, on by default) instead of resuming the dead stream.
+Transit failures surface as :class:`~repro.errors.TransportError` — the
+transient class retry policies act on — while genuinely malformed replies
+stay :class:`~repro.errors.ProtocolError`.  An optional per-operation
+``timeout`` bounds every read/write so a blackholed server cannot hang a
+request forever.
 """
 
 from __future__ import annotations
 
 import asyncio
-from typing import Dict, Optional
+from typing import Awaitable, Dict, Optional, TypeVar
 
 from dataclasses import dataclass
 
 from repro.bloom.bloom import BloomFilter
-from repro.errors import ProtocolError
+from repro.errors import ProtocolError, TransportError
 from repro.net import protocol as proto
+
+T = TypeVar("T")
 
 
 @dataclass(frozen=True)
@@ -33,18 +48,64 @@ class MemcachedClient:
     Use as an async context manager or call :meth:`connect` / :meth:`close`.
     Not safe for concurrent use from multiple tasks; pool instances instead
     (the paper pools connections with Apache Commons Pool).
+
+    Args:
+        host/port: the server endpoint.
+        timeout: per-operation time limit in seconds applied to every
+            network read/write (``None``: wait forever, the pre-hardening
+            behaviour).  A timeout poisons the connection — the stream
+            position is unknown once a reply is abandoned halfway.
+        auto_reconnect: when True (default), a call on a broken or closed
+            connection dials a fresh one instead of failing; when False it
+            raises :class:`~repro.errors.TransportError` so a pool can
+            eject the client.
     """
 
-    def __init__(self, host: str, port: int) -> None:
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: Optional[float] = None,
+        auto_reconnect: bool = True,
+    ) -> None:
         self.host = host
         self.port = port
+        self.timeout = timeout
+        self.auto_reconnect = auto_reconnect
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
+        self._broken = False
+        self._ever_connected = False
+        self._ever_dialed = False
+        #: fresh connections dialled after a poisoned one (diagnostics)
+        self.reconnects = 0
+
+    @property
+    def broken(self) -> bool:
+        """True after a mid-stream failure until the next reconnect."""
+        return self._broken
+
+    @property
+    def connected(self) -> bool:
+        return self._reader is not None and not self._broken
 
     async def connect(self) -> "MemcachedClient":
-        self._reader, self._writer = await asyncio.open_connection(
-            self.host, self.port
-        )
+        self._ever_dialed = True
+        open_coro = asyncio.open_connection(self.host, self.port)
+        if self.timeout is not None:
+            try:
+                self._reader, self._writer = await asyncio.wait_for(
+                    open_coro, self.timeout
+                )
+            except asyncio.TimeoutError as exc:
+                raise TransportError(
+                    f"connect to {self.host}:{self.port} timed out "
+                    f"after {self.timeout}s"
+                ) from exc
+        else:
+            self._reader, self._writer = await open_coro
+        self._broken = False
+        self._ever_connected = True
         return self
 
     async def close(self) -> None:
@@ -61,6 +122,7 @@ class MemcachedClient:
                 pass
             self._reader = None
             self._writer = None
+        self._broken = False
 
     async def __aenter__(self) -> "MemcachedClient":
         return await self.connect()
@@ -70,20 +132,99 @@ class MemcachedClient:
 
     # ------------------------------------------------------------ plumbing
 
-    def _require_connected(self) -> None:
-        if self._reader is None or self._writer is None:
+    def _poison(self) -> None:
+        """Mark the stream unusable and drop the transport on the floor.
+
+        No ``quit`` handshake: the stream position is unknown, so the only
+        safe move is an abort.  The next call reconnects (or raises, with
+        ``auto_reconnect=False``).
+        """
+        self._broken = True
+        if self._writer is not None:
+            try:
+                self._writer.transport.abort()
+            except Exception:  # pragma: no cover - transport already dead
+                pass
+        self._reader = None
+        self._writer = None
+
+    def _desync(self, message: str) -> ProtocolError:
+        """Poison the stream and build the error for an unparseable reply."""
+        self._poison()
+        return ProtocolError(message)
+
+    async def _ensure_ready(self) -> None:
+        """(Re)connect a broken/closed connection before the next exchange.
+
+        Auto-reconnect requires one prior explicit :meth:`connect` attempt
+        (successful or not): calling protocol methods on a client nobody
+        ever tried to connect is a programming error, not a fault.
+        """
+        if self._reader is not None and not self._broken:
+            return
+        if not self._ever_dialed:
             raise ProtocolError("client is not connected")
+        if not self.auto_reconnect:
+            raise TransportError(
+                f"connection to {self.host}:{self.port} is broken"
+            )
+        redial = self._ever_connected
+        await self.connect()
+        if redial:
+            self.reconnects += 1
+
+    async def _io(self, awaitable: Awaitable[T]) -> T:
+        """Await a read/write under the per-op timeout; timeouts poison."""
+        if self.timeout is None:
+            return await awaitable
+        try:
+            return await asyncio.wait_for(awaitable, self.timeout)
+        except asyncio.TimeoutError as exc:
+            self._poison()
+            raise TransportError(
+                f"{self.host}:{self.port} did not answer within "
+                f"{self.timeout}s"
+            ) from exc
 
     async def _command(self, line: bytes) -> None:
-        self._require_connected()
-        self._writer.write(line)
-        await self._writer.drain()
+        await self._ensure_ready()
+        try:
+            self._writer.write(line)
+            await self._io(self._writer.drain())
+        except (ConnectionError, OSError) as exc:
+            self._poison()
+            raise TransportError(
+                f"write to {self.host}:{self.port} failed: {exc}"
+            ) from exc
 
     async def _read_line(self) -> bytes:
-        line = await self._reader.readline()
+        try:
+            line = await self._io(self._reader.readline())
+        except (ConnectionError, OSError) as exc:
+            self._poison()
+            raise TransportError(
+                f"read from {self.host}:{self.port} failed: {exc}"
+            ) from exc
         if not line:
-            raise ProtocolError("connection closed by server")
+            self._poison()
+            raise TransportError("connection closed by server")
         return line.rstrip(b"\r\n")
+
+    async def _read_block(self, count: int) -> bytes:
+        """Read exactly *count* bytes of a value block; EOF/reset poison."""
+        try:
+            return await self._io(self._reader.readexactly(count))
+        except asyncio.IncompleteReadError as exc:
+            self._poison()
+            raise TransportError(
+                f"server closed mid-reply "
+                f"({len(exc.partial)}/{count} bytes received)"
+            ) from exc
+        except (ConnectionError, OSError) as exc:
+            self._poison()
+            raise TransportError(
+                f"read from {self.host}:{self.port} failed: {exc}"
+            ) from exc
 
     # ------------------------------------------------------------- basics
 
@@ -98,13 +239,17 @@ class MemcachedClient:
                 return value
             if line.startswith(b"VALUE "):
                 parts = line.decode("utf-8").split(" ")
-                num_bytes = int(parts[3])
-                block = await self._reader.readexactly(num_bytes + 2)
+                try:
+                    num_bytes = int(parts[3])
+                except (IndexError, ValueError):
+                    raise self._desync(f"malformed VALUE line: {line!r}")
+                block = await self._read_block(num_bytes + 2)
                 value = block[:-2]
             elif line.startswith((b"SERVER_ERROR", b"CLIENT_ERROR", b"ERROR")):
+                # A complete error reply: the stream stays in sync.
                 raise ProtocolError(line.decode("utf-8", "replace"))
             else:
-                raise ProtocolError(f"unexpected get response line: {line!r}")
+                raise self._desync(f"unexpected get response line: {line!r}")
 
     async def set(
         self, key: str, value: bytes, flags: int = 0, exptime: int = 0
@@ -118,7 +263,7 @@ class MemcachedClient:
             return True
         if reply == b"NOT_STORED":
             return False
-        raise ProtocolError(f"unexpected set reply: {reply!r}")
+        raise self._desync(f"unexpected set reply: {reply!r}")
 
     async def add(self, key: str, value: bytes, flags: int = 0, exptime: int = 0) -> bool:
         """Store only if absent; True on STORED."""
@@ -146,13 +291,16 @@ class MemcachedClient:
                 return out
             if line.startswith(b"VALUE "):
                 parts = line.decode("utf-8").split(" ")
-                num_bytes = int(parts[3])
-                block = await self._reader.readexactly(num_bytes + 2)
+                try:
+                    num_bytes = int(parts[3])
+                except (IndexError, ValueError):
+                    raise self._desync(f"malformed VALUE line: {line!r}")
+                block = await self._read_block(num_bytes + 2)
                 out[parts[1]] = block[:-2]
             elif line.startswith((b"SERVER_ERROR", b"CLIENT_ERROR", b"ERROR")):
                 raise ProtocolError(line.decode("utf-8", "replace"))
             else:
-                raise ProtocolError(f"unexpected get response line: {line!r}")
+                raise self._desync(f"unexpected get response line: {line!r}")
 
     async def set_multi(
         self, items, flags: int = 0, exptime: int = 0
@@ -181,7 +329,9 @@ class MemcachedClient:
             if reply == b"STORED":
                 stored += 1
             elif reply != b"NOT_STORED":
-                raise ProtocolError(f"unexpected set reply: {reply!r}")
+                # Mid-pipeline garbage: the remaining replies are
+                # unreadable — poison so the next call starts clean.
+                raise self._desync(f"unexpected set reply: {reply!r}")
         return stored
 
     async def gets(self, key: str) -> Optional["CasValue"]:
@@ -195,12 +345,15 @@ class MemcachedClient:
                 return result
             if line.startswith(b"VALUE "):
                 parts = line.decode("utf-8").split(" ")
-                num_bytes = int(parts[3])
-                cas = int(parts[4]) if len(parts) > 4 else 0
-                block = await self._reader.readexactly(num_bytes + 2)
+                try:
+                    num_bytes = int(parts[3])
+                    cas = int(parts[4]) if len(parts) > 4 else 0
+                except (IndexError, ValueError):
+                    raise self._desync(f"malformed VALUE line: {line!r}")
+                block = await self._read_block(num_bytes + 2)
                 result = CasValue(value=block[:-2], cas=cas)
             else:
-                raise ProtocolError(f"unexpected gets response line: {line!r}")
+                raise self._desync(f"unexpected gets response line: {line!r}")
 
     async def cas(
         self, key: str, value: bytes, cas: int, flags: int = 0, exptime: int = 0
@@ -215,7 +368,7 @@ class MemcachedClient:
         table = {b"STORED": "stored", b"EXISTS": "exists",
                  b"NOT_FOUND": "not_found"}
         if reply not in table:
-            raise ProtocolError(f"unexpected cas reply: {reply!r}")
+            raise self._desync(f"unexpected cas reply: {reply!r}")
         return table[reply]
 
     async def _concat(self, verb: str, key: str, value: bytes) -> bool:
@@ -274,20 +427,20 @@ class MemcachedClient:
                 _, name, value = line.decode("utf-8").split(" ", 2)
                 out[name] = value
             else:
-                raise ProtocolError(f"unexpected stats line: {line!r}")
+                raise self._desync(f"unexpected stats line: {line!r}")
 
     async def flush_all(self) -> None:
         """Drop everything on the server."""
         await self._command(b"flush_all\r\n")
         reply = await self._read_line()
         if reply != b"OK":
-            raise ProtocolError(f"unexpected flush_all reply: {reply!r}")
+            raise self._desync(f"unexpected flush_all reply: {reply!r}")
 
     async def version(self) -> str:
         await self._command(b"version\r\n")
         reply = await self._read_line()
         if not reply.startswith(b"VERSION "):
-            raise ProtocolError(f"unexpected version reply: {reply!r}")
+            raise self._desync(f"unexpected version reply: {reply!r}")
         return reply[len(b"VERSION "):].decode("utf-8")
 
     # ------------------------------------------------------- digest calls

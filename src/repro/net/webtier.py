@@ -22,6 +22,29 @@ Per-endpoint locks serialize protocol exchanges on each connection, so one
 frontend may serve concurrent ``fetch`` tasks (required for coalescing to
 ever trigger); run several instances to scale beyond one connection per
 cache server.
+
+Fault tolerance
+---------------
+
+Every cache RPC runs through :meth:`AsyncProteusFrontend._cache_rpc`,
+which layers the :mod:`repro.resilience` policies around the socket work:
+
+* a per-server :class:`~repro.resilience.CircuitBreaker` refuses the RPC
+  outright while the server's circuit is open (no connect-timeout tax on
+  every request to a dead server);
+* transient transport faults are retried with the policy's seeded
+  backoff, against the auto-reconnecting client;
+* a per-request :class:`~repro.resilience.Deadline` bounds the total time
+  spent on cache-side recovery — a sleep that would overrun the budget is
+  skipped and the request fails over immediately.
+
+When the policy's ``degrade_to_database`` flag is set (the default), an
+RPC that cannot be completed answers the engine with
+``SERVER_UNAVAILABLE`` instead of raising, and Algorithm 2 degrades: a
+dead new owner forces a database read (``FetchPath.DEGRADED_DB``), a dead
+old owner skips the migration probe, and a failed write-back is recorded
+but never fails the fetch.  The caller always gets a correct value;
+``stats.degraded`` says what it cost.
 """
 
 from __future__ import annotations
@@ -29,6 +52,7 @@ from __future__ import annotations
 import asyncio
 import time
 from typing import (
+    Any,
     Awaitable,
     Callable,
     Dict,
@@ -53,14 +77,21 @@ from repro.core.retrieval import (
     RetrievalConfig,
     RetrievalConfigMixin,
     RetrievalEngine,
+    SERVER_UNAVAILABLE,
     WaitForLeader,
     WriteBack,
     WriteBackMulti,
 )
 from repro.core.router import ProteusRouter
 from repro.core.transition import Transition, TransitionManager
-from repro.errors import ConfigurationError, TransitionError
+from repro.errors import (
+    ConfigurationError,
+    DigestBroadcastError,
+    TransitionError,
+    TransportError,
+)
 from repro.net.client import MemcachedClient
+from repro.resilience import CircuitBreaker, Deadline, ResiliencePolicy
 
 #: async database fetch: key -> value bytes (authoritative, never misses)
 DatabaseFetch = Callable[[str], Awaitable[bytes]]
@@ -80,6 +111,8 @@ class AsyncProteusFrontend(RetrievalConfigMixin):
             :class:`~repro.core.retrieval.RetrievalConfig`).
         config: full engine options (overrides *coalesce_misses*); shared
             config surface via :class:`RetrievalConfigMixin`.
+        resilience: retry/breaker/deadline policy for cache RPCs;
+            :meth:`ResiliencePolicy.default` when omitted.
     """
 
     def __init__(
@@ -91,6 +124,7 @@ class AsyncProteusFrontend(RetrievalConfigMixin):
         clock: Callable[[], float] = time.monotonic,
         coalesce_misses: bool = False,
         config: Optional[RetrievalConfig] = None,
+        resilience: Optional[ResiliencePolicy] = None,
     ) -> None:
         if not endpoints:
             raise ConfigurationError("need at least one cache endpoint")
@@ -110,6 +144,15 @@ class AsyncProteusFrontend(RetrievalConfigMixin):
         self._manager = TransitionManager(active)
         #: key -> future resolved when the leader's write-back lands
         self._inflight: Dict[str, asyncio.Future] = {}
+        self.resilience = resilience or ResiliencePolicy.default()
+        #: one breaker per cache server, sharing this frontend's clock
+        self.breakers: List[CircuitBreaker] = [
+            self.resilience.new_breaker(clock) for _ in endpoints
+        ]
+        #: cache RPCs answered with ``SERVER_UNAVAILABLE`` (degraded)
+        self.unavailable_rpcs = 0
+        #: transient cache-RPC failures observed (pre-retry, per attempt)
+        self.transient_failures = 0
 
     # ------------------------------------------------------------- facade
 
@@ -127,10 +170,23 @@ class AsyncProteusFrontend(RetrievalConfigMixin):
     # ----------------------------------------------------------- lifecycle
 
     async def connect(self) -> "AsyncProteusFrontend":
-        """Open one connection per endpoint."""
+        """Open one connection per endpoint.
+
+        An endpoint that refuses the initial dial does not fail the whole
+        frontend: its client stays registered (auto-reconnecting), its
+        breaker absorbs the failures, and requests degrade around it until
+        it comes back.
+        """
         for index, (host, port) in enumerate(self.endpoints):
             if self._clients[index] is None:
-                self._clients[index] = await MemcachedClient(host, port).connect()
+                client = MemcachedClient(
+                    host, port, timeout=self.resilience.op_timeout
+                )
+                try:
+                    await client.connect()
+                except (TransportError, OSError):
+                    self.breakers[index].record_failure()
+                self._clients[index] = client
         return self
 
     async def close(self) -> None:
@@ -175,6 +231,69 @@ class AsyncProteusFrontend(RetrievalConfigMixin):
         async with self._locks[server_id]:
             await client.set_multi(items)
 
+    # ------------------------------------------------------ fault-tolerant RPC
+
+    async def _cache_rpc(
+        self,
+        server_id: int,
+        op: Callable[[], Awaitable[Any]],
+        deadline: Optional[Deadline] = None,
+    ) -> Any:
+        """Run one cache RPC under the breaker + retry + deadline policy.
+
+        *op* is a zero-argument coroutine factory (so each retry issues a
+        fresh exchange; the endpoint lock is taken inside it, which keeps
+        the lock released across backoff sleeps).  Answers the engine with
+        ``SERVER_UNAVAILABLE`` — never raises a transient error — when the
+        policy degrades to the database; with ``degrade_to_database=False``
+        the final transient error propagates instead.  Fatal errors
+        (anything the retry policy does not classify transient) always
+        propagate: retrying cannot change a configuration mistake.
+        """
+        policy = self.resilience
+        breaker = self.breakers[server_id]
+        if not breaker.allow(self._clock()):
+            self.unavailable_rpcs += 1
+            if policy.degrade_to_database:
+                return SERVER_UNAVAILABLE
+            raise TransportError(
+                f"circuit open for cache server {server_id}"
+            )
+        sleeps = list(policy.retry.delays())
+        last_error: Optional[BaseException] = None
+        for attempt in range(policy.retry.max_attempts):
+            if deadline is not None and deadline.expired():
+                break
+            try:
+                result = await op()
+            except Exception as error:
+                if not policy.retry.is_transient(error):
+                    raise
+                last_error = error
+                self.transient_failures += 1
+                breaker.record_failure(self._clock())
+                if attempt >= len(sleeps):
+                    break
+                if not breaker.allow(self._clock()):
+                    # The circuit tripped mid-loop: stop hammering.
+                    break
+                sleep = sleeps[attempt]
+                if deadline is not None and not deadline.allows(sleep):
+                    break
+                if sleep > 0:
+                    await asyncio.sleep(sleep)
+            else:
+                breaker.record_success(self._clock())
+                return result
+        self.unavailable_rpcs += 1
+        if policy.degrade_to_database:
+            return SERVER_UNAVAILABLE
+        if last_error is not None:
+            raise last_error
+        raise TransportError(
+            f"request deadline spent before cache server {server_id} answered"
+        )
+
     # ----------------------------------------------------------- transitions
 
     def _current_transition(self) -> Optional[Transition]:
@@ -186,6 +305,15 @@ class AsyncProteusFrontend(RetrievalConfigMixin):
         The caller is responsible for actually powering servers up/down at
         the deadline (the actuator's job); the frontend only needs the
         routing epochs and the digests.
+
+        The digest broadcast is all-or-nothing: each old owner's snapshot
+        + fetch is retried under the resilience policy, and if any server
+        still cannot answer, :class:`~repro.errors.DigestBroadcastError`
+        (a :class:`~repro.errors.TransitionError`) is raised *before* the
+        transition manager is armed — routing state rolls back to exactly
+        what it was, the failures are reported per server, and the caller
+        may simply retry ``scale_to``.  (Snapshots taken on the servers
+        that did answer are harmless: the next broadcast re-snapshots.)
         """
         if not 1 <= n_new <= len(self.endpoints):
             raise TransitionError(f"n_new out of range: {n_new}")
@@ -196,15 +324,50 @@ class AsyncProteusFrontend(RetrievalConfigMixin):
             raise TransitionError("already at the requested size")
         n_old = self.n_active
         digests: Dict[int, BloomFilter] = {}
+        failures: Dict[int, BaseException] = {}
         for server_id in range(n_old):
-            client = self._client(server_id)
-            async with self._locks[server_id]:
-                await client.snapshot_digest()
-                digests[server_id] = await client.fetch_digest(
-                    self.bloom_config.num_counters, self.bloom_config.num_hashes
-                )
+            try:
+                digests[server_id] = await self._broadcast_digest(server_id)
+            except Exception as error:
+                if not self.resilience.retry.is_transient(error):
+                    raise
+                failures[server_id] = error
+        if failures:
+            detail = "; ".join(
+                f"server {server_id}: {type(error).__name__}: {error}"
+                for server_id, error in sorted(failures.items())
+            )
+            raise DigestBroadcastError(
+                f"digest broadcast failed on {len(failures)}/{n_old} "
+                f"servers, transition not started ({detail})",
+                failures=failures,
+            )
         self._manager.ttl = ttl
         return self._manager.begin(n_new, now, digests=digests)
+
+    async def _broadcast_digest(self, server_id: int) -> BloomFilter:
+        """Snapshot + fetch one old owner's digest, retrying transient
+        faults (the pair is idempotent, so it retries as a unit)."""
+        retry = self.resilience.retry
+        sleeps = list(retry.delays())
+        last_error: Optional[BaseException] = None
+        for attempt in range(retry.max_attempts):
+            try:
+                client = self._client(server_id)
+                async with self._locks[server_id]:
+                    await client.snapshot_digest()
+                    return await client.fetch_digest(
+                        self.bloom_config.num_counters,
+                        self.bloom_config.num_hashes,
+                    )
+            except Exception as error:
+                if not retry.is_transient(error):
+                    raise
+                last_error = error
+                if attempt < len(sleeps) and sleeps[attempt] > 0:
+                    await asyncio.sleep(sleeps[attempt])
+        assert last_error is not None
+        raise last_error
 
     # ------------------------------------------------------------ Algorithm 2
 
@@ -221,6 +384,7 @@ class AsyncProteusFrontend(RetrievalConfigMixin):
         """
         started = self._clock()
         epochs = self._manager.routing_counts(started)
+        deadline = self.resilience.new_deadline(self._clock)
         steps = self.engine.retrieve(key, epochs)
         result = None
         leader: Optional[asyncio.Future] = None
@@ -228,7 +392,10 @@ class AsyncProteusFrontend(RetrievalConfigMixin):
             while True:
                 command = steps.send(result)
                 if isinstance(command, ProbeCache):
-                    result = await self._get(command.server_id, key)
+                    server_id = command.server_id
+                    result = await self._cache_rpc(
+                        server_id, lambda: self._get(server_id, key), deadline
+                    )
                 elif isinstance(command, CheckDigest):
                     transition = epochs.transition
                     result = transition is not None and transition.digest_hit(
@@ -247,8 +414,13 @@ class AsyncProteusFrontend(RetrievalConfigMixin):
                         self._inflight[key] = leader
                     result = await self.database(key)
                 elif isinstance(command, WriteBack):
-                    await self._set(command.server_id, key, command.value)
-                    result = None
+                    server_id = command.server_id
+                    value = command.value
+                    result = await self._cache_rpc(
+                        server_id,
+                        lambda: self._set(server_id, key, value),
+                        deadline,
+                    )
                 else:  # pragma: no cover - exhaustive over Command
                     raise ConfigurationError(
                         f"unknown engine command: {command!r}"
@@ -267,6 +439,7 @@ class AsyncProteusFrontend(RetrievalConfigMixin):
             key=key, value=outcome.value, path=outcome.path,
             started=started, completed=self._clock(),
             new_server=outcome.new_server, old_server=outcome.old_server,
+            degraded=outcome.degraded,
         )
 
     async def fetch_many(self, keys: Iterable[str]) -> Dict[str, FetchResult]:
@@ -281,6 +454,7 @@ class AsyncProteusFrontend(RetrievalConfigMixin):
         """
         started = self._clock()
         epochs = self._manager.routing_counts(started)
+        deadline = self.resilience.new_deadline(self._clock)
         steps = self.engine.retrieve_many(keys, epochs)
         answers = None
         leaders: Dict[str, asyncio.Future] = {}
@@ -290,7 +464,9 @@ class AsyncProteusFrontend(RetrievalConfigMixin):
                 answers = tuple(
                     await asyncio.gather(
                         *(
-                            self._execute_batched(command, epochs, leaders)
+                            self._execute_batched(
+                                command, epochs, leaders, deadline
+                            )
                             for command in round_
                         )
                     )
@@ -309,6 +485,7 @@ class AsyncProteusFrontend(RetrievalConfigMixin):
                 key=key, value=outcome.value, path=outcome.path,
                 started=started, completed=completed,
                 new_server=outcome.new_server, old_server=outcome.old_server,
+                degraded=outcome.degraded,
             )
             for key, outcome in outcomes.items()
         }
@@ -318,13 +495,21 @@ class AsyncProteusFrontend(RetrievalConfigMixin):
         command: Command,
         epochs,
         leaders: Dict[str, asyncio.Future],
+        deadline: Optional[Deadline] = None,
     ):
         """Perform one batched-round command (rounds run under gather)."""
         if isinstance(command, ProbeCacheMulti):
-            return await self._get_multi(command.server_id, command.keys)
+            server_id = command.server_id
+            keys = command.keys
+            return await self._cache_rpc(
+                server_id, lambda: self._get_multi(server_id, keys), deadline
+            )
         if isinstance(command, WriteBackMulti):
-            await self._set_multi(command.server_id, command.items)
-            return None
+            server_id = command.server_id
+            items = command.items
+            return await self._cache_rpc(
+                server_id, lambda: self._set_multi(server_id, items), deadline
+            )
         if isinstance(command, CheckDigest):
             transition = epochs.transition
             return transition is not None and transition.digest_hit(

@@ -1,0 +1,29 @@
+"""Fault-tolerance building blocks shared by the sim and live substrates.
+
+The failure-path counterpart of :mod:`repro.core.retrieval`: pure-Python,
+clock-injectable policies — :class:`Deadline` budgets,
+:class:`RetryPolicy` backoff with seeded jitter, per-server
+:class:`CircuitBreaker` admission — plus the declarative
+:class:`FaultPlan` / :class:`FaultSchedule` vocabulary that scripts an
+outage identically for the chaos proxy (live) and the failover experiment
+(sim).  No I/O happens here; drivers decide when to sleep and what counts
+as "now".
+"""
+
+from repro.resilience.breaker import BreakerState, CircuitBreaker
+from repro.resilience.deadline import Deadline
+from repro.resilience.faults import FaultPlan, FaultSchedule, ScheduledFault
+from repro.resilience.policy import ResiliencePolicy
+from repro.resilience.retry import TRANSIENT_ERRORS, RetryPolicy
+
+__all__ = [
+    "BreakerState",
+    "CircuitBreaker",
+    "Deadline",
+    "FaultPlan",
+    "FaultSchedule",
+    "ResiliencePolicy",
+    "RetryPolicy",
+    "ScheduledFault",
+    "TRANSIENT_ERRORS",
+]

@@ -1,0 +1,177 @@
+"""The shared fault vocabulary: declarative plans both substrates speak.
+
+A :class:`FaultPlan` says *what is wrong* with the path to one cache server
+— refuse connections, reset mid-stream with some probability, delay
+responses, blackhole them, truncate writes — without saying *how* the
+wrongness is realized.  The live tier realizes a plan with
+:class:`repro.net.chaosproxy.ChaosProxy` (an actual TCP proxy injecting the
+faults); the simulator realizes the subset it can express by crashing /
+repairing servers in :class:`repro.experiments.failover.FailoverExperiment`.
+Because both read the same :class:`FaultSchedule`, an integration test and
+a simulation run can be handed *the same scripted outage* and their
+degraded-path accounting compared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigurationError
+
+__all__ = ["FaultPlan", "ScheduledFault", "FaultSchedule"]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """What is injected on the path to one server.  All faults compose.
+
+    Attributes:
+        reject_connections: refuse every new connection (hard-down server).
+        blackhole: accept traffic but never forward a response — the
+            hung-server case; only a per-op timeout gets a client out.
+        reset_probability: per-response-chunk probability of an abrupt
+            connection reset.
+        partial_write_probability: per-response-chunk probability of
+            forwarding only a prefix of the chunk and then resetting —
+            the mid-reply desync case.
+        delay: fixed extra latency per response chunk, seconds.
+        delay_jitter: uniform extra delay in ``[0, delay_jitter]``.
+        seed: PRNG seed for the probabilistic faults.
+    """
+
+    reject_connections: bool = False
+    blackhole: bool = False
+    reset_probability: float = 0.0
+    partial_write_probability: float = 0.0
+    delay: float = 0.0
+    delay_jitter: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("reset_probability", "partial_write_probability"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(
+                    f"{name} must be in [0, 1], got {value}"
+                )
+        if self.delay < 0 or self.delay_jitter < 0:
+            raise ConfigurationError("delays must be >= 0")
+
+    # ------------------------------------------------------------- queries
+
+    @property
+    def is_benign(self) -> bool:
+        """True when the plan injects nothing at all."""
+        return (
+            not self.reject_connections
+            and not self.blackhole
+            and self.reset_probability == 0.0
+            and self.partial_write_probability == 0.0
+            and self.delay == 0.0
+            and self.delay_jitter == 0.0
+        )
+
+    @property
+    def kills_server(self) -> bool:
+        """True when the plan makes the server effectively unreachable —
+        the subset of faults the simulator expresses as a crash."""
+        return self.reject_connections or self.blackhole
+
+    # ---------------------------------------------------------- factories
+
+    @classmethod
+    def none(cls) -> "FaultPlan":
+        """The no-fault plan (pass-through proxy)."""
+        return cls()
+
+    @classmethod
+    def killed(cls) -> "FaultPlan":
+        """A hard-down server: every connection refused."""
+        return cls(reject_connections=True)
+
+    @classmethod
+    def slow(cls, delay: float, jitter: float = 0.0) -> "FaultPlan":
+        """A healthy but slow server."""
+        return cls(delay=delay, delay_jitter=jitter)
+
+    @classmethod
+    def flaky(cls, reset_probability: float, seed: int = 0) -> "FaultPlan":
+        """A server whose connections reset at random."""
+        return cls(reset_probability=reset_probability, seed=seed)
+
+    def with_seed(self, seed: int) -> "FaultPlan":
+        """The same plan with a different PRNG seed."""
+        return replace(self, seed=seed)
+
+
+@dataclass(frozen=True)
+class ScheduledFault:
+    """Apply *plan* to *server_id* at time *at*; clear it at *clear_at*."""
+
+    at: float
+    server_id: int
+    plan: FaultPlan
+    clear_at: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ConfigurationError(f"at must be >= 0, got {self.at}")
+        if self.clear_at is not None and self.clear_at <= self.at:
+            raise ConfigurationError("clear_at must be after at")
+
+    def active(self, now: float) -> bool:
+        """True while this entry's plan is in force at time *now*."""
+        if now < self.at:
+            return False
+        return self.clear_at is None or now < self.clear_at
+
+
+@dataclass
+class FaultSchedule:
+    """A scripted outage: scheduled fault entries over one cluster.
+
+    The one fault timeline both substrates consume: the live chaos harness
+    replays it by re-planning proxies at each entry's ``at`` / ``clear_at``;
+    the simulator converts the ``kills_server`` entries to crash/repair
+    events via :meth:`repro.experiments.failover.failure_events_from_schedule`.
+    """
+
+    entries: List[ScheduledFault] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.entries = sorted(self.entries, key=lambda entry: entry.at)
+
+    def add(
+        self,
+        at: float,
+        server_id: int,
+        plan: FaultPlan,
+        clear_at: Optional[float] = None,
+    ) -> "FaultSchedule":
+        """Append an entry (chainable)."""
+        self.entries.append(ScheduledFault(at, server_id, plan, clear_at))
+        self.entries.sort(key=lambda entry: entry.at)
+        return self
+
+    def plans_at(self, now: float) -> Dict[int, FaultPlan]:
+        """The plan in force per server at time *now* (later entries win);
+        servers with no active entry are absent (i.e. fault-free)."""
+        plans: Dict[int, FaultPlan] = {}
+        for entry in self.entries:
+            if entry.active(now):
+                plans[entry.server_id] = entry.plan
+        return plans
+
+    def change_points(self) -> List[float]:
+        """Every time the in-force plan set changes (sorted, distinct)."""
+        points = set()
+        for entry in self.entries:
+            points.add(entry.at)
+            if entry.clear_at is not None:
+                points.add(entry.clear_at)
+        return sorted(points)
+
+    def servers(self) -> List[int]:
+        """Every server id the schedule touches (sorted, distinct)."""
+        return sorted({entry.server_id for entry in self.entries})

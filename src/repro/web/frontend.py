@@ -37,6 +37,7 @@ from repro.core.retrieval import (
     RetrievalConfig,
     RetrievalConfigMixin,
     RetrievalEngine,
+    SERVER_UNAVAILABLE,
     WaitForLeader,
     WriteBack,
     WriteBackMulti,
@@ -136,10 +137,17 @@ class WebServer(RetrievalConfigMixin):
     ) -> Tuple[Any, float]:
         """Perform one engine command; returns (answer, advanced clock)."""
         if isinstance(command, ProbeCache):
+            server = self.cache.server(command.server_id)
             pool = self.pools.pool(f"cache:{command.server_id}")
             clock += pool.acquire()
             clock = self._cache_op(clock)
-            value = self.cache.server(command.server_id).get(key, clock)
+            if not server.state.serves_requests:
+                # Crashed/off server: the failed attempt still cost one
+                # round trip; the connection is ejected, not re-pooled, and
+                # the engine degrades around the dead server.
+                pool.discard()
+                return SERVER_UNAVAILABLE, clock
+            value = server.get(key, clock)
             pool.release()
             return value, clock
         if isinstance(command, CheckDigest):
@@ -167,9 +175,10 @@ class WebServer(RetrievalConfigMixin):
             return response.value, clock
         if isinstance(command, WriteBack):
             clock = self._cache_op(clock)
-            self.cache.server(command.server_id).set(
-                key, command.value, now=clock
-            )
+            server = self.cache.server(command.server_id)
+            if not server.state.serves_requests:
+                return SERVER_UNAVAILABLE, clock
+            server.set(key, command.value, now=clock)
             return None, clock
         raise ConfigurationError(f"unknown engine command: {command!r}")
 
@@ -223,10 +232,13 @@ class WebServer(RetrievalConfigMixin):
         (answer, completion time).  Commands in a round all start at the
         round's base clock — they run concurrently."""
         if isinstance(command, ProbeCacheMulti):
+            server = self.cache.server(command.server_id)
             pool = self.pools.pool(f"cache:{command.server_id}")
             clock += pool.acquire()
             clock = self._cache_op(clock)
-            server = self.cache.server(command.server_id)
+            if not server.state.serves_requests:
+                pool.discard()
+                return SERVER_UNAVAILABLE, clock
             hits = {}
             for key in command.keys:
                 value = server.get(key, clock)
@@ -237,6 +249,8 @@ class WebServer(RetrievalConfigMixin):
         if isinstance(command, WriteBackMulti):
             clock = self._cache_op(clock)
             server = self.cache.server(command.server_id)
+            if not server.state.serves_requests:
+                return SERVER_UNAVAILABLE, clock
             for key, value in command.items:
                 server.set(key, value, now=clock)
             return None, clock

@@ -39,6 +39,8 @@ class ConnectionPool:
         self.reused = 0
         #: acquisitions that had to wait for a busy connection
         self.waited = 0
+        #: unhealthy connections ejected instead of returned to the pool
+        self.ejected = 0
 
     @property
     def busy(self) -> int:
@@ -75,6 +77,20 @@ class ConnectionPool:
             raise ConfigurationError("release without matching acquire")
         self._busy -= 1
         self._idle += 1
+
+    def discard(self) -> None:
+        """Eject a busy connection instead of pooling it again.
+
+        The unhealthy-connection path: after a reset, timeout, or protocol
+        desync the connection must not serve another request, so it leaves
+        the pool entirely — the next :meth:`acquire` below capacity creates
+        a replacement (paying ``setup_cost`` once), which is exactly how
+        Commons Pool's ``invalidateObject`` behaves.
+        """
+        if self._busy == 0:
+            raise ConfigurationError("discard without matching acquire")
+        self._busy -= 1
+        self.ejected += 1
 
 
 class PoolRegistry:

@@ -1,0 +1,86 @@
+"""Retry policy: seeded jitter determinism and fault classification."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    ProtocolError,
+    TransitionError,
+    TransportError,
+)
+from repro.resilience import RetryPolicy
+
+
+class TestClassification:
+    def test_transport_faults_are_transient(self):
+        policy = RetryPolicy()
+        assert policy.is_transient(TransportError("reset"))
+        assert policy.is_transient(ProtocolError("desync"))
+        assert policy.is_transient(ConnectionResetError())
+        assert policy.is_transient(ConnectionRefusedError())
+        assert policy.is_transient(asyncio.TimeoutError())
+        assert policy.is_transient(OSError("no route to host"))
+
+    def test_logic_faults_are_fatal(self):
+        policy = RetryPolicy()
+        assert not policy.is_transient(ConfigurationError("bad id"))
+        assert not policy.is_transient(TransitionError("drain open"))
+        assert not policy.is_transient(ValueError("nope"))
+        assert not policy.is_transient(KeyError("nope"))
+
+    def test_custom_transient_classes(self):
+        policy = RetryPolicy(transient=(ValueError,))
+        assert policy.is_transient(ValueError())
+        assert not policy.is_transient(TransportError("reset"))
+
+
+class TestBackoff:
+    def test_exponential_growth_with_cap_no_jitter(self):
+        policy = RetryPolicy(
+            max_attempts=5, base_delay=0.1, multiplier=2.0,
+            max_delay=0.3, jitter=0.0,
+        )
+        assert list(policy.delays()) == pytest.approx([0.1, 0.2, 0.3, 0.3])
+
+    def test_seeded_jitter_is_deterministic(self):
+        policy = RetryPolicy(max_attempts=6, jitter=0.5, seed=42)
+        first = list(policy.delays())
+        second = list(policy.delays())
+        assert first == second
+        assert list(RetryPolicy(max_attempts=6, jitter=0.5, seed=43).delays()) != first
+
+    def test_jitter_stays_inside_the_proportional_band(self):
+        policy = RetryPolicy(
+            max_attempts=40, base_delay=0.1, multiplier=1.0,
+            max_delay=1.0, jitter=0.2, seed=7,
+        )
+        for delay in policy.delays():
+            assert 0.08 <= delay <= 0.12
+
+    def test_one_attempt_means_no_sleeps(self):
+        assert list(RetryPolicy(max_attempts=1).delays()) == []
+
+    def test_total_backoff_is_the_worst_case(self):
+        policy = RetryPolicy(
+            max_attempts=3, base_delay=0.1, multiplier=2.0,
+            max_delay=1.0, jitter=0.2,
+        )
+        assert policy.total_backoff() == pytest.approx((0.1 + 0.2) * 1.2)
+
+    def test_backoff_rejects_negative_attempt(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().backoff(-1)
+
+
+class TestValidation:
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-0.1)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
