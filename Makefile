@@ -22,6 +22,8 @@ bench:
 bench-smoke:
 	PROTEUS_BENCH_ROUNDS=1 $(PYTHON) -m pytest \
 		benchmarks/bench_routing_perf.py --benchmark-disable -q -s
+	$(PYTHON) benchmarks/bench_routing_shootout.py \
+		--sizes 40,128 --keys 20000 --rounds 1
 	$(PYTHON) benchmarks/bench_fault_tolerance.py --rounds 1
 
 # Regenerate every paper figure as printed tables.

@@ -1,0 +1,221 @@
+"""Routing-backend shootout — proteus vs. multiprobe vs. power at scale.
+
+The pluggable :class:`~repro.core.ring.RingBackend` layer turns the
+reproduction into a placement-strategy laboratory; this bench is the
+laboratory report.  For each backend at each fleet size it measures:
+
+* **build** — one-off construction cost (Algorithm 1 placement for
+  proteus, node-position table for multiprobe, nothing for power);
+* **compile** — per-epoch table resolution (amortized by the LRU cache);
+* **ops/s** — scalar ``owner()`` and batched ``owners_many`` throughput;
+* **table memory** — resident bytes of the compiled epoch table: the
+  headline tradeoff, O(N^2) vnodes vs. O(N) node table vs. O(1);
+* **peak-to-average load** — sampled key-space balance at full fleet
+  (1.0 is perfect; the sampling floor at ``keys/N`` keys per server is
+  reported alongside so backends are read against the same noise);
+* **remap fraction** — measured on a 10% scale-down against the paper's
+  Section II lower bound ``|dn|/max``, via the shared
+  :func:`repro.core.metrics.remap_fraction`.
+
+Proteus uses the exact Algorithm 1 construction up to ``--exact-limit``
+servers (default 512) and the scaled-integer fast construction — same
+borrow schedule, bit-identical feasibility decisions — above it.
+
+Results print as a table per fleet size and aggregate into
+``BENCH_shootout.json``.  The default sweep is ``--sizes 40,512,4096``;
+``make bench-smoke`` runs the ``--sizes 40,128`` variant.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+from typing import Dict, List
+
+import numpy as np
+
+from benchmarks.conftest import fmt_row
+from repro.core.metrics import peak_to_average, remap_fraction
+from repro.core.migration import migration_lower_bound
+from repro.core.ring import (
+    BACKEND_NAMES,
+    DEFAULT_RING_SIZE,
+    MultiProbeBackend,
+    PowerBackend,
+    ProteusBackend,
+    RingBackend,
+)
+
+JSON_PATH = Path(__file__).resolve().parents[1] / "BENCH_shootout.json"
+
+
+def build_backend(
+    name: str, num_servers: int, exact_limit: int
+) -> RingBackend:
+    if name == "proteus":
+        return ProteusBackend(
+            num_servers, DEFAULT_RING_SIZE, fast=num_servers > exact_limit
+        )
+    if name == "multiprobe":
+        return MultiProbeBackend(num_servers, DEFAULT_RING_SIZE)
+    if name == "power":
+        return PowerBackend(num_servers, DEFAULT_RING_SIZE)
+    raise ValueError(f"unknown backend {name!r}")
+
+
+def bench_backend(
+    name: str,
+    num_servers: int,
+    positions: np.ndarray,
+    scalar_probes: int,
+    rounds: int,
+    exact_limit: int,
+) -> Dict:
+    start = time.perf_counter()
+    backend = build_backend(name, num_servers, exact_limit)
+    build_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    table = backend.compile(num_servers)
+    compile_seconds = time.perf_counter() - start
+
+    # Scalar throughput: best-of-rounds over a prefix of the key stream.
+    scalar_positions = [int(p) for p in positions[:scalar_probes]]
+    best_scalar = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        for position in scalar_positions:
+            table.lookup(position)
+        best_scalar = min(best_scalar, time.perf_counter() - t0)
+
+    best_batch = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        owners = backend.owners_many(positions, num_servers)
+        best_batch = min(best_batch, time.perf_counter() - t0)
+
+    counts = np.bincount(owners, minlength=num_servers)
+    load_ratio = peak_to_average(counts.tolist())
+
+    # Scale-down remap: full fleet -> 90% (capped into the valid range).
+    n_down = max(1, int(num_servers * 0.9))
+    owners_down = backend.owners_many(positions, n_down)
+    measured_remap = remap_fraction(owners, owners_down)
+    bound = float(migration_lower_bound(num_servers, n_down))
+    expected = backend.expected_remap_fraction(num_servers, n_down)
+
+    return {
+        "backend": name,
+        "placement": (
+            "fast"
+            if name == "proteus" and num_servers > exact_limit
+            else "exact"
+        ),
+        "build_seconds": round(build_seconds, 4),
+        "compile_seconds": round(compile_seconds, 4),
+        "table_bytes": backend.table_bytes(num_servers),
+        "owner_ops_per_s": round(len(scalar_positions) / best_scalar, 1),
+        "owners_many_ops_per_s": round(len(positions) / best_batch, 1),
+        "peak_to_average_load": round(float(load_ratio), 4),
+        "scale_down": {
+            "n_old": num_servers,
+            "n_new": n_down,
+            "remap_fraction": round(float(measured_remap), 5),
+            "lower_bound": round(bound, 5),
+            "expected_remap_fraction": (
+                round(expected, 5) if expected is not None else None
+            ),
+        },
+    }
+
+
+def run(sizes: List[int], keys: int, rounds: int, exact_limit: int) -> Dict:
+    results: List[Dict] = []
+    for num_servers in sizes:
+        num_keys = max(keys, 100 * num_servers)
+        rng = np.random.RandomState(0)
+        positions = rng.randint(
+            0, DEFAULT_RING_SIZE, size=num_keys
+        ).astype(np.int64)
+        scalar_probes = min(num_keys, 20000)
+        rows = [
+            bench_backend(
+                name, num_servers, positions, scalar_probes, rounds,
+                exact_limit,
+            )
+            for name in BACKEND_NAMES
+        ]
+        results.extend(rows)
+
+        noise_floor = 1.0 + 3.0 / np.sqrt(num_keys / num_servers)
+        print(f"\nShootout, N={num_servers} ({num_keys} sampled keys, "
+              f"load noise floor ~{noise_floor:.2f}):")
+        print(fmt_row("backend", [r["backend"] for r in rows], width=14))
+        print(fmt_row("build s", [r["build_seconds"] for r in rows], width=14))
+        print(fmt_row("table KiB",
+                      [round(r["table_bytes"] / 1024, 1) for r in rows],
+                      width=14))
+        print(fmt_row("owner ops/s",
+                      [int(r["owner_ops_per_s"]) for r in rows], width=14))
+        print(fmt_row("batch ops/s",
+                      [int(r["owners_many_ops_per_s"]) for r in rows],
+                      width=14))
+        print(fmt_row("peak/avg",
+                      [r["peak_to_average_load"] for r in rows], width=14))
+        print(fmt_row("remap",
+                      [r["scale_down"]["remap_fraction"] for r in rows],
+                      width=14))
+        print(fmt_row("remap bound",
+                      [r["scale_down"]["lower_bound"] for r in rows],
+                      width=14))
+
+        # Gates: every backend routes correctly-bounded and near-minimal.
+        for row in rows:
+            down = row["scale_down"]
+            assert down["remap_fraction"] >= down["lower_bound"] - 0.02, (
+                f"{row['backend']} remap {down['remap_fraction']} "
+                f"below the information-theoretic bound {down['lower_bound']}"
+                " — measurement bug"
+            )
+            assert down["remap_fraction"] <= 3 * down["lower_bound"] + 0.05, (
+                f"{row['backend']} remaps {down['remap_fraction']} on a 10% "
+                f"scale-down (bound {down['lower_bound']}) — reshuffling"
+            )
+
+    report = {
+        "ring_size": DEFAULT_RING_SIZE,
+        "rounds": rounds,
+        "sizes": sizes,
+        "exact_limit": exact_limit,
+        "measurement": "uniform sampled ring positions; owners_many batch; "
+                       "scale-down to 90% of the fleet",
+        "results": results,
+    }
+    return report
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--sizes", default="40,512,4096",
+                        help="comma-separated fleet sizes")
+    parser.add_argument("--keys", type=int, default=200000,
+                        help="sampled keys (raised to 100*N if smaller)")
+    parser.add_argument("--rounds", type=int, default=3)
+    parser.add_argument("--exact-limit", type=int, default=512,
+                        help="largest N using exact Fraction placement for "
+                             "proteus (scaled-integer construction above)")
+    parser.add_argument("--json", default=str(JSON_PATH),
+                        help="output report path")
+    args = parser.parse_args()
+    sizes = [int(part) for part in args.sizes.split(",") if part.strip()]
+    report = run(sizes, args.keys, args.rounds, args.exact_limit)
+    out = Path(args.json)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nwrote {out.name}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

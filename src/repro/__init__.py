@@ -42,26 +42,37 @@ from repro.cache import CacheServer, CacheStats, KeyValueStore, PowerState
 from repro.config import ClusterConfig, DigestGeometry
 from repro.cache.cluster import CacheCluster
 from repro.core import (
+    BACKEND_NAMES,
     CompiledRingTable,
     ConsistentRouter,
     FetchPath,
     FetchResult,
     FetchStats,
     HashRing,
+    MultiProbeBackend,
+    MultiProbeRouter,
     NaiveRouter,
     Placement,
+    PowerBackend,
+    PowerRouter,
+    ProteusBackend,
     ProteusRouter,
     ReplicatedProteusRouter,
     ReplicatedRetrievalEngine,
     RetrievalConfig,
     RetrievalEngine,
+    RingBackend,
     Router,
     StaticRouter,
     TransitionManager,
+    VnodeBackend,
+    make_backend,
     make_router,
     migration_lower_bound,
+    peak_to_average,
     place_virtual_nodes,
     plan_migration,
+    remap_fraction,
     scenario_routers,
     theoretical_min_vnodes,
 )
@@ -110,6 +121,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AsyncProteusFrontend",
+    "BACKEND_NAMES",
     "BloomConfig",
     "BloomFilter",
     "CacheCluster",
@@ -137,9 +149,14 @@ __all__ = [
     "KeyValueStore",
     "MemcachedClient",
     "MemcachedServer",
+    "MultiProbeBackend",
+    "MultiProbeRouter",
     "NaiveRouter",
     "Placement",
+    "PowerBackend",
+    "PowerRouter",
     "PowerState",
+    "ProteusBackend",
     "ProteusError",
     "ProteusRouter",
     "ProvisioningActuator",
@@ -151,12 +168,14 @@ __all__ = [
     "RetrievalConfig",
     "RetrievalEngine",
     "RetryPolicy",
+    "RingBackend",
     "Router",
     "ScenarioSpec",
     "StaticRouter",
     "TraceRecord",
     "TransitionManager",
     "UserPopulation",
+    "VnodeBackend",
     "WebServer",
     "ZipfSampler",
     "compare_routers",
@@ -165,11 +184,14 @@ __all__ = [
     "generate_trace",
     "load_proportional_schedule",
     "load_trace",
+    "make_backend",
     "make_router",
     "migration_lower_bound",
     "optimal_config",
+    "peak_to_average",
     "place_virtual_nodes",
     "plan_migration",
+    "remap_fraction",
     "run_feedback_loop",
     "run_scenarios",
     "save_trace",

@@ -122,10 +122,13 @@ class CacheCluster:
     def scale_to(self, n_new: int, now: float) -> Optional[Transition]:
         """Begin a smooth transition to *n_new* active servers.
 
-        Digests of every server active under the *old* mapping are broadcast
-        (they are the potential old owners of remapped keys).  Scale-up
-        powers the incoming servers on cold before routing flips; scale-down
-        marks the outgoing servers DRAINING until the TTL closes.
+        Digests are snapshot from the *ceding* servers — the old-mapping
+        owners the router's backend reports may lose keys
+        (:meth:`~repro.core.router.Router.ceding_servers`).  For Proteus
+        scale-down that is exactly the draining servers; backends without
+        tighter metadata fall back to every old owner.  Scale-up powers the
+        incoming servers on cold before routing flips; scale-down marks the
+        outgoing servers DRAINING until the TTL closes.
 
         Returns the started :class:`Transition`, or ``None`` for a no-op.
         """
@@ -142,14 +145,17 @@ class CacheCluster:
             raise TransitionError(
                 "previous drain window still open; finalize it first"
             )
-        digests = self.collect_digests(list(range(n_old)))
+        ceding = self.router.ceding_servers(n_old, n_new)
+        digests = self.collect_digests(ceding)
         if n_new > n_old:
             for sid in range(n_old, n_new):
                 # A crashed machine ignores the actuator's power-on; it
                 # joins the fleet only after repair_server().
                 if sid not in self._failed:
                     self.servers[sid].power_on(now)
-        transition = self.transitions.begin(n_new, now, digests=digests)
+        transition = self.transitions.begin(
+            n_new, now, digests=digests, ceding=ceding
+        )
         if transition is not None and transition.is_scale_down:
             for sid in transition.draining_servers():
                 # Crashed servers are already OFF; they have nothing to drain.

@@ -54,7 +54,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--servers", type=int, required=True)
     p.add_argument("--active", type=int, required=True)
     p.add_argument("--scenario", default="proteus",
-                   choices=["static", "naive", "consistent", "proteus"])
+                   choices=["static", "naive", "consistent", "proteus",
+                            "multiprobe", "power"])
     p.add_argument("--replicas", type=int, default=1)
 
     p = sub.add_parser("bloom-config", help="size the cache digest (Eq. 10)")
@@ -86,7 +87,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="comma-separated active counts, one per slot")
     p.add_argument("--slot-seconds", type=float, required=True)
     p.add_argument("--scenario", default="proteus",
-                   choices=["static", "naive", "consistent", "proteus"])
+                   choices=["static", "naive", "consistent", "proteus",
+                            "multiprobe", "power"])
 
     p = sub.add_parser("config-init",
                        help="write a shared cluster-config JSON")
@@ -101,6 +103,9 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("simulate",
                        help="run Table II scenarios end to end")
     p.add_argument("--scenarios", default="static,naive,consistent,proteus")
+    p.add_argument("--ring-backend", default="proteus",
+                   choices=["proteus", "multiprobe", "power"],
+                   help="placement backend for the smooth (Proteus) scenario")
     p.add_argument("--servers", type=int, default=8)
     p.add_argument("--schedule", type=_parse_counts,
                    default=[6, 5, 4, 4, 5, 6])
@@ -218,7 +223,14 @@ def _cmd_simulate(args) -> int:
     from repro.provisioning.policies import ProvisioningSchedule
 
     wanted = [name.strip().lower() for name in args.scenarios.split(",")]
-    available = {spec.name.lower(): spec for spec in ScenarioSpec.all_four()}
+    available = {
+        spec.name.lower(): spec
+        for spec in ScenarioSpec.all_four(ring_backend=args.ring_backend)
+    }
+    # the smooth scenario keeps the plain "proteus" CLI name whatever the
+    # backend; its report carries the qualified Proteus[<backend>] label.
+    smooth = ScenarioSpec.proteus(ring_backend=args.ring_backend)
+    available.setdefault("proteus", smooth)
     unknown = [name for name in wanted if name not in available]
     if unknown:
         print(f"unknown scenario(s): {', '.join(unknown)}", file=sys.stderr)
@@ -232,6 +244,7 @@ def _cmd_simulate(args) -> int:
         seed=args.seed,
         warmup_seconds=min(20.0, args.slot_seconds / 3),
         plot_slots=max(12, 2 * schedule.num_slots),
+        ring_backend=args.ring_backend,
     )
     print(f"schedule n(t) = {schedule.counts}  slot={args.slot_seconds}s")
     header = f"{'scenario':<12s}{'peak p99.9':>12s}{'db reads':>10s}" \

@@ -20,6 +20,7 @@ from fractions import Fraction
 from typing import Dict, List, Sequence, Tuple
 
 from repro.bloom.hashing import Key
+from repro.core.metrics import remap_fraction
 from repro.core.router import Router
 from repro.errors import ConfigurationError
 
@@ -120,16 +121,19 @@ def plan_migration(
 def empirical_remap_fraction(
     router: Router, n_old: int, n_new: int, num_samples: int = 20000, seed: int = 7
 ) -> float:
-    """Measure the remap fraction of *router* over random sampled keys."""
+    """Measure the remap fraction of *router* over random sampled keys.
+
+    A thin wrapper over the shared :func:`repro.core.metrics.remap_fraction`
+    using the router's vectorized batch path; the sampled key stream is
+    seed-stable across releases.
+    """
     import random
 
     rng = random.Random(seed)
-    moved = 0
-    for _ in range(num_samples):
-        key = f"sample:{rng.getrandbits(64):016x}"
-        if router.route(key, n_old) != router.route(key, n_new):
-            moved += 1
-    return moved / num_samples
+    keys = [f"sample:{rng.getrandbits(64):016x}" for _ in range(num_samples)]
+    return remap_fraction(
+        router.route_many(keys, n_old), router.route_many(keys, n_new)
+    )
 
 
 def remap_matrix(

@@ -11,19 +11,20 @@ distinct servers (Eq. 3) is::
 
 which approaches 1 for small ``r`` and large ``n``.
 
-All lookups go through the shared ring's per-epoch compiled table
-(:meth:`~repro.core.ring.HashRing.compiled_for`): one table serves every
+All lookups go through the backend's per-epoch compiled table
+(:meth:`~repro.core.ring.RingBackend.compile`): one table serves every
 replica ring because the rings differ only in the key hash, not in the
-virtual-node placement.
+node placement.  Any :class:`~repro.core.ring.RingBackend` works — the
+replica trick is orthogonal to the placement strategy.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.bloom.hashing import Key, KeyHashes, ring_position
-from repro.core.placement import Placement, place_virtual_nodes
-from repro.core.ring import HashRing
+from repro.core.placement import Placement
+from repro.core.ring import HashRing, RingBackend, make_backend
 from repro.core.router import DEFAULT_RING_SIZE, Router
 from repro.errors import ConfigurationError, RoutingError
 
@@ -53,13 +54,23 @@ class ReplicatedProteusRouter(Router):
         num_servers: int,
         replicas: int = 2,
         ring_size: int = DEFAULT_RING_SIZE,
+        backend: Union[str, RingBackend] = "proteus",
     ) -> None:
         super().__init__(num_servers)
         if replicas < 1:
             raise ConfigurationError(f"replicas must be >= 1, got {replicas}")
         self.replicas = replicas
-        self.placement: Placement = place_virtual_nodes(num_servers, ring_size)
-        self._ring: HashRing = self.placement.build_ring()
+        if isinstance(backend, RingBackend):
+            self.backend: RingBackend = backend
+        else:
+            self.backend = make_backend(backend, num_servers, ring_size)
+        # Placement/ring are exposed for the vnode-backed strategies;
+        # table-free backends (power) report None.
+        self.placement: Optional[Placement] = getattr(self.backend, "placement", None)
+        self._ring: Optional[HashRing] = getattr(self.backend, "ring", None)
+
+    def ceding_servers(self, n_old: int, n_new: int) -> List[int]:
+        return self.backend.ceding_servers(n_old, n_new)
 
     def replica_servers(
         self, key: Key, num_active: int, hashes: Optional[KeyHashes] = None
@@ -72,8 +83,8 @@ class ReplicatedProteusRouter(Router):
         already-computed replica bases.
         """
         self._check_active(num_active)
-        table = self._ring.compiled_for(num_active)
-        size = self._ring.size
+        table = self.backend.compile(num_active)
+        size = self.backend.ring_size
         if hashes is not None:
             return [
                 table.lookup(hashes.ring_position(size, replica=i))
@@ -100,23 +111,23 @@ class ReplicatedProteusRouter(Router):
         Hashes only the primary ring, not all ``r`` replicas.
         """
         self._check_active(num_active)
-        return self._ring.compiled_for(num_active).lookup(
-            ring_position(key, self._ring.size, replica=0)
+        return self.backend.compile(num_active).lookup(
+            ring_position(key, self.backend.ring_size, replica=0)
         )
 
     def route_hashed(self, hashes: KeyHashes, num_active: int) -> int:
         self._check_active(num_active)
-        return self._ring.compiled_for(num_active).lookup(
-            hashes.ring_position(self._ring.size, replica=0)
+        return self.backend.compile(num_active).lookup(
+            hashes.ring_position(self.backend.ring_size, replica=0)
         )
 
     def route_many(self, keys: Sequence[Key], num_active: int) -> List[int]:
         from repro.bloom.hashing import ring_positions_many
 
         self._check_active(num_active)
-        table = self._ring.compiled_for(num_active)
+        table = self.backend.compile(num_active)
         return table.lookup_many(
-            ring_positions_many(keys, self._ring.size, replica=0)
+            ring_positions_many(keys, self.backend.ring_size, replica=0)
         ).tolist()
 
     def read_targets(

@@ -51,7 +51,6 @@ the :class:`FetchStats` counts are identical to N sequential
 from __future__ import annotations
 
 import enum
-import warnings
 from dataclasses import dataclass, field
 from typing import (
     Any,
@@ -434,12 +433,6 @@ class FetchResult:
     :class:`~repro.net.webtier.AsyncProteusFrontend` with its (monotonic)
     wall clock; everything else is substrate-independent, so reports built
     from either tier diff field for field.
-
-    Deprecation shim: the live tier's ``fetch`` historically returned a
-    bare ``(value, path)`` tuple.  Iterating or indexing a
-    :class:`FetchResult` still unpacks to that pair — with a
-    ``DeprecationWarning`` — so ``value, path = await frontend.fetch(key)``
-    keeps working while callers migrate to the named fields.
     """
 
     key: str
@@ -465,21 +458,6 @@ class FetchResult:
             FetchPath.MISS_DB,
             FetchPath.DEGRADED_DB,
         )
-
-    def _legacy_pair(self) -> Tuple[Any, FetchPath]:
-        warnings.warn(
-            "unpacking FetchResult as a (value, path) tuple is deprecated; "
-            "use the .value and .path fields",
-            DeprecationWarning,
-            stacklevel=3,
-        )
-        return (self.value, self.path)
-
-    def __iter__(self):
-        return iter(self._legacy_pair())
-
-    def __getitem__(self, index):
-        return self._legacy_pair()[index]
 
 
 @dataclass

@@ -17,12 +17,15 @@ Scenario            Server provisioning        Workload distribution
 ==================  =========================  ===============================
 
 Objective 3 also demands the decision be *efficient* — it runs on every web
-request — so the ring-based routers route through
-:meth:`~repro.core.ring.HashRing.compiled_for`: the inactive-skip chain is
-resolved once per ``num_active`` epoch into a flat table, ``route()`` is
-hash + one bisection with zero Python callbacks, and :meth:`Router.route_many`
-answers a whole key batch with one vectorized ``np.searchsorted``.  Routing
-decisions are bit-identical to the uncompiled ``ring.lookup`` path.
+request — so the ring-based routers route through a pluggable
+:class:`~repro.core.ring.RingBackend`: the placement strategy is resolved
+once per ``num_active`` epoch into a flat table, ``route()`` is hash + one
+O(1)-ish lookup with zero Python callbacks, and :meth:`Router.route_many`
+answers a whole key batch with one vectorized pass.  The ``proteus``
+backend routes through :meth:`~repro.core.ring.HashRing.compiled_for`, so
+its decisions are bit-identical to the uncompiled ``ring.lookup`` path;
+the ``multiprobe`` and ``power`` backends trade the Algorithm 1 guarantees
+for O(n) / O(1) table memory (see :mod:`repro.core.ring`).
 """
 
 from __future__ import annotations
@@ -40,13 +43,21 @@ from repro.bloom.hashing import (
     stable_hash64,
     stable_hash64_many,
 )
-from repro.core.placement import Placement, place_virtual_nodes
-from repro.core.ring import HashRing, VirtualNode
+from repro.core.placement import Placement
+from repro.core.ring import (
+    BACKEND_NAMES,
+    DEFAULT_PROBES,
+    DEFAULT_RING_SIZE,
+    HashRing,
+    MultiProbeBackend,
+    PowerBackend,
+    ProteusBackend,
+    RingBackend,
+    VirtualNode,
+    VnodeBackend,
+    make_backend,
+)
 from repro.errors import ConfigurationError, RoutingError
-
-#: Default key-space size for consistent-hashing rings.  2^32 matches common
-#: memcached client libraries (e.g. spymemcached's ketama ring).
-DEFAULT_RING_SIZE = 2 ** 32
 
 
 class Router(ABC):
@@ -85,6 +96,19 @@ class Router(ABC):
         """
         return [self.route(key, num_active) for key in keys]
 
+    def ceding_servers(self, n_old: int, n_new: int) -> List[int]:
+        """Old-mapping owners that may lose keys in ``n_old -> n_new``.
+
+        The digest-broadcast set for a smooth transition: a digest is
+        needed from every server that might be the old owner of a
+        remapped key.  The conservative default — every old owner — is
+        correct for any router; backend-aware routers narrow it via
+        :meth:`RingBackend.ceding_servers`.
+        """
+        self._check_active(n_old)
+        self._check_active(n_new)
+        return list(range(n_old))
+
     @property
     def name(self) -> str:
         """Short scenario name used in benchmark tables."""
@@ -97,6 +121,9 @@ class StaticRouter(Router):
     Ignores ``num_active`` — this scenario never powers servers down, so it
     is the no-savings / no-spike baseline.
     """
+
+    def ceding_servers(self, n_old: int, n_new: int) -> List[int]:
+        return []  # routing ignores num_active: no key ever moves
 
     def route(self, key: Key, num_active: int) -> int:
         return stable_hash64(key) % self.num_servers
@@ -134,33 +161,48 @@ class NaiveRouter(Router):
 
 
 class RingRouter(Router):
-    """Shared fast path of the ring-based routers (Consistent, Proteus).
+    """Shared fast path of the backend-based routers.
 
-    Subclasses populate ``self.ring``; routing then goes through the ring's
-    per-epoch compiled table — one blake2b plus one bisection per key, or
-    one vectorized ``searchsorted`` per batch.
+    Subclasses populate ``self.backend`` (a
+    :class:`~repro.core.ring.RingBackend`); routing is one blake2b key
+    position plus the backend's per-epoch compiled lookup — a bisection
+    for the vnode backends, ``k`` probes for multi-probe, O(1) expected
+    draws for power — or one vectorized pass per batch.  Vnode-backed
+    routers additionally expose ``self.ring`` for placement inspection.
     """
 
-    ring: HashRing
+    backend: RingBackend
+    ring: Optional[HashRing]
 
     def route(self, key: Key, num_active: int) -> int:
         self._check_active(num_active)
-        return self.ring.compiled_for(num_active).lookup(
-            ring_position(key, self.ring.size)
+        backend = self.backend
+        return backend.compile(num_active).lookup(
+            ring_position(key, backend.ring_size)
         )
 
     def route_hashed(self, hashes: KeyHashes, num_active: int) -> int:
         self._check_active(num_active)
-        return self.ring.compiled_for(num_active).lookup(
-            hashes.ring_position(self.ring.size)
+        backend = self.backend
+        return backend.compile(num_active).lookup(
+            hashes.ring_position(backend.ring_size)
         )
 
     def route_many(self, keys: Sequence[Key], num_active: int) -> List[int]:
         self._check_active(num_active)
-        table = self.ring.compiled_for(num_active)
+        backend = self.backend
+        table = backend.compile(num_active)
         return table.lookup_many(
-            ring_positions_many(keys, self.ring.size)
+            ring_positions_many(keys, backend.ring_size)
         ).tolist()
+
+    def ceding_servers(self, n_old: int, n_new: int) -> List[int]:
+        return self.backend.ceding_servers(n_old, n_new)
+
+    def expected_remap_fraction(self, n_old: int, n_new: int) -> Optional[float]:
+        """Backend remap metadata (see
+        :meth:`~repro.core.ring.RingBackend.expected_remap_fraction`)."""
+        return self.backend.expected_remap_fraction(n_old, n_new)
 
 
 class ConsistentRouter(RingRouter):
@@ -222,6 +264,7 @@ class ConsistentRouter(RingRouter):
                 nodes.append(VirtualNode(position, server))
                 placed += 1
         self.ring.add_many(nodes)
+        self.backend = VnodeBackend(self.ring, num_servers)
 
     @classmethod
     def log_variant(cls, num_servers: int, seed: int = 0) -> "ConsistentRouter":
@@ -245,16 +288,67 @@ class ProteusRouter(RingRouter):
     key-space; transitions remap the Section II lower bound.
     """
 
+    def __init__(
+        self,
+        num_servers: int,
+        ring_size: int = DEFAULT_RING_SIZE,
+        fast: bool = False,
+    ) -> None:
+        super().__init__(num_servers)
+        self.backend = ProteusBackend(num_servers, ring_size, fast=fast)
+        self.placement: Optional[Placement] = self.backend.placement
+        self.ring = self.backend.ring
+
+
+class MultiProbeRouter(RingRouter):
+    """Multi-probe consistent hashing: one position per server, ``k`` probes.
+
+    O(N) table memory instead of the Algorithm 1 ``N(N-1)/2 + 1`` vnodes;
+    peak-to-average load ~``1 + O(1/k)`` (about 1.1 at the default
+    ``k = 21``).  Remap on resize is near the Section II lower bound but
+    not exactly minimal, and per-prefix balance is statistical, not exact.
+    """
+
+    def __init__(
+        self,
+        num_servers: int,
+        ring_size: int = DEFAULT_RING_SIZE,
+        probes: int = DEFAULT_PROBES,
+    ) -> None:
+        super().__init__(num_servers)
+        self.backend = MultiProbeBackend(num_servers, ring_size, probes=probes)
+        self.ring = None
+
+    @property
+    def name(self) -> str:
+        return "MultiProbe"
+
+
+class PowerRouter(RingRouter):
+    """Power consistent hashing: O(1) expected lookup, zero table memory.
+
+    Exact ``1/n`` balance and exactly minimal remap while ``n`` stays
+    within a power-of-two band; crossing a band boundary reshuffles about
+    half the key space (the backend reports ``expected_remap_fraction =
+    None`` there so transitions fall back to conservative digests).
+    """
+
     def __init__(self, num_servers: int, ring_size: int = DEFAULT_RING_SIZE) -> None:
         super().__init__(num_servers)
-        self.placement: Placement = place_virtual_nodes(num_servers, ring_size)
-        self.ring = self.placement.build_ring()
+        self.backend = PowerBackend(num_servers, ring_size)
+        self.ring = None
+
+    @property
+    def name(self) -> str:
+        return "Power"
 
 
 def make_router(scenario: str, num_servers: int, **kwargs) -> Router:
     """Factory keyed by Table II scenario name (case-insensitive).
 
     ``consistent`` accepts ``variant='log'`` (default) or ``variant='quadratic'``.
+    ``multiprobe`` and ``power`` select the O(1)-scheme backends of
+    :mod:`repro.core.ring`.
     """
     name = scenario.strip().lower()
     if name == "static":
@@ -271,6 +365,10 @@ def make_router(scenario: str, num_servers: int, **kwargs) -> Router:
         raise ConfigurationError(f"unknown consistent-hashing variant {variant!r}")
     if name == "proteus":
         return ProteusRouter(num_servers, **kwargs)
+    if name == "multiprobe":
+        return MultiProbeRouter(num_servers, **kwargs)
+    if name == "power":
+        return PowerRouter(num_servers, **kwargs)
     raise ConfigurationError(f"unknown scenario {scenario!r}")
 
 

@@ -43,6 +43,10 @@ class Transition:
         ttl: drain-window length; old owners stay queryable until
             ``started_at + ttl``.
         digests: per-server digest snapshots broadcast at the start.
+        ceding: old-mapping owners that may lose keys in this transition,
+            as reported by the router's backend remap metadata
+            (:meth:`~repro.core.ring.RingBackend.ceding_servers`), or
+            ``None`` when the initiator did not supply the hint.
     """
 
     n_old: int
@@ -50,6 +54,7 @@ class Transition:
     started_at: float
     ttl: float
     digests: Dict[int, BloomFilter] = field(default_factory=dict)
+    ceding: Optional[List[int]] = None
 
     @property
     def deadline(self) -> float:
@@ -67,6 +72,20 @@ class Transition:
     def draining_servers(self) -> List[int]:
         """Servers that power off when the window closes (scale-down only)."""
         return list(range(self.n_new, self.n_old)) if self.is_scale_down else []
+
+    def ceding_servers(self) -> List[int]:
+        """Old owners whose keys may have moved — the digest-consult set.
+
+        Backend remap metadata when the initiator supplied it (see
+        :meth:`TransitionManager.begin`); otherwise the conservative
+        every-old-owner set, which is correct for any routing scheme.
+        Distinct from :meth:`draining_servers`, the *physical* power-off
+        set: on scale-up nothing drains but low-numbered servers still
+        cede ranges to the newcomers.
+        """
+        if self.ceding is not None:
+            return list(self.ceding)
+        return list(range(self.n_old))
 
     def expired(self, now: float) -> bool:
         """True once the drain window has closed."""
@@ -133,6 +152,7 @@ class TransitionManager:
         n_new: int,
         now: float,
         digests: Optional[Dict[int, BloomFilter]] = None,
+        ceding: Optional[List[int]] = None,
     ) -> Optional[Transition]:
         """Start a transition to *n_new* at time *now*.
 
@@ -143,6 +163,12 @@ class TransitionManager:
                 consult — the *old owners* of remapped keys.  For scale-down
                 that is (at least) the draining servers; for scale-up, the
                 servers ceding ranges to the newcomers.
+            ceding: the old owners that may lose keys, per the router
+                backend's remap metadata
+                (:meth:`~repro.core.router.Router.ceding_servers`); stored
+                on the transition so migrators and digest consumers agree
+                on the consult set.  ``None`` keeps the conservative
+                every-old-owner default.
 
         Returns:
             The new :class:`Transition`, or ``None`` when ``n_new`` equals
@@ -168,6 +194,7 @@ class TransitionManager:
             started_at=now,
             ttl=self.ttl,
             digests=dict(digests or {}),
+            ceding=list(ceding) if ceding is not None else None,
         )
         self._current = transition
         self._active = n_new

@@ -15,16 +15,19 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, replace
+from functools import partial
 from typing import Callable, Dict, List, Optional
 
 from repro.bloom.config import BloomConfig, optimal_config
 from repro.cache.cluster import CacheCluster
+from repro.core.ring import BACKEND_NAMES
 from repro.core.router import (
     ConsistentRouter,
     NaiveRouter,
     ProteusRouter,
     Router,
     StaticRouter,
+    make_router,
 )
 from repro.database.cluster import DatabaseCluster
 from repro.errors import ConfigurationError
@@ -54,6 +57,10 @@ class ScenarioSpec:
     smooth: bool
     dynamic: bool
     coalesce_misses: Optional[bool] = None
+    #: ring backend the router routes with ("proteus" / "multiprobe" /
+    #: "power"); None for the non-ring scenarios (Static / Naive /
+    #: Consistent).  Informational — the factory already binds it.
+    ring_backend: Optional[str] = None
 
     def with_coalescing(self, enabled: bool = True) -> "ScenarioSpec":
         """This scenario with dog-pile coalescing forced on (or off)."""
@@ -82,18 +89,41 @@ class ScenarioSpec:
         )
 
     @staticmethod
-    def proteus() -> "ScenarioSpec":
-        """Dynamic provisioning, Algorithm 1 placement, smooth transitions."""
-        return ScenarioSpec("Proteus", ProteusRouter, smooth=True, dynamic=True)
+    def proteus(ring_backend: str = "proteus") -> "ScenarioSpec":
+        """Dynamic provisioning, smooth transitions, pluggable placement.
+
+        ``ring_backend`` selects the routing scheme behind the smooth-
+        transition machinery: ``"proteus"`` (Algorithm 1, the paper's
+        scenario), ``"multiprobe"`` or ``"power"`` (the O(1) alternatives);
+        non-default backends are named ``Proteus[<backend>]`` so reports
+        from a backend ablation don't collide.
+        """
+        if ring_backend not in BACKEND_NAMES:
+            raise ConfigurationError(
+                f"unknown ring backend {ring_backend!r}; "
+                f"expected one of {BACKEND_NAMES}"
+            )
+        name = (
+            "Proteus"
+            if ring_backend == "proteus"
+            else f"Proteus[{ring_backend}]"
+        )
+        return ScenarioSpec(
+            name,
+            partial(make_router, ring_backend),
+            smooth=True,
+            dynamic=True,
+            ring_backend=ring_backend,
+        )
 
     @staticmethod
-    def all_four() -> List["ScenarioSpec"]:
+    def all_four(ring_backend: str = "proteus") -> List["ScenarioSpec"]:
         """The paper's presentation order."""
         return [
             ScenarioSpec.static(),
             ScenarioSpec.naive(),
             ScenarioSpec.consistent(),
-            ScenarioSpec.proteus(),
+            ScenarioSpec.proteus(ring_backend=ring_backend),
         ]
 
 
@@ -139,8 +169,16 @@ class ExperimentConfig:
     #: miss-storm protection; off in the paper's evaluation — the Fig. 9
     #: spike depends on the dog pile being possible).
     coalesce_misses: bool = False
+    #: ring backend for the smooth-transition scenario when specs are not
+    #: given explicitly ("proteus" / "multiprobe" / "power").
+    ring_backend: str = "proteus"
 
     def __post_init__(self) -> None:
+        if self.ring_backend not in BACKEND_NAMES:
+            raise ConfigurationError(
+                f"unknown ring backend {self.ring_backend!r}; "
+                f"expected one of {BACKEND_NAMES}"
+            )
         if len(self.users_per_slot) != self.schedule.num_slots:
             raise ConfigurationError(
                 f"users_per_slot has {len(self.users_per_slot)} entries, "
@@ -450,8 +488,12 @@ class ClusterExperiment:
 def run_scenarios(
     config: ExperimentConfig, specs: Optional[List[ScenarioSpec]] = None
 ) -> Dict[str, ExperimentReport]:
-    """Run several scenarios under the identical config (the paper's method)."""
+    """Run several scenarios under the identical config (the paper's method).
+
+    When *specs* is omitted, the default four scenarios route their smooth
+    member with :attr:`ExperimentConfig.ring_backend`.
+    """
     reports: Dict[str, ExperimentReport] = {}
-    for spec in specs or ScenarioSpec.all_four():
+    for spec in specs or ScenarioSpec.all_four(ring_backend=config.ring_backend):
         reports[spec.name] = ClusterExperiment(spec, config).run()
     return reports

@@ -306,7 +306,11 @@ class AsyncProteusFrontend(RetrievalConfigMixin):
         the deadline (the actuator's job); the frontend only needs the
         routing epochs and the digests.
 
-        The digest broadcast is all-or-nothing: each old owner's snapshot
+        Digests are requested only from the *ceding* servers — the old
+        owners the router's backend reports may lose keys
+        (:meth:`~repro.core.router.Router.ceding_servers`); for Proteus
+        scale-down that is exactly the draining servers.  The broadcast is
+        all-or-nothing: each ceding owner's snapshot
         + fetch is retried under the resilience policy, and if any server
         still cannot answer, :class:`~repro.errors.DigestBroadcastError`
         (a :class:`~repro.errors.TransitionError`) is raised *before* the
@@ -323,9 +327,10 @@ class AsyncProteusFrontend(RetrievalConfigMixin):
         if n_new == self.n_active:
             raise TransitionError("already at the requested size")
         n_old = self.n_active
+        ceding = self.router.ceding_servers(n_old, n_new)
         digests: Dict[int, BloomFilter] = {}
         failures: Dict[int, BaseException] = {}
-        for server_id in range(n_old):
+        for server_id in ceding:
             try:
                 digests[server_id] = await self._broadcast_digest(server_id)
             except Exception as error:
@@ -338,12 +343,12 @@ class AsyncProteusFrontend(RetrievalConfigMixin):
                 for server_id, error in sorted(failures.items())
             )
             raise DigestBroadcastError(
-                f"digest broadcast failed on {len(failures)}/{n_old} "
-                f"servers, transition not started ({detail})",
+                f"digest broadcast failed on {len(failures)}/{len(ceding)} "
+                f"ceding servers, transition not started ({detail})",
                 failures=failures,
             )
         self._manager.ttl = ttl
-        return self._manager.begin(n_new, now, digests=digests)
+        return self._manager.begin(n_new, now, digests=digests, ceding=ceding)
 
     async def _broadcast_digest(self, server_id: int) -> BloomFilter:
         """Snapshot + fetch one old owner's digest, retrying transient
@@ -378,9 +383,7 @@ class AsyncProteusFrontend(RetrievalConfigMixin):
 
         ``result.path`` is a :class:`~repro.core.retrieval.FetchPath` — a
         ``str`` subclass, so comparisons against the wire labels
-        (``"hit_new"``, ...) keep working.  The historical
-        ``value, path = await frontend.fetch(key)`` tuple unpacking still
-        works via a deprecation shim on :class:`FetchResult`.
+        (``"hit_new"``, ...) keep working.
         """
         started = self._clock()
         epochs = self._manager.routing_counts(started)

@@ -27,12 +27,20 @@ if TYPE_CHECKING:  # avoid a circular import with repro.sim.cluster
 
 @dataclass
 class AppliedTransition:
-    """Record of one executed provisioning action."""
+    """Record of one executed provisioning action.
+
+    ``ceding`` and ``expected_remap`` capture the router backend's remap
+    metadata at apply time: which old owners were asked for digests, and
+    the predicted remapped key fraction (``None`` when the backend cannot
+    bound it, e.g. power consistent hashing across a power-of-two band).
+    """
 
     when: float
     n_old: int
     n_new: int
     smooth: bool
+    ceding: Optional[List[int]] = None
+    expected_remap: Optional[float] = None
 
 
 class ProvisioningActuator:
@@ -86,8 +94,15 @@ class ProvisioningActuator:
             transition = self.cluster.abrupt_scale_to(n_new, now)
         if transition is None:
             return None
+        router = self.cluster.router
+        expected = getattr(router, "expected_remap_fraction", None)
         record = AppliedTransition(
-            when=now, n_old=n_old, n_new=n_new, smooth=self.smooth
+            when=now,
+            n_old=n_old,
+            n_new=n_new,
+            smooth=self.smooth,
+            ceding=router.ceding_servers(n_old, n_new),
+            expected_remap=expected(n_old, n_new) if callable(expected) else None,
         )
         self.applied.append(record)
         return record

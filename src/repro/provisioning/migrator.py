@@ -79,11 +79,14 @@ class BackgroundMigrator:
     # ------------------------------------------------------------- planning
 
     def _source_servers(self) -> List[int]:
-        """Servers whose keys move: drained servers on scale-down, every
-        ceding old owner on scale-up."""
-        if self.transition.is_scale_down:
-            return self.transition.draining_servers()
-        return list(range(self.transition.n_old))
+        """Servers whose keys move — the transition's ceding set.
+
+        Populated from the router backend's remap metadata when the
+        transition was begun with a ``ceding`` hint (for Proteus
+        scale-down: exactly the draining servers); otherwise the
+        conservative every-old-owner fallback.
+        """
+        return self.transition.ceding_servers()
 
     def _moving_keys(self, now: float) -> List[str]:
         """Hot keys that change owner, MRU-first per source server."""

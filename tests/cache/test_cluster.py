@@ -40,12 +40,16 @@ class TestConstruction:
 
 
 class TestSmoothScaleDown:
-    def test_digest_broadcast_covers_old_owners(self):
+    def test_digest_broadcast_covers_ceding_servers(self):
+        # Proteus scale-down cedes exactly the draining servers — only
+        # their keys can move (deactivating a server returns its borrowed
+        # ranges to the lenders), so only their digests are broadcast.
         c = cluster(4, active=4)
         c.server(3).set("victim-key", 1, now=0.0)
         transition = c.scale_to(3, now=10.0)
         assert transition is not None
-        assert set(transition.digests) == {0, 1, 2, 3}
+        assert set(transition.digests) == {3}
+        assert transition.ceding_servers() == [3]
         assert transition.digest_hit(3, "victim-key")
 
     def test_drained_server_state_machine(self):

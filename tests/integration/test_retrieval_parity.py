@@ -91,8 +91,8 @@ class LiveSubstrate:
         return f"db-value-of-{key}".encode()
 
     async def fetch(self, key):
-        value, path = await self.web.fetch(key)
-        return path
+        result = await self.web.fetch(key)
+        return result.path
 
     async def stop(self):
         if self.web is not None:

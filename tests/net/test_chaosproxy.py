@@ -167,12 +167,14 @@ class TestScaleToBroadcastFailure:
                 web = stack.frontend
                 keys = [f"page:{i}" for i in range(16)]
                 await web.fetch_many(keys)
-                stack.proxies[1].set_plan(FaultPlan.killed())
+                # server 2 is the ceding (draining) server for 3 -> 2; it
+                # is the only digest the broadcast needs, so kill it.
+                stack.proxies[2].set_plan(FaultPlan.killed())
                 with pytest.raises(DigestBroadcastError) as excinfo:
                     await web.scale_to(2, ttl=30.0)
                 error = excinfo.value
                 assert isinstance(error, TransitionError)
-                assert list(error.failures) == [1]
+                assert list(error.failures) == [2]
                 # rolled back: no drain window armed, routing unchanged
                 assert web.n_active == 3
                 epochs = web._manager.routing_counts(0.0)
@@ -181,7 +183,7 @@ class TestScaleToBroadcastFailure:
                 result = await web.fetch(keys[0])
                 assert result.value == value_of(keys[0])
                 # heal and retry: the same call now succeeds
-                stack.proxies[1].set_plan(FaultPlan.none())
+                stack.proxies[2].set_plan(FaultPlan.none())
                 await asyncio.sleep(stack.policy.breaker_reset + 0.05)
                 transition = await web.scale_to(2, ttl=30.0)
                 assert transition.n_new == 2

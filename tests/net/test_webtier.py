@@ -48,10 +48,11 @@ class TestSteadyState:
             db = CountingDatabase()
             try:
                 async with AsyncProteusFrontend(endpoints, CFG, db.fetch) as web:
-                    value, path = await web.fetch("page:1")
-                    assert path == "miss_db" and value == b"db-value-of-page:1"
-                    value, path = await web.fetch("page:1")
-                    assert path == "hit_new"
+                    result = await web.fetch("page:1")
+                    assert result.path == "miss_db"
+                    assert result.value == b"db-value-of-page:1"
+                    result = await web.fetch("page:1")
+                    assert result.path == "hit_new"
                     assert db.reads == 1
             finally:
                 await stop_cluster(servers)
@@ -82,8 +83,8 @@ class TestSteadyState:
             try:
                 async with AsyncProteusFrontend(endpoints, CFG, db.fetch) as web:
                     await web.put("k", b"direct")
-                    value, path = await web.fetch("k")
-                    assert value == b"direct" and path == "hit_new"
+                    result = await web.fetch("k")
+                    assert result.value == b"direct" and result.path == "hit_new"
                     assert db.reads == 0
             finally:
                 await stop_cluster(servers)
@@ -116,13 +117,13 @@ class TestSmoothTransition:
                     reads_before = db.reads
                     await web.scale_to(3, ttl=60.0)
                     paths = [
-                        (await web.fetch(key))[1] for key in keys
+                        (await web.fetch(key)).path for key in keys
                     ]
                     assert db.reads == reads_before
                     assert paths.count("hit_old") > 0
                     assert "miss_db" not in paths
                     # Property 1: second pass is all authoritative hits.
-                    second = [(await web.fetch(key))[1] for key in keys]
+                    second = [(await web.fetch(key)).path for key in keys]
                     assert set(second) == {"hit_new"}
             finally:
                 await stop_cluster(servers)
@@ -143,7 +144,7 @@ class TestSmoothTransition:
                     await web.fetch(key)
                 reads_before = db.reads
                 await web.scale_to(4, ttl=60.0)
-                paths = [(await web.fetch(key))[1] for key in keys]
+                paths = [(await web.fetch(key)).path for key in keys]
                 assert db.reads == reads_before
                 assert paths.count("hit_old") > 0
                 await web.close()
@@ -216,8 +217,8 @@ class TestMultipleFrontends:
                             await a.fetch(f"page:{i}")
                         reads_after_a = db.reads
                         for i in range(30):
-                            value, path = await b.fetch(f"page:{i}")
-                            assert path == "hit_new"
+                            result = await b.fetch(f"page:{i}")
+                            assert result.path == "hit_new"
                         assert db.reads == reads_after_a
             finally:
                 await stop_cluster(servers)

@@ -1,0 +1,202 @@
+"""Backend-contract property suite — every RingBackend honors one contract.
+
+Parametrized over ``proteus`` / ``multiprobe`` / ``power`` (plus the
+fast-construction proteus variant), these properties pin what *any*
+placement strategy must guarantee before the routing stack will accept it:
+
+* every owner is in the active set ``[0, num_active)``, for every prefix;
+* decisions are deterministic across processes — no ``PYTHONHASHSEED``
+  or other per-process state leaks into routing (independent web servers
+  must agree, paper Section I objective 3);
+* the batched ``owners_many`` equals the scalar ``owner`` loop exactly;
+* a ±1-server resize remaps a bounded fraction of positions — near the
+  Section II lower bound ``1/max(n, n')``, never a Naive-style reshuffle;
+* ceding metadata is sound: every position whose owner changes was owned
+  by a *ceding* server under the old epoch (the digest-broadcast set
+  really covers all movers);
+* the ``proteus`` backend is bit-identical to the raw
+  ``HashRing.compiled_for`` fast path the rest of the repo pins.
+"""
+
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.metrics import remap_fraction
+from repro.core.ring import (
+    BACKEND_NAMES,
+    MultiProbeBackend,
+    PowerBackend,
+    ProteusBackend,
+    RingBackend,
+    make_backend,
+)
+
+RING_SIZE = 2 ** 20  # small ring keeps exact proteus placement instant
+
+BACKEND_PARAMS = ["proteus", "proteus-fast", "multiprobe", "power"]
+
+
+def build_backend(name: str, num_servers: int) -> RingBackend:
+    if name == "proteus-fast":
+        return ProteusBackend(num_servers, RING_SIZE, fast=True)
+    return make_backend(name, num_servers, ring_size=RING_SIZE)
+
+
+def positions_for(seed: int, count: int = 512) -> np.ndarray:
+    rng = np.random.RandomState(seed)
+    return rng.randint(0, RING_SIZE, size=count).astype(np.int64)
+
+
+@pytest.mark.parametrize("name", BACKEND_PARAMS)
+class TestBackendContract:
+    @settings(max_examples=20, deadline=None)
+    @given(num_servers=st.integers(2, 24), seed=st.integers(0, 2 ** 16))
+    def test_full_coverage_of_active_set(self, name, num_servers, seed):
+        backend = build_backend(name, num_servers)
+        positions = positions_for(seed)
+        for num_active in {1, 2, num_servers // 2 or 1, num_servers}:
+            owners = backend.owners_many(positions, num_active)
+            assert owners.min() >= 0
+            assert owners.max() < num_active
+
+    @settings(max_examples=20, deadline=None)
+    @given(num_servers=st.integers(2, 16), seed=st.integers(0, 2 ** 16))
+    def test_batch_matches_scalar(self, name, num_servers, seed):
+        backend = build_backend(name, num_servers)
+        positions = positions_for(seed, count=128)
+        for num_active in {1, num_servers - 1, num_servers}:
+            batch = backend.owners_many(positions, num_active)
+            scalar = [backend.owner(int(p), num_active) for p in positions]
+            assert batch.tolist() == scalar
+
+    @settings(max_examples=10, deadline=None)
+    @given(num_servers=st.integers(3, 24), seed=st.integers(0, 2 ** 16))
+    def test_bounded_remap_on_single_step_resize(self, name, num_servers, seed):
+        backend = build_backend(name, num_servers)
+        positions = positions_for(seed, count=4000)
+        n_new = num_servers - 1
+        old = backend.owners_many(positions, num_servers)
+        new = backend.owners_many(positions, n_new)
+        # remap_fraction(old, new) is symmetric, so this simultaneously
+        # measures the n-1 -> n scale-up.
+        measured = remap_fraction(old, new)
+        expected = backend.expected_remap_fraction(num_servers, n_new)
+        if expected is None:
+            # The backend declares this step unbounded (power CH crossing
+            # a power-of-two band reshuffles); still never a full remap.
+            assert measured <= 0.75
+        else:
+            # proteus is exact; the O(1) schemes are near-minimal.  3x the
+            # bound plus sampling slack rejects any Naive-style reshuffle
+            # (which remaps ~1 - 1/n) while tolerating statistical
+            # placement.
+            assert measured <= 3.0 * expected + 0.05
+
+    @settings(max_examples=10, deadline=None)
+    @given(num_servers=st.integers(3, 20), seed=st.integers(0, 2 ** 16))
+    def test_ceding_servers_cover_all_movers(self, name, num_servers, seed):
+        backend = build_backend(name, num_servers)
+        positions = positions_for(seed, count=2000)
+        for n_new in (num_servers - 1, num_servers - 2 or 1):
+            old = backend.owners_many(positions, num_servers)
+            new = backend.owners_many(positions, n_new)
+            ceding = set(backend.ceding_servers(num_servers, n_new))
+            movers = old[old != new]
+            assert set(movers.tolist()) <= ceding
+
+    def test_deterministic_across_processes(self, name):
+        """Re-derive owners in a fresh interpreter: equality means no
+        per-process state (hash randomization, id()s) leaks into routing."""
+        backend = build_backend(name, 12)
+        positions = positions_for(99, count=64)
+        here = backend.owners_many(positions, 7).tolist()
+        script = (
+            "import numpy as np\n"
+            "from tests.property.test_ring_backends import build_backend\n"
+            f"backend = build_backend({name!r}, 12)\n"
+            "rng = np.random.RandomState(99)\n"
+            f"positions = rng.randint(0, {RING_SIZE}, size=64).astype(np.int64)\n"
+            "print(backend.owners_many(positions, 7).tolist())\n"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        assert eval(out.stdout.strip()) == here
+
+
+class TestExpectedRemapMetadata:
+    @pytest.mark.parametrize("name", BACKEND_PARAMS)
+    def test_in_band_expected_remap_is_the_lower_bound(self, name):
+        backend = build_backend(name, 12)
+        # 12 -> 9 stays inside the [8, 16) power-of-two band, so every
+        # backend (power included) predicts |delta| / max.
+        assert backend.expected_remap_fraction(12, 9) == pytest.approx(3 / 12)
+        assert backend.expected_remap_fraction(9, 12) == pytest.approx(3 / 12)
+
+    def test_power_band_crossing_is_unbounded(self):
+        backend = PowerBackend(12, RING_SIZE)
+        # 9 -> 7 crosses the 8 boundary: power CH reshuffles, so it must
+        # report None and cede every old owner.
+        assert backend.expected_remap_fraction(9, 7) is None
+        assert backend.ceding_servers(9, 7) == list(range(9))
+
+    def test_proteus_empirical_remap_is_minimal(self):
+        backend = ProteusBackend(16, RING_SIZE)
+        positions = positions_for(5, count=20000)
+        old = backend.owners_many(positions, 16)
+        new = backend.owners_many(positions, 12)
+        measured = remap_fraction(old, new)
+        assert measured == pytest.approx(4 / 16, abs=0.02)
+
+
+class TestProteusBitIdentity:
+    """The proteus backend IS the existing fast path, not a reimplementation."""
+
+    @settings(max_examples=10, deadline=None)
+    @given(num_servers=st.integers(2, 20), seed=st.integers(0, 2 ** 16))
+    def test_backend_equals_ring_compiled_for(self, num_servers, seed):
+        backend = ProteusBackend(num_servers, RING_SIZE)
+        positions = positions_for(seed, count=256)
+        for num_active in range(1, num_servers + 1):
+            table = backend.ring.compiled_for(num_active)
+            expected = [table.lookup(int(p)) for p in positions]
+            assert backend.owners_many(positions, num_active).tolist() == expected
+
+    @settings(max_examples=10, deadline=None)
+    @given(num_servers=st.integers(2, 24), seed=st.integers(0, 2 ** 16))
+    def test_fast_construction_matches_exact(self, num_servers, seed):
+        exact = ProteusBackend(num_servers, RING_SIZE)
+        fast = ProteusBackend(num_servers, RING_SIZE, fast=True)
+        positions = positions_for(seed, count=512)
+        for num_active in {1, num_servers // 2 or 1, num_servers}:
+            assert (
+                exact.owners_many(positions, num_active).tolist()
+                == fast.owners_many(positions, num_active).tolist()
+            )
+
+
+def test_backend_names_registry():
+    assert BACKEND_NAMES == ("proteus", "multiprobe", "power")
+    for name in BACKEND_NAMES:
+        backend = make_backend(name, 8, ring_size=RING_SIZE)
+        assert backend.num_servers == 8
+        assert backend.ring_size == RING_SIZE
+
+
+def test_table_memory_ordering():
+    """The headline memory tradeoff: proteus O(N^2) >> multiprobe O(N) >
+    power O(1)."""
+    proteus = ProteusBackend(64, RING_SIZE)
+    multiprobe = MultiProbeBackend(64, RING_SIZE)
+    power = PowerBackend(64, RING_SIZE)
+    assert proteus.table_bytes(64) > multiprobe.table_bytes(64)
+    assert multiprobe.table_bytes(64) > power.table_bytes(64)
+    assert power.table_bytes(64) == 0

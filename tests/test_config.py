@@ -128,10 +128,10 @@ class TestBuilders:
 
             frontend = ClusterConfig.load(path).build_frontend(db)
             async with frontend as web:
-                value, path_label = await web.fetch("k")
-                assert value == b"from-db" and path_label == "miss_db"
-                value, path_label = await web.fetch("k")
-                assert path_label == "hit_new"
+                result = await web.fetch("k")
+                assert result.value == b"from-db" and result.path == "miss_db"
+                result = await web.fetch("k")
+                assert result.path == "hit_new"
             for server in servers:
                 await server.stop()
 
