@@ -16,8 +16,9 @@ test-output:
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
-# One-round routing/bloom microbenches plus the chaos availability check:
-# fast CI canary for the vectorized hot path and the degraded fetch path
+# One-round routing/bloom microbenches plus the chaos availability check
+# and the hot-key storm ratchet: fast CI canary for the vectorized hot
+# path, the degraded fetch path, and the armor's load-flattening gate
 # (speedup/availability gates still enforced; absolute numbers are noisy).
 bench-smoke:
 	PROTEUS_BENCH_ROUNDS=1 $(PYTHON) -m pytest \
@@ -25,6 +26,7 @@ bench-smoke:
 	$(PYTHON) benchmarks/bench_routing_shootout.py \
 		--sizes 40,128 --keys 20000 --rounds 1
 	$(PYTHON) benchmarks/bench_fault_tolerance.py --rounds 1
+	$(PYTHON) benchmarks/bench_hotkey_storm.py --check
 
 # Regenerate every paper figure as printed tables.
 figures:

@@ -43,12 +43,19 @@ from repro.config import ClusterConfig, DigestGeometry
 from repro.cache.cluster import CacheCluster
 from repro.core import (
     BACKEND_NAMES,
+    RING_BACKENDS,
+    ROUTER_SCENARIOS,
+    BatchCommand,
+    CheckDigestMulti,
     CompiledRingTable,
     ConsistentRouter,
+    CountMinSketch,
     FetchPath,
     FetchResult,
     FetchStats,
     HashRing,
+    HotKeyArmor,
+    HotKeyCache,
     MultiProbeBackend,
     MultiProbeRouter,
     NaiveRouter,
@@ -57,13 +64,17 @@ from repro.core import (
     PowerRouter,
     ProteusBackend,
     ProteusRouter,
+    ReadPlan,
+    Registry,
     ReplicatedProteusRouter,
     ReplicatedRetrievalEngine,
     RetrievalConfig,
     RetrievalEngine,
     RingBackend,
     Router,
+    ServerLoadEWMA,
     StaticRouter,
+    TopKSketch,
     TransitionManager,
     VnodeBackend,
     make_backend,
@@ -122,16 +133,19 @@ __version__ = "1.0.0"
 __all__ = [
     "AsyncProteusFrontend",
     "BACKEND_NAMES",
+    "BatchCommand",
     "BloomConfig",
     "BloomFilter",
     "CacheCluster",
     "CacheServer",
     "CacheStats",
+    "CheckDigestMulti",
     "CircuitBreaker",
     "ClusterConfig",
     "ClusterExperiment",
     "CompiledRingTable",
     "ConsistentRouter",
+    "CountMinSketch",
     "CountingBloomFilter",
     "DatabaseCluster",
     "Deadline",
@@ -145,6 +159,8 @@ __all__ = [
     "FetchResult",
     "FetchStats",
     "HashRing",
+    "HotKeyArmor",
+    "HotKeyCache",
     "KeyHashes",
     "KeyValueStore",
     "MemcachedClient",
@@ -161,6 +177,10 @@ __all__ = [
     "ProteusRouter",
     "ProvisioningActuator",
     "ProvisioningSchedule",
+    "RING_BACKENDS",
+    "ROUTER_SCENARIOS",
+    "ReadPlan",
+    "Registry",
     "ReplicatedProteusRouter",
     "ReplicatedRetrievalEngine",
     "ReplicatedWebServer",
@@ -171,7 +191,9 @@ __all__ = [
     "RingBackend",
     "Router",
     "ScenarioSpec",
+    "ServerLoadEWMA",
     "StaticRouter",
+    "TopKSketch",
     "TraceRecord",
     "TransitionManager",
     "UserPopulation",

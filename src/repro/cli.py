@@ -37,6 +37,8 @@ def _parse_counts(text: str) -> List[int]:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro.core.registry import RING_BACKENDS, ROUTER_SCENARIOS
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Proteus (ICDCS 2013) reproduction toolkit",
@@ -54,8 +56,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--servers", type=int, required=True)
     p.add_argument("--active", type=int, required=True)
     p.add_argument("--scenario", default="proteus",
-                   choices=["static", "naive", "consistent", "proteus",
-                            "multiprobe", "power"])
+                   choices=list(ROUTER_SCENARIOS.names))
     p.add_argument("--replicas", type=int, default=1)
 
     p = sub.add_parser("bloom-config", help="size the cache digest (Eq. 10)")
@@ -87,8 +88,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="comma-separated active counts, one per slot")
     p.add_argument("--slot-seconds", type=float, required=True)
     p.add_argument("--scenario", default="proteus",
-                   choices=["static", "naive", "consistent", "proteus",
-                            "multiprobe", "power"])
+                   choices=list(ROUTER_SCENARIOS.names))
 
     p = sub.add_parser("config-init",
                        help="write a shared cluster-config JSON")
@@ -104,8 +104,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run Table II scenarios end to end")
     p.add_argument("--scenarios", default="static,naive,consistent,proteus")
     p.add_argument("--ring-backend", default="proteus",
-                   choices=["proteus", "multiprobe", "power"],
-                   help="placement backend for the smooth (Proteus) scenario")
+                   choices=list(RING_BACKENDS.names),
+                   help=RING_BACKENDS.help_text(
+                       "placement backend for the smooth (Proteus) scenario"
+                   ))
     p.add_argument("--servers", type=int, default=8)
     p.add_argument("--schedule", type=_parse_counts,
                    default=[6, 5, 4, 4, 5, 6])

@@ -63,6 +63,11 @@ class ClusterConfig:
         replicas: replica rings (Section III-E); 1 = unreplicated.
         ring_size: consistent-hashing key-space size.
         name: free-form deployment label.
+        hot_key_cache: arm every frontend with the TTL-bounded hot-key
+            cache (sketch-elected keys served locally; invalidated on
+            writes through the frontend).
+        d_choices: power-of-two-choices read fan-in for sketch-elected
+            hot keys on replicated reads; 1 = strict ring order.
     """
 
     endpoints: List[Tuple[str, int]]
@@ -71,6 +76,8 @@ class ClusterConfig:
     replicas: int = 1
     ring_size: int = 2 ** 32
     name: str = "proteus"
+    hot_key_cache: bool = False
+    d_choices: int = 1
     version: int = field(default=CONFIG_VERSION)
 
     def __post_init__(self) -> None:
@@ -94,6 +101,10 @@ class ClusterConfig:
             raise ConfigurationError(f"replicas must be >= 1, got {self.replicas}")
         if self.ring_size < len(self.endpoints):
             raise ConfigurationError("ring_size smaller than the fleet")
+        if self.d_choices < 1:
+            raise ConfigurationError(
+                f"d_choices must be >= 1, got {self.d_choices}"
+            )
         if self.version != CONFIG_VERSION:
             raise ConfigurationError(
                 f"unsupported config version {self.version} "
@@ -137,13 +148,20 @@ class ClusterConfig:
 
     def build_frontend(self, database, initial_active: Optional[int] = None):
         """A live-TCP :class:`~repro.net.webtier.AsyncProteusFrontend`."""
+        from repro.core.retrieval import RetrievalConfig
         from repro.net.webtier import AsyncProteusFrontend
 
+        retrieval = None
+        if self.hot_key_cache or self.d_choices > 1:
+            retrieval = RetrievalConfig(
+                hot_key_cache=self.hot_key_cache, d_choices=self.d_choices
+            )
         return AsyncProteusFrontend(
             self.endpoints,
             self.digest.to_bloom_config(),
             database,
             initial_active=initial_active,
+            config=retrieval,
         )
 
     # --------------------------------------------------------- serialization

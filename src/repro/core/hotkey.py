@@ -1,0 +1,411 @@
+"""Hot-key armor: frequency sketches, a frontend-local cache, and load EWMAs.
+
+No matter how balanced the ring is, a Zipf head key concentrates on a
+single cache server — the failure mode DistCache ("Provable Load Balancing
+for Large-Scale Storage Systems with Distributed Caching", PAPERS.md)
+addresses with a *small* upper-layer cache plus power-of-two-choices
+routing.  This module is that defense, adapted to Proteus:
+
+* :class:`CountMinSketch` + :class:`TopKSketch` elect hot keys *online* in
+  bounded space — no key enumeration, no offline pass.  The sketch never
+  underestimates, so a genuinely hot key cannot be displaced by tail noise
+  (see :meth:`TopKSketch.elected` for the exact guarantee).
+* :class:`HotKeyCache` is the tiny frontend-local cache for elected keys.
+  Staleness is bounded the way Algorithm 2 bounds transition staleness:
+  entries expire after a TTL, and write-backs/puts invalidate (or refresh)
+  the local copy — digest-style invalidation instead of a coherence
+  protocol.  DistCache's argument carries over: a cache of ``O(k log N)``
+  entries above ``N`` servers absorbs any adversarial hot set of size
+  ``k``, so the per-server load the backing tier sees is provably flat.
+* :class:`ServerLoadEWMA` tracks a decayed per-server load score fed by
+  the drivers (request arrivals and, optionally, observed latency).  The
+  replicated read path uses it for power-of-two-choices routing: for a
+  *hot* key, sample ``d`` replica owners and read from the least loaded —
+  cold keys keep strict ring order, so locality is untouched.
+
+Everything here is pure bookkeeping — no I/O, no clocks of its own — so
+the sans-IO retrieval engines own these objects and every driver
+(simulated or live TCP) shares one implementation.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.bloom.hashing import Key, stable_hash64
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "CountMinSketch",
+    "HotKeyCache",
+    "HotKeyArmor",
+    "ServerLoadEWMA",
+    "TopKSketch",
+]
+
+#: Salt base for the sketch's row hash functions (distinct from the ring
+#: salts ``0x100+`` and the digest salts ``0x51``/``0x52``).
+SKETCH_SALT_BASE = 0x200
+
+
+class CountMinSketch:
+    """Conservative-update count-min sketch over ``depth x width`` counters.
+
+    Estimates never *under*-count: ``estimate(key) >= true count`` always.
+    Conservative update (only the minimum-valued cells are incremented)
+    tightens the overestimate under skew — exactly the regime a hot-key
+    detector runs in.  Hashing goes through the memoized
+    :func:`~repro.bloom.hashing.stable_hash64` family, so estimates are
+    deterministic across processes and platforms (objective 3: independent
+    web servers must elect the same hot set under the same traffic).
+    """
+
+    def __init__(self, width: int = 1024, depth: int = 4) -> None:
+        if width < 1 or depth < 1:
+            raise ConfigurationError(
+                f"sketch needs width >= 1 and depth >= 1, got {width}x{depth}"
+            )
+        self.width = width
+        self.depth = depth
+        self._rows: List[List[int]] = [[0] * width for _ in range(depth)]
+        #: total observations recorded (the stream length ``N``)
+        self.observations = 0
+
+    def _cells(self, key: Key) -> List[int]:
+        return [
+            stable_hash64(key, salt=SKETCH_SALT_BASE + row) % self.width
+            for row in range(self.depth)
+        ]
+
+    def add(self, key: Key, count: int = 1) -> int:
+        """Record *count* occurrences; returns the updated estimate."""
+        cells = self._cells(key)
+        rows = self._rows
+        current = min(rows[row][cell] for row, cell in enumerate(cells))
+        target = current + count
+        for row, cell in enumerate(cells):
+            if rows[row][cell] < target:
+                rows[row][cell] = target
+        self.observations += count
+        return target
+
+    def estimate(self, key: Key) -> int:
+        """Upper-bounded occurrence count for *key* (never underestimates)."""
+        return min(
+            self._rows[row][cell]
+            for row, cell in enumerate(self._cells(key))
+        )
+
+    def memory_bytes(self) -> int:
+        """Rough counter-array footprint (the space bound being paid)."""
+        return self.width * self.depth * 8
+
+
+class TopKSketch:
+    """Space-bounded online top-k election: count-min + a capacity-k heap.
+
+    Tracks at most *capacity* candidate keys.  A new key displaces the
+    least-frequent tracked candidate only when its sketch estimate reaches
+    the current minimum, so membership stabilizes on the head of the
+    distribution as the stream lengthens.
+
+    Election guarantee (the property the hypothesis suite pins): a key
+    whose true count is strictly greater than the true counts of all but
+    at most ``capacity - 1`` other keys is always elected — the sketch
+    never underestimates, so at 2x capacity the elected set is a superset
+    of the true top-k whenever the head is separated from rank ``2k``.
+    """
+
+    def __init__(
+        self, capacity: int = 128, width: int = 1024, depth: int = 4
+    ) -> None:
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.sketch = CountMinSketch(width, depth)
+        #: tracked candidate -> latest sketch estimate
+        self._tracked: Dict[Key, int] = {}
+        #: lazy min-heap of (estimate, key); stale entries skipped on pop
+        self._heap: List[Tuple[int, Key]] = []
+
+    def __len__(self) -> int:
+        return len(self._tracked)
+
+    def __contains__(self, key: Key) -> bool:
+        return key in self._tracked
+
+    def record(self, key: Key, count: int = 1) -> bool:
+        """Observe *key*; returns True when it is (now) elected hot."""
+        estimate = self.sketch.add(key, count)
+        tracked = self._tracked
+        if key in tracked:
+            tracked[key] = estimate
+            heapq.heappush(self._heap, (estimate, key))
+            return True
+        if len(tracked) < self.capacity:
+            tracked[key] = estimate
+            heapq.heappush(self._heap, (estimate, key))
+            return True
+        if estimate >= self.threshold():
+            self._evict_min()
+            tracked[key] = estimate
+            heapq.heappush(self._heap, (estimate, key))
+            return True
+        return False
+
+    def is_hot(self, key: Key) -> bool:
+        """Membership in the elected set (no sketch update)."""
+        return key in self._tracked
+
+    def threshold(self) -> int:
+        """The smallest tracked estimate — the bar a newcomer must meet."""
+        tracked = self._tracked
+        if not tracked:
+            return 0
+        heap = self._heap
+        while heap:
+            estimate, key = heap[0]
+            if tracked.get(key) == estimate:
+                return estimate
+            heapq.heappop(heap)  # stale: the key was updated or evicted
+        # Heap drained by lazy deletion: rebuild from the tracked map.
+        self._heap = [(est, key) for key, est in tracked.items()]
+        heapq.heapify(self._heap)
+        return self._heap[0][0]
+
+    def _evict_min(self) -> None:
+        tracked = self._tracked
+        heap = self._heap
+        while heap:
+            estimate, key = heapq.heappop(heap)
+            if tracked.get(key) == estimate:
+                del tracked[key]
+                return
+        if tracked:  # pragma: no cover - lazy-heap safety net
+            victim = min(tracked, key=tracked.get)
+            del tracked[victim]
+
+    def elected(self) -> Dict[Key, int]:
+        """The current hot set with estimates (a copy; safe to iterate)."""
+        return dict(self._tracked)
+
+
+@dataclass
+class HotKeyCacheStats:
+    """Counters for one frontend-local hot-key cache."""
+
+    hits: int = 0
+    misses: int = 0
+    expirations: int = 0
+    invalidations: int = 0
+    stores: int = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class HotKeyCache:
+    """A tiny frontend-local cache for sketch-elected hot keys.
+
+    Staleness is TTL-bounded exactly the way Algorithm 2 bounds transition
+    staleness: an entry older than *ttl* is never served, and write-backs /
+    puts invalidate (or refresh) the local copy immediately — the same
+    digest-style "bounded window, then the authoritative path" contract
+    the transition drain window gives remapped keys.  Capacity is LRU
+    bounded; the cache is supposed to hold the Zipf *head*, not the body.
+    """
+
+    def __init__(self, capacity: int = 64, ttl: float = 1.0) -> None:
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        if ttl <= 0:
+            raise ConfigurationError(f"ttl must be positive, got {ttl}")
+        self.capacity = capacity
+        self.ttl = ttl
+        #: key -> (value, stored_at); dict order doubles as LRU order
+        self._entries: Dict[Key, Tuple[Any, float]] = {}
+        self.stats = HotKeyCacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Key) -> bool:
+        return key in self._entries
+
+    def get(self, key: Key, now: float) -> Optional[Any]:
+        """The locally cached value, or ``None`` on miss/expiry."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        value, stored_at = entry
+        if now - stored_at >= self.ttl:
+            del self._entries[key]
+            self.stats.expirations += 1
+            self.stats.misses += 1
+            return None
+        # LRU touch: move to the most-recent end.
+        del self._entries[key]
+        self._entries[key] = (value, stored_at)
+        self.stats.hits += 1
+        return value
+
+    def store(self, key: Key, value: Any, now: float) -> None:
+        """Install/refresh the local copy (restarts the staleness window)."""
+        entries = self._entries
+        if key in entries:
+            del entries[key]
+        elif len(entries) >= self.capacity:
+            del entries[next(iter(entries))]  # LRU victim
+        entries[key] = (value, now)
+        self.stats.stores += 1
+
+    def invalidate(self, key: Key) -> bool:
+        """Drop the local copy (a write made it stale); True if present."""
+        if key in self._entries:
+            del self._entries[key]
+            self.stats.invalidations += 1
+            return True
+        return False
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+class ServerLoadEWMA:
+    """Per-server exponentially-decayed load scores for d-choices routing.
+
+    The score is a decayed request counter: :meth:`record_request` adds one
+    unit which halves every *halflife* seconds, so the score approximates
+    "requests in flight / recent arrival pressure" without the drivers
+    wiring explicit completion callbacks.  Drivers that observe latency
+    feed :meth:`observe_latency`; the per-server latency EWMA scales the
+    score so a slow replica reads as more loaded than an idle one at equal
+    arrival rate.
+
+    Decay is computed lazily against the caller's clock — the tracker has
+    no clock of its own, keeping it substrate-agnostic (virtual sim time
+    and live monotonic time both work).
+    """
+
+    def __init__(
+        self, halflife: float = 1.0, latency_smoothing: float = 0.2
+    ) -> None:
+        if halflife <= 0:
+            raise ConfigurationError(
+                f"halflife must be positive, got {halflife}"
+            )
+        if not 0 < latency_smoothing <= 1:
+            raise ConfigurationError(
+                f"latency_smoothing must be in (0, 1], got {latency_smoothing}"
+            )
+        self.halflife = halflife
+        self.latency_smoothing = latency_smoothing
+        #: server -> (score, last_update)
+        self._scores: Dict[int, Tuple[float, float]] = {}
+        #: server -> latency EWMA seconds
+        self._latency: Dict[int, float] = {}
+
+    def _decayed(self, server: int, now: float) -> float:
+        entry = self._scores.get(server)
+        if entry is None:
+            return 0.0
+        score, updated = entry
+        if now <= updated:
+            return score
+        return score * math.exp(-(now - updated) * math.log(2) / self.halflife)
+
+    def record_request(self, server: int, now: float, weight: float = 1.0) -> None:
+        """Charge one (weighted) request against *server* at time *now*."""
+        self._scores[server] = (self._decayed(server, now) + weight, now)
+
+    def observe_latency(self, server: int, latency: float) -> None:
+        """Fold one observed round-trip latency into the server's EWMA."""
+        previous = self._latency.get(server)
+        alpha = self.latency_smoothing
+        self._latency[server] = (
+            latency if previous is None
+            else (1 - alpha) * previous + alpha * latency
+        )
+
+    def latency(self, server: int) -> float:
+        """The server's latency EWMA (0.0 until first observation)."""
+        return self._latency.get(server, 0.0)
+
+    def load(self, server: int, now: float) -> float:
+        """The current load score (decayed rate x relative latency)."""
+        score = self._decayed(server, now)
+        ewma = self._latency.get(server)
+        if ewma is None or not self._latency:
+            return score
+        mean = sum(self._latency.values()) / len(self._latency)
+        if mean <= 0:
+            return score
+        return score * (ewma / mean)
+
+    def snapshot(self, servers, now: float) -> Dict[int, float]:
+        """Load scores for *servers* at time *now* (reporting/benches)."""
+        return {server: self.load(server, now) for server in servers}
+
+
+class HotKeyArmor:
+    """The engine-side bundle: election sketch + local cache + load scores.
+
+    One instance per retrieval engine (therefore per frontend): hot-set
+    election and the local cache are deliberately frontend-local state —
+    independent frontends converge on the same hot set because they see
+    the same traffic distribution, not because they coordinate (the same
+    argument the paper makes for deterministic routing).
+    """
+
+    def __init__(
+        self,
+        cache_capacity: int = 64,
+        cache_ttl: float = 1.0,
+        track: int = 128,
+        sketch_width: int = 1024,
+        sketch_depth: int = 4,
+        load_halflife: float = 1.0,
+    ) -> None:
+        self.sketch = TopKSketch(track, sketch_width, sketch_depth)
+        self.cache = HotKeyCache(cache_capacity, cache_ttl)
+        self.loads = ServerLoadEWMA(halflife=load_halflife)
+
+    def lookup(self, key: Key, now: float) -> Optional[Any]:
+        """Record the access and return the fresh local value, if any.
+
+        Only sketch-elected keys are ever served locally; a cold key pays
+        one dict miss and proceeds to the normal Algorithm 2 path.
+        """
+        hot = self.sketch.record(key)
+        if not hot:
+            return None
+        return self.cache.get(key, now)
+
+    def observe(self, key: Key) -> bool:
+        """Record the access without consulting the cache; True if hot."""
+        return self.sketch.record(key)
+
+    def is_hot(self, key: Key) -> bool:
+        return self.sketch.is_hot(key)
+
+    def admit(self, key: Key, value: Any, now: float) -> bool:
+        """Install a freshly fetched value locally when the key is hot.
+
+        Called at the same moments Algorithm 2 writes back to the new
+        owner, so the local copy is never older than the authoritative
+        cache copy; True when stored.
+        """
+        if not self.sketch.is_hot(key):
+            return False
+        self.cache.store(key, value, now)
+        return True
+
+    def invalidate(self, key: Key) -> bool:
+        """Digest-style invalidation: a write made the local copy stale."""
+        return self.cache.invalidate(key)

@@ -20,6 +20,7 @@ replica trick is orthogonal to the placement strategy.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.bloom.hashing import Key, KeyHashes, ring_position
@@ -27,6 +28,28 @@ from repro.core.placement import Placement
 from repro.core.ring import HashRing, RingBackend, make_backend
 from repro.core.router import DEFAULT_RING_SIZE, Router
 from repro.errors import ConfigurationError, RoutingError
+
+
+@dataclass(frozen=True)
+class ReadPlan:
+    """One replicated read's routing decision, in probe order.
+
+    Attributes:
+        targets: surviving replica owners to probe, first to last.  With a
+            load-aware pick the chosen server leads; otherwise strict
+            replica-ring order.  Empty when every replica crashed (the
+            engine reports the all-replicas-failed miss itself).
+        primary: the ring-0 owner — the failover baseline (a read served
+            by any other target counts as a failover), regardless of
+            exclusions or load.
+        chosen: the server the first probe goes to — the load-aware
+            power-of-``d`` pick when load scores were supplied, else
+            simply ``targets[0]``; ``None`` when no target survived.
+    """
+
+    targets: Tuple[int, ...]
+    primary: int
+    chosen: Optional[int] = None
 
 
 def no_conflict_probability(replicas: int, num_active: int) -> float:
@@ -159,21 +182,43 @@ class ReplicatedProteusRouter(Router):
         num_active: int,
         exclude: Sequence[int] = (),
         hashes: Optional[KeyHashes] = None,
-    ) -> Tuple[List[int], int]:
-        """One-pass read plan: ``(surviving targets, primary owner)``.
+        loads=None,
+        d_choices: int = 1,
+        now: float = 0.0,
+    ) -> ReadPlan:
+        """One-pass read plan: surviving targets, primary owner, and —
+        load-aware — the chosen first probe, as a :class:`ReadPlan`.
 
         The replicated retrieval engine needs both the failover probe order
         *and* the primary owner (for write-backs); computing them together
         hashes each replica ring once instead of twice.  Unlike
-        :meth:`read_targets`, an empty target list is returned, not raised —
-        the engine reports the all-replicas-failed miss itself.
+        :meth:`read_targets`, an empty target tuple is returned, not raised
+        — the engine reports the all-replicas-failed miss itself.
+
+        **Load-aware mode** (the DistCache power-of-two-choices read): pass
+        *loads* (a :class:`~repro.core.hotkey.ServerLoadEWMA`) and
+        ``d_choices > 1`` to sample the first ``d_choices`` surviving
+        replica owners and probe the least loaded of them first (ties break
+        on the lower server id, keeping the plan deterministic for equal
+        loads).  Only the probe *order* changes — the target set and the
+        primary are load-independent, so write-back fan-out and failover
+        accounting are unaffected.
         """
         owners = self.replica_servers(key, num_active, hashes=hashes)
         targets: List[int] = []
         for server in owners:
             if server not in targets and server not in exclude:
                 targets.append(server)
-        return targets, owners[0]
+        chosen = targets[0] if targets else None
+        if loads is not None and d_choices > 1 and len(targets) > 1:
+            candidates = targets[:d_choices]
+            chosen = min(
+                candidates, key=lambda server: (loads.load(server, now), server)
+            )
+            if chosen != targets[0]:
+                targets.remove(chosen)
+                targets.insert(0, chosen)
+        return ReadPlan(targets=tuple(targets), primary=owners[0], chosen=chosen)
 
     def empirical_conflict_rate(
         self, num_active: int, num_samples: int = 5000, seed: int = 11

@@ -54,22 +54,28 @@ import enum
 from dataclasses import dataclass, field
 from typing import (
     Any,
+    ClassVar,
     Dict,
     FrozenSet,
     Generator,
     Iterable,
     List,
     Optional,
+    Protocol,
     Sequence,
     Tuple,
     Union,
+    runtime_checkable,
 )
 
 from repro.bloom.hashing import KeyHashes, digest_bases_many
+from repro.core.hotkey import HotKeyArmor
 from repro.core.transition import RoutingEpochs
 
 __all__ = [
+    "BatchCommand",
     "CheckDigest",
+    "CheckDigestMulti",
     "Command",
     "CommandRound",
     "DEGRADED_EVENTS",
@@ -105,6 +111,9 @@ class FetchPath(str, enum.Enum):
     reports key their counters identically and stay directly comparable.
     """
 
+    #: served from the frontend-local hot-key cache (sketch-elected keys
+    #: only; DistCache-style armor) — no cache-server round trip at all.
+    HIT_LOCAL = "hit_local"
     #: hit at the authoritative (new-mapping) server — Alg. 2 line 3.
     HIT_NEW = "hit_new"
     #: digest hit, data pulled from the old owner — Alg. 2 line 7 ("hot").
@@ -198,6 +207,31 @@ class RetrievalConfig:
     #: :class:`WriteBackMulti`); larger groups are split, the way memcached
     #: clients chunk oversized multigets.  ``0`` disables the limit.
     max_multiget_keys: int = 64
+    #: hot-key armor — serve sketch-elected hot keys from a tiny
+    #: frontend-local cache (:class:`~repro.core.hotkey.HotKeyCache`) with
+    #: digest-style TTL-bounded staleness.  Off by default: the paper's
+    #: Algorithm 2 runs without it; the armor is the DistCache-inspired
+    #: extension for Zipf head keys.  Takes effect only when the driver
+    #: passes its clock (``now=``) to ``retrieve``/``retrieve_many``.
+    hot_key_cache: bool = False
+    #: entries the frontend-local hot-key cache holds (the Zipf *head*).
+    hot_key_capacity: int = 64
+    #: staleness bound for locally served values, in driver-clock seconds.
+    hot_key_ttl: float = 1.0
+    #: candidate keys the top-k election sketch tracks (>= capacity; the
+    #: 2x headroom the election guarantee assumes).
+    hot_key_track: int = 128
+    #: count-min geometry backing the election (width x depth counters).
+    hot_key_sketch_width: int = 1024
+    hot_key_sketch_depth: int = 4
+    #: replicas sampled by load-aware read routing: a sketch-elected hot
+    #: key reads from the least-loaded of ``d_choices`` replica owners
+    #: (power-of-two choices at 2).  ``1`` keeps strict ring order; only
+    #: the replicated engine uses this.
+    d_choices: int = 1
+    #: halflife (driver-clock seconds) of the per-server load EWMA that
+    #: feeds the ``d_choices`` pick.
+    load_halflife: float = 1.0
 
 
 class RetrievalConfigMixin:
@@ -231,8 +265,61 @@ class RetrievalConfigMixin:
     def max_multiget_keys(self, limit: int) -> None:
         self.engine.config.max_multiget_keys = limit
 
+    @property
+    def hot_key_cache(self) -> bool:
+        return self.engine.config.hot_key_cache
+
+    @hot_key_cache.setter
+    def hot_key_cache(self, enabled: bool) -> None:
+        self.engine.config.hot_key_cache = enabled
+
+    @property
+    def d_choices(self) -> int:
+        return self.engine.config.d_choices
+
+    @d_choices.setter
+    def d_choices(self, choices: int) -> None:
+        self.engine.config.d_choices = choices
+
 
 # ------------------------------------------------------------------ commands
+
+
+@runtime_checkable
+class BatchCommand(Protocol):
+    """The one shape every batched engine command presents to a driver.
+
+    The scalar/batch command pairs (:class:`ProbeCache` /
+    :class:`ProbeCacheMulti`, :class:`CheckDigest` /
+    :class:`CheckDigestMulti`, :class:`WriteBack` / :class:`WriteBackMulti`)
+    share a vocabulary: every command names its ``server`` and its
+    ``reply_with`` contract, and the batch variants carry the grouped
+    ``keys``.  A driver's batched executor therefore dispatches on
+    ``reply_with`` for the whole trio instead of growing a per-class
+    ``isinstance`` ladder:
+
+    ========== ===================== =====================================
+    reply_with command               driver answer
+    ========== ===================== =====================================
+    values     ProbeCacheMulti       dict of key -> value for the hits
+    membership CheckDigestMulti      sequence of bools aligned with keys
+    ack        WriteBackMulti        ignored
+    ========== ===================== =====================================
+
+    Any of the three may instead be answered :data:`SERVER_UNAVAILABLE`
+    (the whole group degrades) and the probes also accept :data:`SKIPPED`.
+    ``isinstance(command, BatchCommand)`` is a runtime check for the batch
+    trio — the scalar halves carry ``server``/``reply_with`` but not
+    ``keys``, so they do not match.
+    """
+
+    reply_with: ClassVar[str]
+
+    @property
+    def server(self) -> int: ...
+
+    @property
+    def keys(self) -> Tuple[str, ...]: ...
 
 
 @dataclass(frozen=True)
@@ -245,6 +332,13 @@ class ProbeCache:
     """
 
     server_id: int
+
+    #: see :class:`BatchCommand` (the scalar half of the values pair)
+    reply_with: ClassVar[str] = "values"
+
+    @property
+    def server(self) -> int:
+        return self.server_id
 
 
 @dataclass(frozen=True)
@@ -269,6 +363,13 @@ class CheckDigest:
     server_id: int
     key: Optional[str] = None
     hashes: Optional[KeyHashes] = field(compare=False, repr=False, default=None)
+
+    #: see :class:`BatchCommand` (the scalar half of the membership pair)
+    reply_with: ClassVar[str] = "membership"
+
+    @property
+    def server(self) -> int:
+        return self.server_id
 
 
 @dataclass(frozen=True)
@@ -311,6 +412,13 @@ class WriteBack:
     server_id: int
     value: Any
 
+    #: see :class:`BatchCommand` (the scalar half of the ack pair)
+    reply_with: ClassVar[str] = "ack"
+
+    @property
+    def server(self) -> int:
+        return self.server_id
+
 
 @dataclass(frozen=True)
 class ProbeCacheMulti:
@@ -325,6 +433,42 @@ class ProbeCacheMulti:
     server_id: int
     keys: Tuple[str, ...]
 
+    #: see :class:`BatchCommand`
+    reply_with: ClassVar[str] = "values"
+
+    @property
+    def server(self) -> int:
+        return self.server_id
+
+
+@dataclass(frozen=True)
+class CheckDigestMulti:
+    """Consult old owner *server_id*'s digest for every key — one grouped
+    probe per ceding server instead of one scalar consult per key.
+
+    Driver answer: a sequence of bools aligned with ``keys`` — element
+    ``i`` must equal the answer a scalar :class:`CheckDigest` for
+    ``keys[i]`` would get (:meth:`~repro.core.transition.Transition.\
+digest_hit_many` guarantees bit-identity) — or
+    :data:`SERVER_UNAVAILABLE` when the server's digest state cannot be
+    consulted at all, which degrades the whole group to the database.
+
+    ``hashes`` (when set) is aligned with ``keys`` and carries each key's
+    memoized double-hash pair, exactly like the scalar command; excluded
+    from equality so command traces compare on the decision alone.
+    """
+
+    server_id: int
+    keys: Tuple[str, ...]
+    hashes: Tuple[KeyHashes, ...] = field(compare=False, repr=False, default=())
+
+    #: see :class:`BatchCommand`
+    reply_with: ClassVar[str] = "membership"
+
+    @property
+    def server(self) -> int:
+        return self.server_id
+
 
 @dataclass(frozen=True)
 class WriteBackMulti:
@@ -338,6 +482,18 @@ class WriteBackMulti:
     server_id: int
     items: Tuple[Tuple[str, Any], ...]
 
+    #: see :class:`BatchCommand`
+    reply_with: ClassVar[str] = "ack"
+
+    @property
+    def server(self) -> int:
+        return self.server_id
+
+    @property
+    def keys(self) -> Tuple[str, ...]:
+        """The grouped keys (derived from ``items``; the batch contract)."""
+        return tuple(key for key, _ in self.items)
+
 
 Command = Union[
     ProbeCache,
@@ -346,6 +502,7 @@ Command = Union[
     ReadDatabase,
     WriteBack,
     ProbeCacheMulti,
+    CheckDigestMulti,
     WriteBackMulti,
 ]
 
@@ -466,16 +623,31 @@ class ReplicatedOutcome:
 
     key: str
     value: Any
-    #: replica owner that answered, or None if the DB did
+    #: replica owner that answered, or None if the DB (or the frontend's
+    #: local hot-key cache) did
     served_by: Optional[int]
     #: how many replica owners were actually probed before an answer
     probes: int
     touched_database: bool
     #: True when a non-primary replica covered for the ring-0 owner
     failover: bool
+    #: True when the frontend-local hot-key cache served (no probes at all)
+    local: bool = False
 
 
 # ------------------------------------------------------------------- engines
+
+
+def _armor_from_config(config: RetrievalConfig) -> HotKeyArmor:
+    """Build one engine's hot-key armor from its config knobs."""
+    return HotKeyArmor(
+        cache_capacity=config.hot_key_capacity,
+        cache_ttl=config.hot_key_ttl,
+        track=config.hot_key_track,
+        sketch_width=config.hot_key_sketch_width,
+        sketch_depth=config.hot_key_sketch_depth,
+        load_halflife=config.load_halflife,
+    )
 
 
 class RetrievalEngine:
@@ -506,6 +678,7 @@ class RetrievalEngine:
             else RetrievalConfig(coalesce_misses=coalesce_misses)
         )
         self.stats = stats if stats is not None else FetchStats()
+        self._armor: Optional[HotKeyArmor] = None
 
     @property
     def coalesce_misses(self) -> bool:
@@ -515,8 +688,19 @@ class RetrievalEngine:
     def coalesce_misses(self, enabled: bool) -> None:
         self.config.coalesce_misses = enabled
 
+    @property
+    def armor(self) -> HotKeyArmor:
+        """The hot-key armor bundle (built lazily from the config knobs).
+
+        Geometry knobs (capacity/ttl/sketch) are read once, on first use;
+        the ``hot_key_cache`` switch itself may be toggled at any time.
+        """
+        if self._armor is None:
+            self._armor = _armor_from_config(self.config)
+        return self._armor
+
     def retrieve(
-        self, key: str, epochs: RoutingEpochs
+        self, key: str, epochs: RoutingEpochs, now: Optional[float] = None
     ) -> Generator[Command, Any, RetrievalOutcome]:
         """Yield the I/O commands that retrieve *key* under *epochs*.
 
@@ -547,8 +731,24 @@ class RetrievalEngine:
         the fetch — and a request the database served *because of* a fault
         records :attr:`FetchPath.DEGRADED_DB` (plus per-event counters in
         :class:`FetchStats`), never a plain miss.
+
+        **Hot-key armor.**  With ``config.hot_key_cache`` enabled and the
+        driver's clock passed as *now*, every access feeds the top-k
+        election sketch, and a sketch-elected key with a fresh local copy
+        is served without yielding a single command
+        (:attr:`FetchPath.HIT_LOCAL`); values fetched for hot keys are
+        admitted to the local cache at the same moment Algorithm 2 writes
+        them back, so local staleness is TTL-bounded the way transition
+        staleness is.  Without *now* the armor is inert (back-compat).
         """
         hashes = KeyHashes(key)
+        if now is not None and self.config.hot_key_cache:
+            local = self.armor.lookup(key, now)
+            if local is not None:
+                new_id = self.router.route_hashed(hashes, epochs.new)
+                return self._finish(
+                    key, local, FetchPath.HIT_LOCAL, new_id, None
+                )
         new_id = self.router.route_hashed(hashes, epochs.new)
         events: List[str] = []
         forced_db = False
@@ -558,7 +758,9 @@ class RetrievalEngine:
             forced_db = True
             answer = None
         if answer is not None:
-            return self._finish(key, answer, FetchPath.HIT_NEW, new_id, None)
+            return self._finish(
+                key, answer, FetchPath.HIT_NEW, new_id, None, now=now
+            )
 
         old_id: Optional[int] = None
         path = FetchPath.MISS_DB
@@ -583,7 +785,7 @@ class RetrievalEngine:
                             events.append("writeback")
                         return self._finish(
                             key, answer, FetchPath.HIT_OLD, new_id, old_id,
-                            events,
+                            events, now=now,
                         )
                     else:
                         path = FetchPath.FALSE_POSITIVE_DB
@@ -599,7 +801,8 @@ class RetrievalEngine:
                 forced_db = True
             elif answer is not None:
                 return self._finish(
-                    key, answer, FetchPath.COALESCED, new_id, old_id, events
+                    key, answer, FetchPath.COALESCED, new_id, old_id, events,
+                    now=now,
                 )
 
         value = yield ReadDatabase(announce_leader=self.coalesce_misses)
@@ -607,12 +810,15 @@ class RetrievalEngine:
             events.append("writeback")
         if forced_db:
             path = FetchPath.DEGRADED_DB
-        return self._finish(key, value, path, new_id, old_id, events)
+        return self._finish(key, value, path, new_id, old_id, events, now=now)
 
     # ------------------------------------------------------------ batching
 
     def retrieve_many(
-        self, keys: Iterable[str], epochs: RoutingEpochs
+        self,
+        keys: Iterable[str],
+        epochs: RoutingEpochs,
+        now: Optional[float] = None,
     ) -> Generator[CommandRound, Any, Dict[str, RetrievalOutcome]]:
         """The batch planner: Algorithm 2 over a whole key set at once.
 
@@ -621,21 +827,39 @@ class RetrievalEngine:
         execute each round's commands concurrently.  Probes and write-backs
         are grouped by owning server per routing epoch
         (:class:`ProbeCacheMulti` / :class:`WriteBackMulti`, split at
-        ``config.max_multiget_keys``), so the whole batch costs at most one
-        multiget round trip per probed server per epoch; keys still in
-        transition fall back to per-key :class:`CheckDigest` /
-        :class:`ReadDatabase` commands exactly as Algorithm 2 demands.
+        ``config.max_multiget_keys``) and in-transition digest consults are
+        grouped per ceding old owner (:class:`CheckDigestMulti`, never
+        split), so the whole batch costs at most one multiget round trip
+        per probed server per epoch and **at most one digest consult per
+        old owner**; only :class:`ReadDatabase` stays per-key, exactly as
+        Algorithm 2 demands.
 
         Returns a map from key to :class:`RetrievalOutcome`.  Duplicate
         keys collapse (the map has one entry per distinct key); for
         distinct keys the outcomes, values, and :class:`FetchStats` counts
-        are identical to running :meth:`retrieve` once per key.
+        are identical to running :meth:`retrieve` once per key.  Hot-key
+        armor applies per key as in :meth:`retrieve`: locally served keys
+        never enter the probe rounds at all.
         """
         ordered = list(dict.fromkeys(keys))
         outcomes: Dict[str, RetrievalOutcome] = {}
         if not ordered:
             return outcomes
         new_owner = dict(zip(ordered, self.router.route_many(ordered, epochs.new)))
+        if now is not None and self.config.hot_key_cache:
+            armor = self.armor
+            remaining = []
+            for key in ordered:
+                local = armor.lookup(key, now)
+                if local is not None:
+                    outcomes[key] = self._finish(
+                        key, local, FetchPath.HIT_LOCAL, new_owner[key], None
+                    )
+                else:
+                    remaining.append(key)
+            ordered = remaining
+            if not ordered:
+                return outcomes
         #: key -> degraded event labels accumulated on the way (parity with
         #: the scalar path's per-request ``events`` list)
         events: Dict[str, List[str]] = {}
@@ -652,7 +876,8 @@ class RetrievalEngine:
             value = hits.get(key)
             if value is not None:
                 outcomes[key] = self._finish(
-                    key, value, FetchPath.HIT_NEW, new_owner[key], None
+                    key, value, FetchPath.HIT_NEW, new_owner[key], None,
+                    now=now,
                 )
             else:
                 pending.append(key)
@@ -678,23 +903,37 @@ class RetrievalEngine:
                 # the old-owner probe (and any driver-side re-check) reuses
                 # it instead of rehashing.
                 h1s, h2s = digest_bases_many(moved)
-                answers = yield tuple(
-                    CheckDigest(
-                        old_owner[key],
-                        key=key,
-                        hashes=KeyHashes(
-                            key, digest_bases=(int(h1), int(h2))
-                        ),
-                    )
+                hashes_of = {
+                    key: KeyHashes(key, digest_bases=(int(h1), int(h2)))
                     for key, h1, h2 in zip(moved, h1s, h2s)
+                }
+                grouped_digest: Dict[int, List[str]] = {}
+                for key in moved:
+                    grouped_digest.setdefault(old_owner[key], []).append(key)
+                # Deliberately never chunked: a digest consult is a bit
+                # test against an already-broadcast snapshot, not a
+                # bounded multiget — the whole batch costs exactly one
+                # CheckDigestMulti per ceding old owner.
+                commands = tuple(
+                    CheckDigestMulti(
+                        server_id,
+                        tuple(group),
+                        tuple(hashes_of[key] for key in group),
+                    )
+                    for server_id, group in sorted(grouped_digest.items())
                 )
-                for key, hit in zip(moved, answers):
-                    if hit is SERVER_UNAVAILABLE:
-                        # Digest unknown: forced miss, straight to the DB.
-                        events.setdefault(key, []).append("digest")
-                        forced.add(key)
-                    elif hit:
-                        digest_hits.add(key)
+                answers = yield commands
+                for command, answer in zip(commands, answers):
+                    if answer is SERVER_UNAVAILABLE:
+                        # Digest unknown: forced miss, straight to the DB
+                        # for the whole group.
+                        for key in command.keys:
+                            events.setdefault(key, []).append("digest")
+                            forced.add(key)
+                        continue
+                    for key, hit in zip(command.keys, answer):
+                        if hit:
+                            digest_hits.add(key)
             if digest_hits:
                 old_values, old_down = yield from self._probe_many(
                     [key for key in pending if key in digest_hits], old_owner
@@ -707,7 +946,7 @@ class RetrievalEngine:
                         outcomes[key] = self._finish(
                             key, value, FetchPath.HIT_OLD,
                             new_owner[key], old_owner[key],
-                            events.get(key, ()),
+                            events.get(key, ()), now=now,
                         )
                     else:
                         if key in old_down:
@@ -739,7 +978,7 @@ class RetrievalEngine:
                         outcomes[key] = self._finish(
                             key, value, FetchPath.COALESCED,
                             new_owner[key], old_owner[key],
-                            events.get(key, ()),
+                            events.get(key, ()), now=now,
                         )
                     else:
                         remaining.append(key)
@@ -761,7 +1000,7 @@ class RetrievalEngine:
                 )
                 outcomes[key] = self._finish(
                     key, value, path, new_owner[key], old_owner[key],
-                    events.get(key, ()),
+                    events.get(key, ()), now=now,
                 )
 
         # Phase 5 — write-backs, grouped into one pipelined command per
@@ -821,10 +1060,19 @@ class RetrievalEngine:
         new_server: int,
         old_server: Optional[int],
         events: Sequence[str] = (),
+        now: Optional[float] = None,
     ) -> RetrievalOutcome:
         self.stats.record(path)
         for event in events:
             self.stats.record_degraded(event)
+        if (
+            now is not None
+            and path is not FetchPath.HIT_LOCAL
+            and self.config.hot_key_cache
+        ):
+            # Admit hot keys at the same moment Alg. 2 writes back to the
+            # new owner: the local copy is never older than the cache copy.
+            self.armor.admit(key, value, now)
         return RetrievalOutcome(
             key=key, value=value, path=path,
             new_server=new_server, old_server=old_server,
@@ -851,30 +1099,78 @@ class ReplicatedRetrievalEngine:
         self, router, config: Optional[RetrievalConfig] = None
     ) -> None:
         self.router = router
-        #: engine options; only ``max_multiget_keys`` applies to replicated
-        #: reads today (coalescing is the unreplicated engine's concern),
-        #: but the shared object keeps the drivers' config surface uniform.
+        #: engine options; replicated reads use ``max_multiget_keys`` plus
+        #: the hot-key knobs (``hot_key_cache``/``d_choices``) — coalescing
+        #: stays the unreplicated engine's concern — and the shared object
+        #: keeps the drivers' config surface uniform.
         self.config = config if config is not None else RetrievalConfig()
         #: reads answered by a non-primary replica (failover events)
         self.failovers = 0
         #: reads that reached the database
         self.database_reads = 0
+        self._armor: Optional[HotKeyArmor] = None
+
+    @property
+    def armor(self) -> HotKeyArmor:
+        """The hot-key armor bundle (built lazily from the config knobs)."""
+        if self._armor is None:
+            self._armor = _armor_from_config(self.config)
+        return self._armor
+
+    def _plan(self, key: str, epochs, failed, hot: bool, now):
+        """The read plan for *key* — load-aware only for elected hot keys.
+
+        Cold keys keep strict replica-ring order (locality untouched); a
+        sketch-elected hot key samples ``d_choices`` replica owners and
+        reads from the least loaded (power-of-two choices at the default
+        ``d_choices=2``), per the armor's driver-fed load EWMAs.
+        """
+        if hot and now is not None and self.config.d_choices > 1:
+            return self.router.read_plan(
+                key, epochs.new, exclude=failed,
+                loads=self.armor.loads, d_choices=self.config.d_choices,
+                now=now,
+            )
+        return self.router.read_plan(key, epochs.new, exclude=failed)
 
     def retrieve(
         self,
         key: str,
         epochs: RoutingEpochs,
         failed: FrozenSet[int] = frozenset(),
+        now: Optional[float] = None,
     ) -> Generator[Command, Any, ReplicatedOutcome]:
-        """Yield the commands that read *key* from the first live replica."""
+        """Yield the commands that read *key* from the first live replica.
+
+        With hot-key armor enabled (``config.hot_key_cache`` and the
+        driver's clock passed as *now*), a sketch-elected key with a fresh
+        local copy is served without yielding any command, and hot keys'
+        probe order is the load-aware pick of
+        :meth:`~repro.core.replication.ReplicatedProteusRouter.read_plan`.
+        """
+        armored = now is not None and self.config.hot_key_cache
+        hot = False
+        if armored:
+            local = self.armor.lookup(key, now)
+            hot = self.armor.is_hot(key)
+            if local is not None:
+                return ReplicatedOutcome(
+                    key=key, value=local, served_by=None, probes=0,
+                    touched_database=False, failover=False, local=True,
+                )
         # One pass over the replica rings yields both the surviving probe
         # order and the ring-0 primary (an empty target list replaces the
         # read_targets RoutingError: every replica crashed, DB only).
-        targets, primary = self.router.read_plan(key, epochs.new, exclude=failed)
+        plan = self._plan(key, epochs, failed, hot, now)
+        targets, primary = plan.targets, plan.primary
         value: Any = None
         served_by: Optional[int] = None
         probes = 0
         for target in targets:
+            if armored:
+                # Every arrival charges the load EWMA the d-choices pick
+                # reads — cold-key traffic loads servers too.
+                self.armor.loads.record_request(target, now)
             result = yield ProbeCache(target)
             if result is SKIPPED or result is SERVER_UNAVAILABLE:
                 # Not serving / unreachable: no probe happened; the next
@@ -897,6 +1193,8 @@ class ReplicatedRetrievalEngine:
         for target in targets:
             if target != served_by:
                 yield WriteBack(target, value)
+        if armored:
+            self.armor.admit(key, value, now)
         return ReplicatedOutcome(
             key=key, value=value, served_by=served_by, probes=probes,
             touched_database=touched_db,
@@ -908,23 +1206,49 @@ class ReplicatedRetrievalEngine:
         keys: Iterable[str],
         epochs: RoutingEpochs,
         failed: FrozenSet[int] = frozenset(),
+        now: Optional[float] = None,
     ) -> Generator[CommandRound, Any, Dict[str, ReplicatedOutcome]]:
         """Batched replica reads: ring round *r* probes every round-*r*
         owner with one :class:`ProbeCacheMulti` per server.
 
         Same round protocol as :meth:`RetrievalEngine.retrieve_many`; the
         outcome map and the ``failovers`` / ``database_reads`` counters
-        match running :meth:`retrieve` once per distinct key.
+        match running :meth:`retrieve` once per distinct key — including
+        the hot-key armor behavior when *now* is passed.
         """
         ordered = list(dict.fromkeys(keys))
         if not ordered:
             return {}
-        targets_of: Dict[str, List[int]] = {}
+        armored = now is not None and self.config.hot_key_cache
+        local_hits: Dict[str, Any] = {}
+        hot_keys: set = set()
+        if armored:
+            armor = self.armor
+            remaining = []
+            for key in ordered:
+                local = armor.lookup(key, now)
+                if armor.is_hot(key):
+                    hot_keys.add(key)
+                if local is not None:
+                    local_hits[key] = local
+                else:
+                    remaining.append(key)
+            ordered = remaining
+        locals_only = {
+            key: ReplicatedOutcome(
+                key=key, value=value, served_by=None, probes=0,
+                touched_database=False, failover=False, local=True,
+            )
+            for key, value in local_hits.items()
+        }
+        if not ordered:
+            return locals_only
+        targets_of: Dict[str, Tuple[int, ...]] = {}
         primary_of: Dict[str, int] = {}
         for key in ordered:
-            targets_of[key], primary_of[key] = self.router.read_plan(
-                key, epochs.new, exclude=failed
-            )
+            plan = self._plan(key, epochs, failed, key in hot_keys, now)
+            targets_of[key] = plan.targets
+            primary_of[key] = plan.primary
         value_of: Dict[str, Any] = {}
         served_by: Dict[str, Optional[int]] = {key: None for key in ordered}
         probes = {key: 0 for key in ordered}
@@ -937,6 +1261,10 @@ class ReplicatedRetrievalEngine:
                 targets = targets_of[key]
                 if ring_round < len(targets):
                     grouped.setdefault(targets[ring_round], []).append(key)
+                    if armored:
+                        self.armor.loads.record_request(
+                            targets[ring_round], now
+                        )
             if not grouped:
                 break
             commands = tuple(
@@ -983,7 +1311,10 @@ class ReplicatedRetrievalEngine:
                 for server_id, items in sorted(grouped_wb.items())
                 for chunk in _chunked(items, self.config.max_multiget_keys)
             )
-        return {
+        if armored:
+            for key in ordered:
+                self.armor.admit(key, value_of[key], now)
+        outcomes = {
             key: ReplicatedOutcome(
                 key=key,
                 value=value_of[key],
@@ -997,6 +1328,8 @@ class ReplicatedRetrievalEngine:
             )
             for key in ordered
         }
+        outcomes.update(locals_only)
+        return outcomes
 
 
 # ------------------------------------------------------- coalescing windows

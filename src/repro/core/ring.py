@@ -61,6 +61,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.core.registry import Registry
 from repro.errors import ConfigurationError, RoutingError
 
 Position = Union[int, Fraction]
@@ -790,8 +791,17 @@ class PowerBackend(RingBackend):
         return None  # band crossing: unbounded by the scheme
 
 
-#: Names accepted by :func:`make_backend` (and the CLI / experiment config).
-BACKEND_NAMES = ("proteus", "multiprobe", "power")
+#: The ring-backend registry: name -> backend class.  ``make_backend``,
+#: the CLI's ``--ring-backend`` choices, and the experiment-config
+#: validation all derive from it, so registering a backend here is the
+#: single step to plug a new placement scheme in everywhere.
+RING_BACKENDS: "Registry[RingBackend]" = Registry("ring backend")
+RING_BACKENDS.register("proteus", ProteusBackend)
+RING_BACKENDS.register("multiprobe", MultiProbeBackend)
+RING_BACKENDS.register("power", PowerBackend)
+
+#: Names accepted by :func:`make_backend` (derived from the registry).
+BACKEND_NAMES = RING_BACKENDS.names
 
 
 def make_backend(
@@ -800,15 +810,7 @@ def make_backend(
     """Factory keyed by backend name (case-insensitive).
 
     ``proteus`` accepts ``fast=True`` (bench-scale float placement);
-    ``multiprobe`` accepts ``probes=<k>``.
+    ``multiprobe`` accepts ``probes=<k>``.  Thin wrapper over
+    :data:`RING_BACKENDS`.
     """
-    key = name.strip().lower()
-    if key == "proteus":
-        return ProteusBackend(num_servers, ring_size, **kwargs)
-    if key == "multiprobe":
-        return MultiProbeBackend(num_servers, ring_size, **kwargs)
-    if key == "power":
-        return PowerBackend(num_servers, ring_size, **kwargs)
-    raise ConfigurationError(
-        f"unknown ring backend {name!r} (expected one of {', '.join(BACKEND_NAMES)})"
-    )
+    return RING_BACKENDS.create(name, num_servers, ring_size, **kwargs)

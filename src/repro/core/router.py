@@ -44,6 +44,7 @@ from repro.bloom.hashing import (
     stable_hash64_many,
 )
 from repro.core.placement import Placement
+from repro.core.registry import Registry
 from repro.core.ring import (
     BACKEND_NAMES,
     DEFAULT_PROBES,
@@ -343,33 +344,36 @@ class PowerRouter(RingRouter):
         return "Power"
 
 
+def _make_consistent(
+    num_servers: int, variant: str = "log", seed: int = 0
+) -> "ConsistentRouter":
+    if variant == "log":
+        return ConsistentRouter.log_variant(num_servers, seed=seed)
+    if variant == "quadratic":
+        return ConsistentRouter.quadratic_variant(num_servers, seed=seed)
+    raise ConfigurationError(f"unknown consistent-hashing variant {variant!r}")
+
+
+#: The Table II scenario registry: name -> router factory.  ``make_router``
+#: and CLI ``--scenario`` choices derive from it; a new routing scheme is
+#: one ``ROUTER_SCENARIOS.register(...)`` call away from every entry point.
+ROUTER_SCENARIOS: "Registry[Router]" = Registry("scenario")
+ROUTER_SCENARIOS.register("static", StaticRouter)
+ROUTER_SCENARIOS.register("naive", NaiveRouter)
+ROUTER_SCENARIOS.register("consistent", _make_consistent)
+ROUTER_SCENARIOS.register("proteus", ProteusRouter)
+ROUTER_SCENARIOS.register("multiprobe", MultiProbeRouter)
+ROUTER_SCENARIOS.register("power", PowerRouter)
+
+
 def make_router(scenario: str, num_servers: int, **kwargs) -> Router:
     """Factory keyed by Table II scenario name (case-insensitive).
 
     ``consistent`` accepts ``variant='log'`` (default) or ``variant='quadratic'``.
     ``multiprobe`` and ``power`` select the O(1)-scheme backends of
-    :mod:`repro.core.ring`.
+    :mod:`repro.core.ring`.  Thin wrapper over :data:`ROUTER_SCENARIOS`.
     """
-    name = scenario.strip().lower()
-    if name == "static":
-        return StaticRouter(num_servers)
-    if name == "naive":
-        return NaiveRouter(num_servers)
-    if name == "consistent":
-        variant = kwargs.pop("variant", "log")
-        seed = kwargs.pop("seed", 0)
-        if variant == "log":
-            return ConsistentRouter.log_variant(num_servers, seed=seed)
-        if variant == "quadratic":
-            return ConsistentRouter.quadratic_variant(num_servers, seed=seed)
-        raise ConfigurationError(f"unknown consistent-hashing variant {variant!r}")
-    if name == "proteus":
-        return ProteusRouter(num_servers, **kwargs)
-    if name == "multiprobe":
-        return MultiProbeRouter(num_servers, **kwargs)
-    if name == "power":
-        return PowerRouter(num_servers, **kwargs)
-    raise ConfigurationError(f"unknown scenario {scenario!r}")
+    return ROUTER_SCENARIOS.create(scenario, num_servers, **kwargs)
 
 
 def scenario_routers(num_servers: int) -> List[Router]:

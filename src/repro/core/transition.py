@@ -103,6 +103,31 @@ class Transition:
         digest = self.digests.get(server)
         return digest is not None and digest.contains(key, hashes)
 
+    def digest_hit_many(self, server: int, keys, hashes=()) -> List[bool]:
+        """Batched :meth:`digest_hit`: one vectorized membership pass.
+
+        Element ``i`` equals ``digest_hit(server, keys[i])`` exactly — the
+        answer a grouped :class:`~repro.core.retrieval.CheckDigestMulti`
+        probe carries is bit-identical to per-key consults.  No digest for
+        *server* means all-False (same safe fallback as the scalar path).
+        Pass *hashes* (per-key :class:`~repro.bloom.hashing.KeyHashes`
+        aligned with *keys*) to reuse already-computed double-hash pairs.
+        """
+        keys = list(keys)
+        digest = self.digests.get(server)
+        if digest is None or not keys:
+            return [False] * len(keys)
+        bases = None
+        if hashes:
+            import numpy as np
+
+            pairs = [h.digest_bases() for h in hashes]
+            bases = (
+                np.array([h1 for h1, _ in pairs], dtype=np.uint64),
+                np.array([h2 for _, h2 in pairs], dtype=np.uint64),
+            )
+        return digest.contains_many(keys, bases)
+
 
 class TransitionManager:
     """Tracks the current transition epoch for one cache cluster.

@@ -20,7 +20,7 @@ from typing import Callable, Dict, List, Optional
 
 from repro.bloom.config import BloomConfig, optimal_config
 from repro.cache.cluster import CacheCluster
-from repro.core.ring import BACKEND_NAMES
+from repro.core.ring import RING_BACKENDS
 from repro.core.router import (
     ConsistentRouter,
     NaiveRouter,
@@ -37,7 +37,7 @@ from repro.provisioning.policies import ProvisioningSchedule, static_schedule
 from repro.sim.events import EventLoop
 from repro.sim.latency import Constant, Exponential
 from repro.sim.metrics import SlottedRecorder, TimeSeries
-from repro.core.retrieval import FetchPath
+from repro.core.retrieval import FetchPath, RetrievalConfig
 from repro.web.frontend import WebServer
 from repro.workload.synthetic import SyntheticUser, UserPopulation
 
@@ -98,11 +98,7 @@ class ScenarioSpec:
         non-default backends are named ``Proteus[<backend>]`` so reports
         from a backend ablation don't collide.
         """
-        if ring_backend not in BACKEND_NAMES:
-            raise ConfigurationError(
-                f"unknown ring backend {ring_backend!r}; "
-                f"expected one of {BACKEND_NAMES}"
-            )
+        ring_backend = RING_BACKENDS.check(ring_backend)
         name = (
             "Proteus"
             if ring_backend == "proteus"
@@ -172,13 +168,14 @@ class ExperimentConfig:
     #: ring backend for the smooth-transition scenario when specs are not
     #: given explicitly ("proteus" / "multiprobe" / "power").
     ring_backend: str = "proteus"
+    #: arm every web server's frontend-local hot-key cache (the sketch
+    #: elects hot keys online; local hits skip the cache tier entirely).
+    hot_key_cache: bool = False
+    #: power-of-two-choices read fan-in for hot keys (replicated reads).
+    d_choices: int = 1
 
     def __post_init__(self) -> None:
-        if self.ring_backend not in BACKEND_NAMES:
-            raise ConfigurationError(
-                f"unknown ring backend {self.ring_backend!r}; "
-                f"expected one of {BACKEND_NAMES}"
-            )
+        self.ring_backend = RING_BACKENDS.check(self.ring_backend)
         if len(self.users_per_slot) != self.schedule.num_slots:
             raise ConfigurationError(
                 f"users_per_slot has {len(self.users_per_slot)} entries, "
@@ -321,6 +318,11 @@ class ClusterExperiment:
             if spec.coalesce_misses is not None
             else cfg.coalesce_misses
         )
+        retrieval = RetrievalConfig(
+            coalesce_misses=coalesce,
+            hot_key_cache=cfg.hot_key_cache,
+            d_choices=cfg.d_choices,
+        )
         self.webs: List[WebServer] = [
             WebServer(
                 i,
@@ -329,7 +331,7 @@ class ClusterExperiment:
                 cache_latency=Constant(cfg.cache_op_latency),
                 web_overhead=Constant(cfg.web_overhead),
                 seed=cfg.seed,
-                coalesce_misses=coalesce,
+                config=retrieval,
             )
             for i in range(cfg.num_web_servers)
         ]

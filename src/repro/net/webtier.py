@@ -66,13 +66,13 @@ from typing import (
 from repro.bloom.bloom import BloomFilter
 from repro.bloom.config import BloomConfig
 from repro.core.retrieval import (
+    BatchCommand,
     CheckDigest,
     Command,
     FetchPath,
     FetchResult,
     FetchStats,
     ProbeCache,
-    ProbeCacheMulti,
     ReadDatabase,
     RetrievalConfig,
     RetrievalConfigMixin,
@@ -80,7 +80,6 @@ from repro.core.retrieval import (
     SERVER_UNAVAILABLE,
     WaitForLeader,
     WriteBack,
-    WriteBackMulti,
 )
 from repro.core.router import ProteusRouter
 from repro.core.transition import Transition, TransitionManager
@@ -388,7 +387,7 @@ class AsyncProteusFrontend(RetrievalConfigMixin):
         started = self._clock()
         epochs = self._manager.routing_counts(started)
         deadline = self.resilience.new_deadline(self._clock)
-        steps = self.engine.retrieve(key, epochs)
+        steps = self.engine.retrieve(key, epochs, now=started)
         result = None
         leader: Optional[asyncio.Future] = None
         try:
@@ -396,9 +395,19 @@ class AsyncProteusFrontend(RetrievalConfigMixin):
                 command = steps.send(result)
                 if isinstance(command, ProbeCache):
                     server_id = command.server_id
+                    probe_started = self._clock()
                     result = await self._cache_rpc(
                         server_id, lambda: self._get(server_id, key), deadline
                     )
+                    if (
+                        self.config.hot_key_cache
+                        and result is not SERVER_UNAVAILABLE
+                    ):
+                        # Feed measured probe latency into the armor's
+                        # per-server load EWMA (the d-choices signal).
+                        self.engine.armor.loads.observe_latency(
+                            server_id, self._clock() - probe_started
+                        )
                 elif isinstance(command, CheckDigest):
                     transition = epochs.transition
                     result = transition is not None and transition.digest_hit(
@@ -458,7 +467,7 @@ class AsyncProteusFrontend(RetrievalConfigMixin):
         started = self._clock()
         epochs = self._manager.routing_counts(started)
         deadline = self.resilience.new_deadline(self._clock)
-        steps = self.engine.retrieve_many(keys, epochs)
+        steps = self.engine.retrieve_many(keys, epochs, now=started)
         answers = None
         leaders: Dict[str, asyncio.Future] = {}
         try:
@@ -500,15 +509,30 @@ class AsyncProteusFrontend(RetrievalConfigMixin):
         leaders: Dict[str, asyncio.Future],
         deadline: Optional[Deadline] = None,
     ):
-        """Perform one batched-round command (rounds run under gather)."""
-        if isinstance(command, ProbeCacheMulti):
-            server_id = command.server_id
-            keys = command.keys
-            return await self._cache_rpc(
-                server_id, lambda: self._get_multi(server_id, keys), deadline
-            )
-        if isinstance(command, WriteBackMulti):
-            server_id = command.server_id
+        """Perform one batched-round command (rounds run under gather).
+
+        The batch trio dispatches on the shared :class:`BatchCommand`
+        shape (``reply_with``), not per-class checks.
+        """
+        if isinstance(command, BatchCommand):
+            server_id = command.server
+            if command.reply_with == "membership":
+                # Grouped digest consult: answered locally against the
+                # broadcast snapshot — never a wire round trip.
+                transition = epochs.transition
+                if transition is None:
+                    return [False] * len(command.keys)
+                return transition.digest_hit_many(
+                    server_id, command.keys, command.hashes
+                )
+            if command.reply_with == "values":
+                keys = command.keys
+                return await self._cache_rpc(
+                    server_id,
+                    lambda: self._get_multi(server_id, keys),
+                    deadline,
+                )
+            # reply_with == "ack": pipelined write-backs
             items = command.items
             return await self._cache_rpc(
                 server_id, lambda: self._set_multi(server_id, items), deadline
@@ -536,3 +560,6 @@ class AsyncProteusFrontend(RetrievalConfigMixin):
     async def put(self, key: str, value: bytes) -> None:
         """Write-through to the authoritative owner under the new mapping."""
         await self._set(self.router.route(key, self.n_active), key, value)
+        if self.config.hot_key_cache:
+            # Digest-style invalidation: drop the stale local hot-key copy.
+            self.engine.armor.invalidate(key)

@@ -24,6 +24,7 @@ from typing import Any, Dict, Iterable, Optional, Tuple
 
 from repro.cache.cluster import CacheCluster
 from repro.core.retrieval import (
+    BatchCommand,
     CheckDigest,
     Command,
     CommandRound,
@@ -32,7 +33,6 @@ from repro.core.retrieval import (
     FetchStats,
     LeaderWindowRegistry,
     ProbeCache,
-    ProbeCacheMulti,
     ReadDatabase,
     RetrievalConfig,
     RetrievalConfigMixin,
@@ -40,7 +40,6 @@ from repro.core.retrieval import (
     SERVER_UNAVAILABLE,
     WaitForLeader,
     WriteBack,
-    WriteBackMulti,
 )
 from repro.core.transition import RoutingEpochs
 from repro.database.cluster import DatabaseCluster
@@ -118,7 +117,7 @@ class WebServer(RetrievalConfigMixin):
         """Retrieve *key*, migrating it on demand if a transition is live."""
         epochs = self.cache.routing_epochs(now)
         clock = now + self.web_overhead.sample(self._rng)
-        steps = self.engine.retrieve(key, epochs)
+        steps = self.engine.retrieve(key, epochs, now=now)
         result: Any = None
         try:
             while True:
@@ -200,7 +199,7 @@ class WebServer(RetrievalConfigMixin):
         """
         epochs = self.cache.routing_epochs(now)
         clock = now + self.web_overhead.sample(self._rng)
-        steps = self.engine.retrieve_many(keys, epochs)
+        steps = self.engine.retrieve_many(keys, epochs, now=now)
         answers: Any = None
         try:
             while True:
@@ -230,25 +229,39 @@ class WebServer(RetrievalConfigMixin):
     ) -> Tuple[Any, float]:
         """Perform one batched-round command starting at *clock*; returns
         (answer, completion time).  Commands in a round all start at the
-        round's base clock — they run concurrently."""
-        if isinstance(command, ProbeCacheMulti):
-            server = self.cache.server(command.server_id)
-            pool = self.pools.pool(f"cache:{command.server_id}")
-            clock += pool.acquire()
+        round's base clock — they run concurrently.  The batch trio
+        dispatches on the shared :class:`BatchCommand` shape
+        (``reply_with``), not per-class checks."""
+        if isinstance(command, BatchCommand):
+            if command.reply_with == "membership":
+                # Grouped digest consult: local bit tests against the
+                # broadcast snapshot — no round trip, no clock charge.
+                transition = epochs.transition
+                if transition is None:
+                    return [False] * len(command.keys), clock
+                return (
+                    transition.digest_hit_many(
+                        command.server, command.keys, command.hashes
+                    ),
+                    clock,
+                )
+            server = self.cache.server(command.server)
+            if command.reply_with == "values":
+                pool = self.pools.pool(f"cache:{command.server}")
+                clock += pool.acquire()
+                clock = self._cache_op(clock)
+                if not server.state.serves_requests:
+                    pool.discard()
+                    return SERVER_UNAVAILABLE, clock
+                hits = {}
+                for key in command.keys:
+                    value = server.get(key, clock)
+                    if value is not None:
+                        hits[key] = value
+                pool.release()
+                return hits, clock
+            # reply_with == "ack": pipelined write-backs
             clock = self._cache_op(clock)
-            if not server.state.serves_requests:
-                pool.discard()
-                return SERVER_UNAVAILABLE, clock
-            hits = {}
-            for key in command.keys:
-                value = server.get(key, clock)
-                if value is not None:
-                    hits[key] = value
-            pool.release()
-            return hits, clock
-        if isinstance(command, WriteBackMulti):
-            clock = self._cache_op(clock)
-            server = self.cache.server(command.server_id)
             if not server.state.serves_requests:
                 return SERVER_UNAVAILABLE, clock
             for key, value in command.items:

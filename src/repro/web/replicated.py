@@ -31,16 +31,15 @@ from typing import Any, Dict, Iterable, List, Optional, Tuple
 from repro.cache.cluster import CacheCluster
 from repro.core.replication import ReplicatedProteusRouter
 from repro.core.retrieval import (
+    BatchCommand,
     Command,
     ProbeCache,
-    ProbeCacheMulti,
     ReadDatabase,
     ReplicatedRetrievalEngine,
     RetrievalConfig,
     RetrievalConfigMixin,
     SKIPPED,
     WriteBack,
-    WriteBackMulti,
 )
 from repro.database.cluster import DatabaseCluster
 from repro.errors import ConfigurationError
@@ -56,11 +55,14 @@ class ReplicatedFetchResult:
     value: Any
     started: float
     completed: float
-    #: replica owner that answered, or None if the DB did
+    #: replica owner that answered, or None if the DB (or the local
+    #: hot-key cache) did
     served_by: Optional[int]
     #: how many replica owners were probed before an answer
     probes: int
     touched_database: bool
+    #: True when the frontend-local hot-key cache served (no probes)
+    local: bool = False
 
     @property
     def latency(self) -> float:
@@ -108,15 +110,15 @@ class ReplicatedWebServer(RetrievalConfigMixin):
 
     def _live_targets(self, key: str, num_active: int) -> List[int]:
         failed = self.cache.failed_servers()
-        targets, _ = self.router.read_plan(key, num_active, exclude=failed)
-        return targets  # empty when every replica crashed: DB only
+        plan = self.router.read_plan(key, num_active, exclude=failed)
+        return list(plan.targets)  # empty when every replica crashed: DB only
 
     def fetch(self, key: str, now: float) -> ReplicatedFetchResult:
         """Read *key* from the first live replica, else the database."""
         epochs = self.cache.routing_epochs(now)
         clock = now + self.web_overhead.sample(self._rng)
         steps = self.engine.retrieve(
-            key, epochs, failed=self.cache.failed_servers()
+            key, epochs, failed=self.cache.failed_servers(), now=now
         )
         result: Any = None
         try:
@@ -127,7 +129,14 @@ class ReplicatedWebServer(RetrievalConfigMixin):
                     if not server.state.serves_requests:
                         result = SKIPPED
                         continue
-                    clock += self.cache_latency.sample(self._rng)
+                    sample = self.cache_latency.sample(self._rng)
+                    clock += sample
+                    if self.hot_key_cache:
+                        # Feed the observed per-probe latency into the
+                        # armor's load EWMA (the d-choices signal).
+                        self.engine.armor.loads.observe_latency(
+                            command.server_id, sample
+                        )
                     result = server.get(key, clock)
                 elif isinstance(command, ReadDatabase):
                     response = self.database.get(key, clock)
@@ -149,6 +158,7 @@ class ReplicatedWebServer(RetrievalConfigMixin):
             key=key, value=outcome.value, started=now, completed=clock,
             served_by=outcome.served_by, probes=outcome.probes,
             touched_database=outcome.touched_database,
+            local=outcome.local,
         )
 
     def fetch_many(
@@ -159,7 +169,7 @@ class ReplicatedWebServer(RetrievalConfigMixin):
         epochs = self.cache.routing_epochs(now)
         clock = now + self.web_overhead.sample(self._rng)
         steps = self.engine.retrieve_many(
-            keys, epochs, failed=self.cache.failed_servers()
+            keys, epochs, failed=self.cache.failed_servers(), now=now
         )
         answers: Any = None
         try:
@@ -181,6 +191,7 @@ class ReplicatedWebServer(RetrievalConfigMixin):
                 key=key, value=outcome.value, started=now, completed=clock,
                 served_by=outcome.served_by, probes=outcome.probes,
                 touched_database=outcome.touched_database,
+                local=outcome.local,
             )
             for key, outcome in outcomes.items()
         }
@@ -188,28 +199,37 @@ class ReplicatedWebServer(RetrievalConfigMixin):
     def _execute_batched(
         self, command: Command, clock: float
     ) -> Tuple[Any, float]:
-        """Perform one batched-round command; returns (answer, done time)."""
-        if isinstance(command, ProbeCacheMulti):
-            server = self.cache.server(command.server_id)
-            if not server.state.serves_requests:
-                return SKIPPED, clock
-            clock += self.cache_latency.sample(self._rng)
-            hits = {}
-            for key in command.keys:
-                value = server.get(key, clock)
-                if value is not None:
-                    hits[key] = value
-            return hits, clock
+        """Perform one batched-round command; returns (answer, done time).
+
+        The batch trio dispatches on the shared :class:`BatchCommand`
+        shape (``reply_with``), not per-class checks.
+        """
+        if isinstance(command, BatchCommand):
+            server = self.cache.server(command.server)
+            if command.reply_with == "values":
+                if not server.state.serves_requests:
+                    return SKIPPED, clock
+                sample = self.cache_latency.sample(self._rng)
+                clock += sample
+                if self.hot_key_cache:
+                    self.engine.armor.loads.observe_latency(
+                        command.server, sample
+                    )
+                hits = {}
+                for key in command.keys:
+                    value = server.get(key, clock)
+                    if value is not None:
+                        hits[key] = value
+                return hits, clock
+            if command.reply_with == "ack":
+                if server.state.serves_requests:
+                    clock += self.cache_latency.sample(self._rng)
+                    for key, value in command.items:
+                        server.set(key, value, now=clock)
+                return None, clock
         if isinstance(command, ReadDatabase):
             response = self.database.get(command.key, clock)
             return response.value, response.completion_time
-        if isinstance(command, WriteBackMulti):
-            server = self.cache.server(command.server_id)
-            if server.state.serves_requests:
-                clock += self.cache_latency.sample(self._rng)
-                for key, value in command.items:
-                    server.set(key, value, now=clock)
-            return None, clock
         raise ConfigurationError(f"unexpected batched command: {command!r}")
 
     def put(self, key: str, value: Any, now: float) -> List[int]:
@@ -221,6 +241,10 @@ class ReplicatedWebServer(RetrievalConfigMixin):
             if server.state.serves_requests:
                 server.set(key, value, now=now)
                 written.append(target)
+        if self.hot_key_cache:
+            # Digest-style invalidation: the local hot-key copy is stale
+            # the moment the authoritative replicas change.
+            self.engine.armor.invalidate(key)
         return written
 
     def put_many(
@@ -242,10 +266,10 @@ class ReplicatedWebServer(RetrievalConfigMixin):
         written: Dict[str, List[int]] = {}
         grouped: Dict[int, List[str]] = {}
         for key in final:
-            targets, _ = self.router.read_plan(key, epochs.new, exclude=failed)
+            plan = self.router.read_plan(key, epochs.new, exclude=failed)
             live = [
                 target
-                for target in targets
+                for target in plan.targets
                 if self.cache.server(target).state.serves_requests
             ]
             written[key] = live  # replica-ring order, as put() returns
@@ -255,4 +279,7 @@ class ReplicatedWebServer(RetrievalConfigMixin):
             server = self.cache.server(target)
             for key in grouped[target]:
                 server.set(key, final[key], now=now)
+        if self.hot_key_cache:
+            for key in final:
+                self.engine.armor.invalidate(key)
         return written

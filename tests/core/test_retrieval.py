@@ -7,6 +7,7 @@ branch logic is testable without any substrate at all.
 
 from repro.core.retrieval import (
     CheckDigest,
+    CheckDigestMulti,
     FetchPath,
     FetchStats,
     LeaderWindowRegistry,
@@ -272,6 +273,9 @@ class StoreDriver:
         if isinstance(command, ProbeCacheMulti):
             store = self.stores.get(command.server_id, {})
             return {k: store[k] for k in command.keys if k in store}
+        if isinstance(command, CheckDigestMulti):
+            digest = self.digests.get(command.server_id, ())
+            return [key in digest for key in command.keys]
         if isinstance(command, CheckDigest):
             return command.key in self.digests.get(command.server_id, ())
         if isinstance(command, WaitForLeader):

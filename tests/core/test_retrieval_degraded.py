@@ -13,6 +13,7 @@ import dataclasses
 
 from repro.core.retrieval import (
     CheckDigest,
+    CheckDigestMulti,
     FetchPath,
     ProbeCache,
     ProbeCacheMulti,
@@ -128,6 +129,10 @@ class FaultySubstrate:
             for key, _ in command.items:
                 self.written.append((command.server_id, key))
             return None
+        if isinstance(command, CheckDigestMulti):
+            if command.server_id in self.digest_down:
+                return SERVER_UNAVAILABLE
+            return [key in self.digest_yes for key in command.keys]
         if isinstance(command, (CheckDigest, WaitForLeader, ReadDatabase)):
             if isinstance(command, CheckDigest):
                 if command.server_id in self.digest_down:

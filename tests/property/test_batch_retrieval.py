@@ -12,6 +12,7 @@ from hypothesis import strategies as st
 
 from repro.core.retrieval import (
     CheckDigest,
+    CheckDigestMulti,
     ProbeCache,
     ProbeCacheMulti,
     ReadDatabase,
@@ -73,11 +74,9 @@ class StoreDriver:
                         results.append(
                             {k: store[k] for k in command.keys if k in store}
                         )
-                    elif isinstance(command, CheckDigest):
-                        results.append(
-                            command.key
-                            in self.digests.get(command.server_id, ())
-                        )
+                    elif isinstance(command, CheckDigestMulti):
+                        digest = self.digests.get(command.server_id, ())
+                        results.append([k in digest for k in command.keys])
                     elif isinstance(command, WaitForLeader):
                         results.append(False)
                     elif isinstance(command, ReadDatabase):
@@ -178,10 +177,10 @@ def test_batch_probes_each_server_at_most_once_per_epoch(state):
                                     for k in command.keys if k in store
                                 }
                             )
-                        elif isinstance(command, CheckDigest):
+                        elif isinstance(command, CheckDigestMulti):
+                            digest = self.digests.get(command.server_id, ())
                             results.append(
-                                command.key
-                                in self.digests.get(command.server_id, ())
+                                [k in digest for k in command.keys]
                             )
                         elif isinstance(command, ReadDatabase):
                             results.append(self.db[command.key])

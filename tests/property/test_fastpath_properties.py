@@ -168,13 +168,14 @@ def test_read_plan_matches_replica_servers(num_servers, replicas, batch, data):
     )
     for key in batch:
         owners = router.replica_servers(key, num_active)
-        targets, primary = router.read_plan(key, num_active, exclude=exclude)
-        assert primary == owners[0] == router.route(key, num_active)
+        plan = router.read_plan(key, num_active, exclude=exclude)
+        assert plan.primary == owners[0] == router.route(key, num_active)
         want = []
         for server in owners:
             if server not in want and server not in exclude:
                 want.append(server)
-        assert targets == want
+        assert list(plan.targets) == want
+        assert plan.chosen == (want[0] if want else None)
         hashed = router.replica_servers(key, num_active, hashes=KeyHashes(key))
         assert hashed == owners
 
