@@ -27,6 +27,7 @@ bench-smoke:
 		--sizes 40,128 --keys 20000 --rounds 1
 	$(PYTHON) benchmarks/bench_fault_tolerance.py --rounds 1
 	$(PYTHON) benchmarks/bench_hotkey_storm.py --check
+	$(PYTHON) benchmarks/bench_autopilot.py --check
 
 # Regenerate every paper figure as printed tables.
 figures:

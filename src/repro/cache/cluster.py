@@ -119,7 +119,9 @@ class CacheCluster:
             if self.servers[sid].state.serves_requests
         }
 
-    def scale_to(self, n_new: int, now: float) -> Optional[Transition]:
+    def scale_to(
+        self, n_new: int, now: float, ttl: Optional[float] = None
+    ) -> Optional[Transition]:
         """Begin a smooth transition to *n_new* active servers.
 
         Digests are snapshot from the *ceding* servers — the old-mapping
@@ -128,7 +130,9 @@ class CacheCluster:
         scale-down that is exactly the draining servers; backends without
         tighter metadata fall back to every old owner.  Scale-up powers the
         incoming servers on cold before routing flips; scale-down marks the
-        outgoing servers DRAINING until the TTL closes.
+        outgoing servers DRAINING until the TTL closes.  *ttl* overrides
+        the cluster's configured drain window for this transition only
+        (an adaptive TTL policy sizes it per transition).
 
         Returns the started :class:`Transition`, or ``None`` for a no-op.
         """
@@ -154,7 +158,7 @@ class CacheCluster:
                 if sid not in self._failed:
                     self.servers[sid].power_on(now)
         transition = self.transitions.begin(
-            n_new, now, digests=digests, ceding=ceding
+            n_new, now, digests=digests, ceding=ceding, ttl=ttl
         )
         if transition is not None and transition.is_scale_down:
             for sid in transition.draining_servers():

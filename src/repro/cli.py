@@ -9,6 +9,8 @@ Operator-facing entry points for the library's main flows:
 ``trace-convert``  convert a WikiBench trace into the package trace format
 ``loadbalance``    Fig. 5-style min/max load table for a trace + schedule
 ``simulate``       run Table II scenarios end to end and print the summary
+``autopilot``      run the online controller (optionally closed-loop) with
+                   scripted faults and print the per-slot decision table
 ``config-init``    write the shared cluster-config JSON for a fleet
 
 Every command writes plain text to stdout and exits non-zero on bad input,
@@ -36,8 +38,27 @@ def _parse_counts(text: str) -> List[int]:
     return counts
 
 
+def _parse_fault(text: str):
+    """``at:server[:clear_at]`` -> (at, server_id, clear_at-or-None)."""
+    parts = text.split(":")
+    if len(parts) not in (2, 3):
+        raise argparse.ArgumentTypeError(
+            f"expected at:server[:clear_at], got {text!r}"
+        )
+    try:
+        at = float(parts[0])
+        server_id = int(parts[1])
+        clear_at = float(parts[2]) if len(parts) == 3 else None
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected at:server[:clear_at], got {text!r}"
+        )
+    return at, server_id, clear_at
+
+
 def build_parser() -> argparse.ArgumentParser:
     from repro.core.registry import RING_BACKENDS, ROUTER_SCENARIOS
+    from repro.provisioning.ttl import TTL_POLICIES
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -90,6 +111,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scenario", default="proteus",
                    choices=list(ROUTER_SCENARIOS.names))
 
+    p = sub.add_parser("autopilot",
+                       help="run the online provisioning controller "
+                            "(closed loop with --health-feedback)")
+    p.add_argument("--users", type=_parse_counts,
+                   default=[60, 48, 40, 32, 26, 24, 24, 26, 32, 40, 48, 56],
+                   help="comma-separated concurrent-user counts, one per slot")
+    p.add_argument("--slot-seconds", type=float, default=30.0)
+    p.add_argument("--servers", type=int, default=8)
+    p.add_argument("--min-servers", type=int, default=2)
+    p.add_argument("--health-feedback", action="store_true",
+                   help="close the loop: emergency scale-up on lost "
+                        "capacity, scale-down vetoes while impaired")
+    p.add_argument("--adaptive-ttl", action="store_true",
+                   help="size each drain window from observed remap-miss "
+                        "decay instead of the fixed --ttl")
+    p.add_argument("--ttl", type=float, default=60.0,
+                   help="fixed drain window (and the adaptive default)")
+    p.add_argument("--kill", type=_parse_fault, action="append", default=[],
+                   metavar="AT:SERVER[:CLEAR_AT]",
+                   help="kill SERVER at AT seconds (repair at CLEAR_AT); "
+                        "repeatable")
+    p.add_argument("--seed", type=int, default=0)
+
     p = sub.add_parser("config-init",
                        help="write a shared cluster-config JSON")
     p.add_argument("--out", required=True)
@@ -97,6 +141,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="comma-separated host:port list, in provisioning order")
     p.add_argument("--keys-per-server", type=int, default=100_000)
     p.add_argument("--ttl", type=float, default=60.0)
+    p.add_argument("--ttl-policy", default="fixed",
+                   choices=list(TTL_POLICIES.names),
+                   help="drain-window sizing policy "
+                        "(adaptive learns from remap-miss decay)")
     p.add_argument("--replicas", type=int, default=1)
     p.add_argument("--name", default="proteus")
 
@@ -261,6 +309,50 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
+def _cmd_autopilot(args) -> int:
+    from repro.experiments.autopilot import AutopilotConfig, AutopilotExperiment
+    from repro.resilience import FaultPlan, FaultSchedule
+
+    faults = FaultSchedule()
+    for at, server_id, clear_at in args.kill:
+        faults.add(at=at, server_id=server_id, plan=FaultPlan.killed(),
+                   clear_at=clear_at)
+    config = AutopilotConfig(
+        users_per_slot=args.users,
+        slot_seconds=args.slot_seconds,
+        num_servers=args.servers,
+        min_servers=args.min_servers,
+        health_feedback=args.health_feedback,
+        adaptive_ttl=args.adaptive_ttl,
+        ttl_seconds=args.ttl,
+        faults=faults,
+        seed=args.seed,
+    )
+    report = AutopilotExperiment(config).run()
+    print(f"{report.config_label}: {len(args.users)} slots x "
+          f"{args.slot_seconds:.0f}s, fleet {args.servers}, "
+          f"{len(args.kill)} scripted fault(s)")
+    print(f"{'slot':>5s}{'rate':>8s}{'delay':>8s}{'active':>8s}"
+          f"{'healthy':>8s}{'required':>9s}{'failed':>8s}")
+    for slot in range(len(report.active_counts)):
+        failed = ",".join(map(str, sorted(report.failed_sets[slot]))) or "-"
+        print(f"{slot:>5d}{report.arrival_rates[slot]:>8.1f}"
+              f"{report.measured_delays[slot]:>8.3f}"
+              f"{report.active_counts[slot]:>8d}"
+              f"{report.healthy_counts[slot]:>8d}"
+              f"{report.required_counts[slot]:>9d}{failed:>8s}")
+    print(f"availability={report.availability:.4f} "
+          f"p99={report.latency_percentile(99.0):.3f}s "
+          f"energy={report.energy_kwh.get('total', 0.0):.4f}kWh")
+    print(f"emergency scale-ups={report.emergency_scale_ups} "
+          f"vetoed scale-downs={report.vetoed_scale_downs} "
+          f"remap misses={report.remap_misses_total}")
+    if report.ttls_used:
+        windows = ", ".join(f"{ttl:.1f}" for ttl in report.ttls_used)
+        print(f"drain windows used: {windows}")
+    return 0
+
+
 def _cmd_config_init(args) -> int:
     from repro.config import ClusterConfig
 
@@ -277,13 +369,15 @@ def _cmd_config_init(args) -> int:
         endpoints,
         expected_keys_per_server=args.keys_per_server,
         ttl_seconds=args.ttl,
+        ttl_policy=args.ttl_policy,
         replicas=args.replicas,
         name=args.name,
     )
     config.save(args.out)
     print(f"wrote {args.out}: {config.num_servers} servers, "
           f"digest l={config.digest.num_counters} b={config.digest.counter_bits}, "
-          f"ttl={config.ttl_seconds}s, replicas={config.replicas}")
+          f"ttl={config.ttl_seconds}s ({config.ttl_policy}), "
+          f"replicas={config.replicas}")
     return 0
 
 
@@ -296,6 +390,7 @@ _COMMANDS = {
     "trace-convert": _cmd_trace_convert,
     "loadbalance": _cmd_loadbalance,
     "simulate": _cmd_simulate,
+    "autopilot": _cmd_autopilot,
 }
 
 

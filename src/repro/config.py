@@ -68,6 +68,14 @@ class ClusterConfig:
             writes through the frontend).
         d_choices: power-of-two-choices read fan-in for sketch-elected
             hot keys on replicated reads; 1 = strict ring order.
+        ttl_policy: drain-window sizing policy name (``"fixed"`` keeps
+            the paper's constant ``ttl_seconds``; ``"adaptive"`` sizes
+            each window from observed remap-miss decay, clamped to
+            ``[min_ttl_seconds, max_ttl_seconds]``).
+        min_ttl_seconds / max_ttl_seconds: adaptive-policy clamp bounds
+            (ignored by the fixed policy).
+        ttl_target_residual: remap-miss rate fraction the adaptive
+            window may leave alive when it closes.
     """
 
     endpoints: List[Tuple[str, int]]
@@ -78,6 +86,10 @@ class ClusterConfig:
     name: str = "proteus"
     hot_key_cache: bool = False
     d_choices: int = 1
+    ttl_policy: str = "fixed"
+    min_ttl_seconds: float = 5.0
+    max_ttl_seconds: float = 300.0
+    ttl_target_residual: float = 0.05
     version: int = field(default=CONFIG_VERSION)
 
     def __post_init__(self) -> None:
@@ -104,6 +116,19 @@ class ClusterConfig:
         if self.d_choices < 1:
             raise ConfigurationError(
                 f"d_choices must be >= 1, got {self.d_choices}"
+            )
+        from repro.provisioning.ttl import TTL_POLICIES
+
+        self.ttl_policy = TTL_POLICIES.check(self.ttl_policy)
+        if self.min_ttl_seconds <= 0 or self.max_ttl_seconds < self.min_ttl_seconds:
+            raise ConfigurationError(
+                "need 0 < min_ttl_seconds <= max_ttl_seconds, got "
+                f"({self.min_ttl_seconds}, {self.max_ttl_seconds})"
+            )
+        if not 0 < self.ttl_target_residual < 1:
+            raise ConfigurationError(
+                "ttl_target_residual must be in (0, 1), got "
+                f"{self.ttl_target_residual}"
             )
         if self.version != CONFIG_VERSION:
             raise ConfigurationError(
@@ -145,6 +170,20 @@ class ClusterConfig:
         from repro.core.router import ProteusRouter
 
         return ProteusRouter(self.num_servers, ring_size=self.ring_size)
+
+    def build_ttl_policy(self):
+        """The drain-window sizing policy this config prescribes."""
+        from repro.provisioning.ttl import make_ttl_policy
+
+        if self.ttl_policy == "fixed":
+            return make_ttl_policy("fixed", ttl=self.ttl_seconds)
+        return make_ttl_policy(
+            "adaptive",
+            default_ttl=self.ttl_seconds,
+            min_ttl=self.min_ttl_seconds,
+            max_ttl=self.max_ttl_seconds,
+            target_residual=self.ttl_target_residual,
+        )
 
     def build_frontend(self, database, initial_active: Optional[int] = None):
         """A live-TCP :class:`~repro.net.webtier.AsyncProteusFrontend`."""

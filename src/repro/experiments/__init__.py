@@ -7,6 +7,11 @@ routing-only load-balance replay (Fig. 5), and the cache-size hit-ratio
 sweep (Fig. 6).
 """
 
+from repro.experiments.autopilot import (
+    AutopilotConfig,
+    AutopilotExperiment,
+    AutopilotReport,
+)
 from repro.experiments.cluster import (
     ClusterExperiment,
     ExperimentConfig,
@@ -33,6 +38,9 @@ from repro.experiments.loadbalance import (
 )
 
 __all__ = [
+    "AutopilotConfig",
+    "AutopilotExperiment",
+    "AutopilotReport",
     "ClusterExperiment",
     "ExperimentConfig",
     "ExperimentReport",

@@ -1,0 +1,641 @@
+"""Closed-loop autopilot: health-aware provisioning over the simulated tier.
+
+The paper's evaluation drives the cluster with a *precomputed* ``n(t)``
+schedule (Fig. 4) — the feedback loop ran once, offline, and its output was
+replayed.  This experiment runs the loop **online** and closes it with the
+resilience layer:
+
+* per-slot, a :class:`~repro.provisioning.health.ClusterHealthMonitor`
+  aggregates crash state, served-around-fault counters, and drain-window
+  state into a :class:`~repro.provisioning.health.HealthSnapshot`;
+* the :class:`~repro.provisioning.controller.DelayFeedbackController` takes
+  the snapshot next to the measured delay: a killed server triggers an
+  emergency scale-up (the lost machine is capacity already gone), and
+  scale-down is refused while anything is unhealthy or a previous
+  transition's remap misses are still decaying;
+* an :class:`~repro.provisioning.ttl.AdaptiveTTLPolicy` replaces the fixed
+  drain window: remap-miss decay is sampled during each drain window and
+  the next window is sized from the fitted half-life.
+
+Both halves are opt-in (:attr:`AutopilotConfig.health_feedback` /
+:attr:`AutopilotConfig.adaptive_ttl`); with both off this is the paper's
+open loop, which is exactly the baseline ``benchmarks/bench_autopilot.py``
+compares against.
+
+Faults come in as a :class:`~repro.resilience.FaultSchedule` — the same
+scripted-outage vocabulary the live chaos harness replays — realized here
+as crash/repair events via
+:func:`~repro.experiments.failover.failure_events_from_schedule`.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional
+
+from repro.bloom.config import BloomConfig, optimal_config
+from repro.cache.cluster import CacheCluster
+from repro.core.retrieval import FetchPath
+from repro.core.router import ProteusRouter
+from repro.database.cluster import DatabaseCluster
+from repro.errors import ConfigurationError
+from repro.experiments.failover import failure_events_from_schedule
+from repro.power.meter import PowerMeter, busy_time_probe, utilization_probe
+from repro.provisioning.actuator import AppliedTransition, ProvisioningActuator
+from repro.provisioning.controller import DelayFeedbackController
+from repro.provisioning.health import ClusterHealthMonitor, HealthSnapshot
+from repro.provisioning.ttl import AdaptiveTTLPolicy, FixedTTLPolicy
+from repro.resilience import FaultSchedule
+from repro.sim.events import EventLoop
+from repro.sim.latency import Constant, Exponential
+from repro.sim.metrics import SlottedRecorder, TimeSeries, percentile
+from repro.web.frontend import WebServer
+from repro.workload.synthetic import SyntheticUser, UserPopulation
+
+__all__ = ["AutopilotConfig", "AutopilotReport", "AutopilotExperiment"]
+
+#: recovery_slots() sentinel: healthy capacity never returned to baseline.
+NEVER_RECOVERED = 10_000
+
+
+@dataclass
+class AutopilotConfig:
+    """Knobs for one online-control run.
+
+    The two closed-loop switches are off by default, which makes the
+    default configuration the paper's open loop: delay-only control with a
+    fixed drain window.
+
+    ``delay_bound`` / ``delay_reference`` keep the paper's Section VI
+    values; the control statistic fed back each slot is
+    ``max(p95 measured, M/M/1 projection)`` — the projection supplies the
+    feed-forward term the paper's heavily loaded testbed measured directly,
+    while the measured percentile carries fault-induced degradation the
+    projection cannot see.
+    """
+
+    users_per_slot: List[int] = field(default_factory=list)
+    slot_seconds: float = 30.0
+    num_servers: int = 8
+    num_web_servers: int = 4
+    num_db_shards: int = 4
+    min_servers: int = 2
+    per_server_rate: float = 18.0
+    delay_bound: float = 0.5
+    delay_reference: float = 0.4
+    control_percentile: float = 95.0
+    #: closed-loop switch: feed HealthSnapshots to the controller.
+    health_feedback: bool = False
+    #: closed-loop switch: size drain windows from remap-miss decay.
+    adaptive_ttl: bool = False
+    ttl_seconds: float = 60.0
+    min_ttl: float = 5.0
+    max_ttl: float = 120.0
+    target_residual: float = 0.05
+    #: seconds between remap-miss decay samples inside a drain window.
+    decay_sample_seconds: float = 2.0
+    faults: FaultSchedule = field(default_factory=FaultSchedule)
+    catalogue_size: int = 6000
+    cache_capacity_bytes: int = 4096 * 600
+    item_size: int = 4096
+    pages_per_user: int = 30
+    think_time: float = 0.5
+    zipf_alpha: float = 0.9
+    db_service_mean: float = 0.050
+    cache_op_latency: float = 0.001
+    web_overhead: float = 0.002
+    power_sample_period: float = 5.0
+    bloom_config: Optional[BloomConfig] = None
+    prewarm: bool = True
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.users_per_slot:
+            raise ConfigurationError("users_per_slot must not be empty")
+        if self.slot_seconds <= 0:
+            raise ConfigurationError(
+                f"slot_seconds must be > 0, got {self.slot_seconds}"
+            )
+        if not 1 <= self.min_servers <= self.num_servers:
+            raise ConfigurationError(
+                f"min_servers out of range: {self.min_servers}"
+            )
+        if self.ttl_seconds <= 0:
+            raise ConfigurationError(
+                f"ttl_seconds must be > 0, got {self.ttl_seconds}"
+            )
+        if self.decay_sample_seconds <= 0:
+            raise ConfigurationError(
+                "decay_sample_seconds must be > 0, got "
+                f"{self.decay_sample_seconds}"
+            )
+        for entry in self.faults.entries:
+            if not 0 <= entry.server_id < self.num_servers:
+                raise ConfigurationError(
+                    f"fault targets unknown server {entry.server_id}"
+                )
+
+    @property
+    def num_slots(self) -> int:
+        return len(self.users_per_slot)
+
+    @property
+    def duration(self) -> float:
+        return self.num_slots * self.slot_seconds
+
+
+@dataclass
+class AutopilotReport:
+    """Everything the autopilot bench gates on, for one run."""
+
+    config_label: str
+    duration: float
+    slot_seconds: float
+    total_requests: int
+    #: requests that completed (the sim's degraded path always answers,
+    #: so served < total would mean a routing hole — the availability gate).
+    served_requests: int
+    #: per-slot commanded active count (controller output).
+    active_counts: List[int]
+    #: per-slot healthy capacity: powered, non-crashed servers inside the
+    #: active mapping (draining stragglers outside it do not count —
+    #: routing no longer sends them fresh load).
+    healthy_counts: List[int]
+    #: per-slot crashed-server sets.
+    failed_sets: List[FrozenSet[int]]
+    #: per-slot required capacity: servers needed to carry the slot's
+    #: measured arrival rate at 90% of rated per-server load.
+    required_counts: List[int]
+    #: per-slot control statistic fed to the controller.
+    measured_delays: List[float]
+    #: per-slot arrival rate estimate (req/s).
+    arrival_rates: List[float]
+    #: per-slot health snapshots (empty when health_feedback was off).
+    health_history: List[HealthSnapshot]
+    latencies: SlottedRecorder
+    transitions: List[AppliedTransition]
+    energy_kwh: Dict[str, float]
+    active_series: TimeSeries
+    emergency_scale_ups: int
+    vetoed_scale_downs: int
+    #: drain windows the TTL policy actually used, in apply order.
+    ttls_used: List[float] = field(default_factory=list)
+    #: fitted remap-miss half-lives, one per observed drain window.
+    half_lives: List[float] = field(default_factory=list)
+    #: run-wide remap-miss count (old-owner hits + digest false
+    #: positives) — the migration cost all transitions together incurred.
+    remap_misses_total: int = 0
+
+    @property
+    def availability(self) -> float:
+        """Fraction of requests answered (1.0 = no request was lost)."""
+        if self.total_requests == 0:
+            return 1.0
+        return self.served_requests / self.total_requests
+
+    def latency_percentile(self, pct: float = 99.0) -> float:
+        """Run-wide latency percentile (seconds)."""
+        values = [
+            v for slot in self.latencies.slots()
+            for v in self.latencies.samples(slot)
+        ]
+        return percentile(values, pct) if values else 0.0
+
+    def underprovisioned_slots(
+        self, fault_at: float, horizon_slots: Optional[int] = None
+    ) -> int:
+        """Slots after the fault with healthy capacity below requirement.
+
+        Counts the slots in ``(fault_slot, fault_slot + horizon]`` where
+        the healthy in-mapping capacity could not carry the slot's
+        measured load at rated per-server throughput — the window in which
+        the next fault, or the load itself, turns into delay violations.
+        Zero means the controller replaced the lost capacity before the
+        first post-fault boundary.  This is the post-fault recovery metric
+        the autopilot bench gates on: strictly fewer under-provisioned
+        slots closed-loop than open-loop.
+        """
+        fault_slot = int(fault_at // self.slot_seconds)
+        if fault_slot >= len(self.healthy_counts):
+            raise ConfigurationError(
+                f"fault_at {fault_at} is outside the run"
+            )
+        end = len(self.healthy_counts)
+        if horizon_slots is not None:
+            end = min(end, fault_slot + 1 + horizon_slots)
+        return sum(
+            1
+            for slot in range(fault_slot + 1, end)
+            if self.healthy_counts[slot] < self.required_counts[slot]
+        )
+
+    def recovery_slots(self, fault_at: float) -> int:
+        """Slots from the fault until healthy capacity meets requirement
+        again (:data:`NEVER_RECOVERED` when it never does inside the run).
+
+        The first post-fault boundary that already satisfies the
+        requirement scores 1 — the emergency-scale-up best case.
+        """
+        fault_slot = int(fault_at // self.slot_seconds)
+        if fault_slot >= len(self.healthy_counts):
+            raise ConfigurationError(
+                f"fault_at {fault_at} is outside the run"
+            )
+        for offset, slot in enumerate(
+            range(fault_slot + 1, len(self.healthy_counts)), start=1
+        ):
+            if self.healthy_counts[slot] >= self.required_counts[slot]:
+                return offset
+        return NEVER_RECOVERED
+
+    def to_dict(self) -> dict:
+        """JSON-serializable summary (archived by the bench)."""
+        return {
+            "config": self.config_label,
+            "duration": self.duration,
+            "slot_seconds": self.slot_seconds,
+            "total_requests": self.total_requests,
+            "served_requests": self.served_requests,
+            "availability": self.availability,
+            "p99_latency": self.latency_percentile(99.0),
+            "active_counts": list(self.active_counts),
+            "healthy_counts": list(self.healthy_counts),
+            "required_counts": list(self.required_counts),
+            "failed_sets": [sorted(s) for s in self.failed_sets],
+            "measured_delays": list(self.measured_delays),
+            "arrival_rates": list(self.arrival_rates),
+            "energy_kwh": dict(self.energy_kwh),
+            "transitions": [
+                {"when": t.when, "n_old": t.n_old, "n_new": t.n_new,
+                 "ttl": t.ttl}
+                for t in self.transitions
+            ],
+            "ttls_used": list(self.ttls_used),
+            "half_lives": list(self.half_lives),
+            "emergency_scale_ups": self.emergency_scale_ups,
+            "vetoed_scale_downs": self.vetoed_scale_downs,
+            "remap_misses_total": self.remap_misses_total,
+        }
+
+
+class AutopilotExperiment:
+    """Online provisioning control over the simulated 3-tier testbed.
+
+    Unlike :class:`~repro.experiments.cluster.ClusterExperiment`, which
+    replays a precomputed schedule, the controller here decides at every
+    slot boundary from the *measured* slot — and, when the closed loop is
+    armed, from the slot's health snapshot.
+    """
+
+    def __init__(self, config: AutopilotConfig) -> None:
+        self.config = config
+        cfg = config
+        router = ProteusRouter(cfg.num_servers)
+        bloom = cfg.bloom_config or optimal_config(
+            max(1024, cfg.cache_capacity_bytes // cfg.item_size)
+        )
+        initial = self._initial_active()
+        self.cache = CacheCluster(
+            router,
+            capacity_bytes=cfg.cache_capacity_bytes,
+            initial_active=initial,
+            ttl=cfg.ttl_seconds,
+            bloom_config=bloom,
+        )
+        self.database = DatabaseCluster(
+            cfg.num_db_shards,
+            service_model=Exponential(cfg.db_service_mean),
+            seed=cfg.seed,
+        )
+        self.webs: List[WebServer] = [
+            WebServer(
+                i,
+                self.cache,
+                self.database,
+                cache_latency=Constant(cfg.cache_op_latency),
+                web_overhead=Constant(cfg.web_overhead),
+                seed=cfg.seed,
+            )
+            for i in range(cfg.num_web_servers)
+        ]
+        self.population = UserPopulation(
+            catalogue_size=cfg.catalogue_size,
+            pages_per_user=cfg.pages_per_user,
+            think_time=cfg.think_time,
+            alpha=cfg.zipf_alpha,
+            seed=cfg.seed,
+        )
+        self.controller = DelayFeedbackController(
+            num_servers=cfg.num_servers,
+            delay_bound=cfg.delay_bound,
+            delay_reference=cfg.delay_reference,
+            min_servers=cfg.min_servers,
+            per_server_rate=cfg.per_server_rate,
+        )
+        # Start sized to the first slot's load, as the paper's loop had
+        # converged before its recorded day began (run_feedback_loop idiom).
+        self.controller._n = initial
+        self.controller.history[:] = [initial]
+        self.ttl_policy = (
+            AdaptiveTTLPolicy(
+                default_ttl=cfg.ttl_seconds,
+                min_ttl=cfg.min_ttl,
+                max_ttl=cfg.max_ttl,
+                target_residual=cfg.target_residual,
+            )
+            if cfg.adaptive_ttl
+            else FixedTTLPolicy(cfg.ttl_seconds)
+        )
+        self.actuator = ProvisioningActuator(
+            self.cache, smooth=True, ttl_policy=self.ttl_policy
+        )
+        self.monitor = ClusterHealthMonitor.for_simulation(
+            self.cache, self.webs
+        )
+        self.loop = EventLoop()
+        self.meter = PowerMeter(cfg.power_sample_period)
+        self._wire_power_channels()
+        self.latencies = SlottedRecorder(cfg.slot_seconds)
+        self.active_series = TimeSeries()
+        self._retired_ids: set = set()
+        self._rng = random.Random(cfg.seed ^ 0xBEEF)
+        self.total_requests = 0
+        self.served_requests = 0
+        self._slot_requests = 0
+        # per-slot records, filled at each slot boundary
+        self._active_counts: List[int] = []
+        self._healthy_counts: List[int] = []
+        self._failed_sets: List[FrozenSet[int]] = []
+        self._required_counts: List[int] = []
+        self._measured: List[float] = []
+        self._rates: List[float] = []
+        self._ttls_used: List[float] = []
+        self._half_lives: List[float] = []
+        # in-flight decay sampling state for the open drain window
+        self._decay_samples: List = []
+        self._decay_last_remap = 0
+
+    # ------------------------------------------------------------- wiring
+
+    def _initial_active(self) -> int:
+        cfg = self.config
+        rate = self._expected_rate(cfg.users_per_slot[0])
+        required = math.ceil(rate / (0.9 * cfg.per_server_rate))
+        return min(cfg.num_servers, max(cfg.min_servers, required))
+
+    def _expected_rate(self, users: int) -> float:
+        """Closed-loop arrival-rate estimate: users / (think + service)."""
+        cfg = self.config
+        per_request = cfg.think_time + cfg.web_overhead + 2 * cfg.cache_op_latency
+        return users / per_request if per_request > 0 else 0.0
+
+    def _wire_power_channels(self) -> None:
+        cfg = self.config
+        for server in self.cache.servers:
+            self.meter.add_channel(
+                name=f"cache-{server.server_id}",
+                tier="cache",
+                probe=utilization_probe(
+                    requests_counter=lambda s=server: s.stats.requests,
+                    powered=lambda s=server: s.state.serves_requests,
+                    op_cost=cfg.cache_op_latency,
+                ),
+            )
+        for web in self.webs:
+            self.meter.add_channel(
+                name=f"web-{web.server_id}",
+                tier="web",
+                probe=utilization_probe(
+                    requests_counter=lambda w=web: w.stats.total,
+                    powered=lambda: True,
+                    op_cost=cfg.web_overhead + 2 * cfg.cache_op_latency,
+                ),
+            )
+        for shard in self.database.shards:
+            self.meter.add_channel(
+                name=f"db-{shard.shard_id}",
+                tier="database",
+                probe=busy_time_probe(
+                    busy_time=lambda s=shard: s.queue.busy_time,
+                    powered=lambda: True,
+                ),
+            )
+
+    # ------------------------------------------------------------- events
+
+    def _user_request(self, user: SyntheticUser) -> None:
+        if user.user_id in self._retired_ids:
+            return
+        key = user.next_key()
+        web = self.webs[self._rng.randrange(len(self.webs))]
+        result = web.fetch(key, self.loop.now)
+        self.latencies.record(self.loop.now, result.latency)
+        self.total_requests += 1
+        self.served_requests += 1
+        self._slot_requests += 1
+        self.loop.schedule_at(
+            result.completed + user.next_think(), self._user_request, user
+        )
+
+    def _resize_population(self, target: int) -> None:
+        delta = self.population.resize_to(target)
+        for user in delta.retired:
+            self._retired_ids.add(user.user_id)
+        for user in delta.spawned:
+            first = self.loop.now + self._rng.uniform(0.0, user.think_time or 0.1)
+            self.loop.schedule_at(first, self._user_request, user)
+
+    def _sample_power(self) -> None:
+        self.meter.sample(self.loop.now)
+        self.active_series.append(
+            self.loop.now, float(len(self.cache.powered_servers()))
+        )
+        next_due = self.loop.now + self.config.power_sample_period
+        if next_due < self.config.duration:
+            self.loop.schedule_at(next_due, self._sample_power)
+
+    # ----------------------------------------------------- remap-miss decay
+
+    def _remap_total(self) -> int:
+        """Cumulative remap-miss count over all web servers."""
+        return sum(
+            web.stats.counts[FetchPath.HIT_OLD]
+            + web.stats.counts[FetchPath.FALSE_POSITIVE_DB]
+            for web in self.webs
+        )
+
+    def _begin_decay_sampling(self, transition) -> None:
+        """Arm per-interval remap-miss sampling over one drain window."""
+        self._decay_samples = []
+        self._decay_last_remap = self._remap_total()
+        interval = self.config.decay_sample_seconds
+        deadline = transition.deadline
+        tick = self.loop.now + interval
+        while tick <= deadline:
+            self.loop.schedule_at(
+                tick, self._decay_tick, tick - transition.started_at
+            )
+            tick += interval
+        self.loop.schedule_at(deadline + 1e-9, self._finish_decay_sampling)
+
+    def _decay_tick(self, offset: float) -> None:
+        total = self._remap_total()
+        self._decay_samples.append(
+            (offset, float(total - self._decay_last_remap))
+        )
+        self._decay_last_remap = total
+
+    def _finish_decay_sampling(self) -> None:
+        if self._decay_samples:
+            half_life = self.ttl_policy.observe_decay(self._decay_samples)
+            if half_life is not None:
+                self._half_lives.append(half_life)
+        self._decay_samples = []
+
+    def _healthy_capacity(self) -> int:
+        """Powered, non-crashed servers inside the active mapping — the
+        servers actually absorbing fresh load right now."""
+        failed = self.cache.failed_servers()
+        return sum(
+            1
+            for sid in range(self.cache.active_count)
+            if sid not in failed
+            and self.cache.server(sid).state.serves_requests
+        )
+
+    # ------------------------------------------------------- control slots
+
+    def _control_tick(self, slot: int) -> None:
+        """Slot boundary: measure the finished slot, decide, actuate."""
+        cfg = self.config
+        now = self.loop.now
+        # Close any drain window whose TTL passed inside the slot.
+        self.cache.finalize_expired(now)
+        measured_slot = self.latencies.slot_of(now - cfg.slot_seconds / 2)
+        if self.latencies.count(measured_slot):
+            observed = self.latencies.pct(measured_slot, cfg.control_percentile)
+        else:
+            observed = 0.0
+        rate = self._slot_requests / cfg.slot_seconds
+        self._slot_requests = 0
+        projected = self.controller._projected_delay(rate, self.controller.current)
+        # The projection supplies the feed-forward signal (saturated M/M/1
+        # projects infinity; cap it so the proportional step stays bounded),
+        # the measurement carries fault-induced degradation.
+        measured = min(max(observed, projected), cfg.delay_bound * 4)
+        health = self.monitor.observe(now) if cfg.health_feedback else None
+        n_next = self.controller.update(measured, rate, health=health)
+        self._active_counts.append(n_next)
+        self._healthy_counts.append(self._healthy_capacity())
+        self._failed_sets.append(self.cache.failed_servers())
+        self._required_counts.append(
+            min(
+                cfg.num_servers,
+                max(
+                    cfg.min_servers,
+                    math.ceil(rate / (0.9 * cfg.per_server_rate)),
+                ),
+            )
+        )
+        self._measured.append(measured)
+        self._rates.append(rate)
+        if (
+            n_next != self.cache.active_count
+            and not self.cache.transitions.in_transition(now)
+        ):
+            record = self.actuator.apply(n_next, now)
+            if record is not None and record.ttl is not None:
+                self._ttls_used.append(record.ttl)
+                transition = self.cache.transitions.current(now)
+                if transition is not None:
+                    # Arm the power-off finalization and, when learning,
+                    # the decay sampling for this window.
+                    self.loop.schedule_at(
+                        transition.deadline + 1e-9,
+                        self.cache.finalize_expired,
+                        transition.deadline + 1e-9,
+                    )
+                    if cfg.adaptive_ttl:
+                        self._begin_decay_sampling(transition)
+
+    # ---------------------------------------------------------------- run
+
+    def _prewarm(self) -> None:
+        """Fill caches with the initial users' page sets (no DB timing)."""
+        n_active = self.cache.active_count
+        distinct = list(
+            dict.fromkeys(
+                key for user in self.population.active for key in user.pages
+            )
+        )
+        owners = self.cache.router.route_many(distinct, n_active)
+        for key, server in zip(distinct, owners):
+            target = self.cache.server(server)
+            if target.state.serves_requests:
+                value = self.database.shard_for(key).lookup(key)
+                target.set(key, value, now=0.0, size=self.config.item_size)
+
+    def run(self) -> AutopilotReport:
+        """Execute the run; returns the report."""
+        cfg = self.config
+        for slot, target in enumerate(cfg.users_per_slot):
+            when = slot * cfg.slot_seconds
+            if slot == 0:
+                self._resize_population(target)
+                if cfg.prewarm:
+                    self._prewarm()
+            else:
+                self.loop.schedule_at(when, self._resize_population, target)
+        for slot in range(1, cfg.num_slots + 1):
+            self.loop.schedule_at(
+                slot * cfg.slot_seconds - 1e-6, self._control_tick, slot
+            )
+        for event in failure_events_from_schedule(cfg.faults):
+            if event.when >= cfg.duration:
+                continue
+            self.loop.schedule_at(
+                event.when, self.cache.fail_server, event.server_id, event.when
+            )
+            if event.repair_at is not None and event.repair_at < cfg.duration:
+                self.loop.schedule_at(
+                    event.repair_at,
+                    self.cache.repair_server,
+                    event.server_id,
+                    event.repair_at,
+                )
+        self.loop.schedule_at(0.0, self._sample_power)
+        self.loop.run_until(cfg.duration)
+
+        energy = {"total": self.meter.energy_kwh()}
+        for tier in self.meter.tiers():
+            energy[tier] = self.meter.energy_kwh(tier)
+        label = (
+            "closed_loop"
+            if (cfg.health_feedback or cfg.adaptive_ttl)
+            else "open_loop"
+        )
+        return AutopilotReport(
+            config_label=label,
+            duration=cfg.duration,
+            slot_seconds=cfg.slot_seconds,
+            total_requests=self.total_requests,
+            served_requests=self.served_requests,
+            active_counts=self._active_counts,
+            healthy_counts=self._healthy_counts,
+            failed_sets=self._failed_sets,
+            required_counts=self._required_counts,
+            measured_delays=self._measured,
+            arrival_rates=self._rates,
+            health_history=list(self.monitor.history),
+            latencies=self.latencies,
+            transitions=list(self.actuator.applied),
+            energy_kwh=energy,
+            active_series=self.active_series,
+            emergency_scale_ups=self.controller.emergency_scale_ups,
+            vetoed_scale_downs=self.controller.vetoed_scale_downs,
+            ttls_used=self._ttls_used,
+            half_lives=self._half_lives,
+            remap_misses_total=self._remap_total(),
+        )

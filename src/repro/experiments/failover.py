@@ -75,11 +75,18 @@ class FailoverConfig:
     cache_capacity_bytes: int = 4096 * 2000
     pages_per_user: int = 30
     think_time: float = 0.5
+    #: drain-window length for smooth transitions (flows to the cache tier
+    #: like :attr:`ExperimentConfig.ttl`; previously hardcoded at 60 s).
+    ttl_seconds: float = 60.0
     failures: List[FailureEvent] = field(default_factory=list)
     slot_seconds: float = 10.0
     seed: int = 0
 
     def __post_init__(self) -> None:
+        if self.ttl_seconds <= 0:
+            raise ConfigurationError(
+                f"ttl_seconds must be > 0, got {self.ttl_seconds}"
+            )
         for event in self.failures:
             if not 0 <= event.server_id < self.num_servers:
                 raise ConfigurationError(
@@ -125,7 +132,7 @@ class FailoverExperiment:
         self.cache = CacheCluster(
             router,
             capacity_bytes=config.cache_capacity_bytes,
-            ttl=60.0,
+            ttl=config.ttl_seconds,
             bloom_config=bloom,
         )
         self.database = DatabaseCluster(4, seed=config.seed)

@@ -12,7 +12,16 @@ Sits between a frontend and one cache server and misbehaves on purpose:
   and then abort, leaving the client mid-reply (the desync case the
   hardened :class:`~repro.net.client.MemcachedClient` must poison on);
 * ``delay`` / ``delay_jitter`` — added response latency (the overloaded
-  server the breaker should learn to avoid).
+  server the breaker should learn to avoid);
+* ``drop_syn`` — connect-phase: the dial is swallowed: the handshake
+  completes (userspace cannot veto the kernel's accept queue) but nothing
+  is ever bridged or answered, which is what a dropped SYN looks like to
+  the protocol layer — a live socket, total silence, timeout recovery;
+* ``connect_delay`` — connect-phase: the accepted connection is held
+  before the upstream bridge comes up (the slow-accept listener);
+* ``drop_request_probability`` — request-direction loss: client-to-server
+  chunks silently vanish, so the server never sees the command and the
+  client waits on a reply that will never come.
 
 The proxy realizes the declarative :class:`~repro.resilience.FaultPlan`
 vocabulary, so chaos tests and the fault-tolerance bench script an outage
@@ -85,6 +94,12 @@ class ChaosProxy:
         self.blackholed = 0
         #: response chunks forwarded after an injected delay
         self.delayed = 0
+        #: dials swallowed by a ``drop_syn`` plan (accepted, never bridged)
+        self.syn_dropped = 0
+        #: connections held by a ``connect_delay`` plan before bridging
+        self.slow_accepts = 0
+        #: request chunks silently dropped (request-direction loss)
+        self.dropped_requests = 0
 
     # ------------------------------------------------------------ lifecycle
 
@@ -167,6 +182,36 @@ class ChaosProxy:
             self.rejected += 1
             writer.transport.abort()
             return
+        if self._plan.drop_syn:
+            # Connect-phase swallow: the handshake already completed in the
+            # kernel, so the closest userspace realization of a dropped SYN
+            # is total silence — drain whatever the client sends, bridge
+            # nothing, answer nothing.  Only the client's timeout (or a
+            # plan change aborting us) ends the session.
+            self.syn_dropped += 1
+            self._writers.add(writer)
+            try:
+                while await reader.read(CHUNK):
+                    pass
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass
+            finally:
+                self._writers.discard(writer)
+                try:
+                    writer.transport.abort()
+                except Exception:  # pragma: no cover - transport already dead
+                    pass
+            return
+        if self._plan.connect_delay > 0:
+            # Slow accept: hold the accepted connection before bridging.
+            # Register the writer first so close()/set_plan can abort the
+            # wait; bail quietly if the client gave up meanwhile.
+            self.slow_accepts += 1
+            self._writers.add(writer)
+            await asyncio.sleep(self._plan.connect_delay)
+            self._writers.discard(writer)
+            if writer.transport.is_closing():
+                return
         try:
             up_reader, up_writer = await asyncio.open_connection(
                 self.upstream_host, self.upstream_port
@@ -193,15 +238,24 @@ class ChaosProxy:
     async def _pump_requests(
         self, reader: asyncio.StreamReader, up_writer: asyncio.StreamWriter
     ) -> None:
-        """Client -> upstream: pass-through (the path's faults are on the
-        way back); a blackhole still swallows requests too."""
+        """Client -> upstream: mostly pass-through (the response direction
+        is where protocol state lives); a blackhole or a mid-session
+        ``drop_syn`` still swallows requests, and a lossy-request plan
+        drops individual chunks on this side."""
         try:
             while True:
                 chunk = await reader.read(CHUNK)
                 if not chunk:
                     break
-                if self._plan.blackhole:
+                plan = self._plan
+                if plan.blackhole or plan.drop_syn:
                     self.blackholed += 1
+                    continue
+                if (
+                    plan.drop_request_probability > 0
+                    and self._rng.random() < plan.drop_request_probability
+                ):
+                    self.dropped_requests += 1
                     continue
                 up_writer.write(chunk)
                 await up_writer.drain()
@@ -226,7 +280,7 @@ class ChaosProxy:
                 if not chunk:
                     break
                 plan = self._plan
-                if plan.blackhole:
+                if plan.blackhole or plan.drop_syn:
                     self.blackholed += 1
                     continue
                 if plan.delay > 0 or plan.delay_jitter > 0:

@@ -346,8 +346,13 @@ class AsyncProteusFrontend(RetrievalConfigMixin):
                 f"ceding servers, transition not started ({detail})",
                 failures=failures,
             )
+        # Keep the manager's default in sync for observers that read it,
+        # but size *this* transition's window explicitly — an adaptive TTL
+        # policy may hand every transition a different drain window.
         self._manager.ttl = ttl
-        return self._manager.begin(n_new, now, digests=digests, ceding=ceding)
+        return self._manager.begin(
+            n_new, now, digests=digests, ceding=ceding, ttl=ttl
+        )
 
     async def _broadcast_digest(self, server_id: int) -> BloomFilter:
         """Snapshot + fetch one old owner's digest, retrying transient

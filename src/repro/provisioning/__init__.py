@@ -7,6 +7,7 @@ from repro.provisioning.controller import (
     DelayFeedbackController,
     run_feedback_loop,
 )
+from repro.provisioning.health import ClusterHealthMonitor, HealthSnapshot
 from repro.provisioning.migrator import BackgroundMigrator, MigrationProgress
 from repro.provisioning.order import (
     OrderedFleet,
@@ -21,22 +22,34 @@ from repro.provisioning.policies import (
     load_proportional_schedule,
     static_schedule,
 )
+from repro.provisioning.ttl import (
+    TTL_POLICIES,
+    AdaptiveTTLPolicy,
+    FixedTTLPolicy,
+    make_ttl_policy,
+)
 
 __all__ = [
+    "AdaptiveTTLPolicy",
     "AppliedTransition",
     "BackgroundMigrator",
+    "ClusterHealthMonitor",
     "MigrationProgress",
     "DEFAULT_DELAY_BOUND",
     "DEFAULT_DELAY_REFERENCE",
     "DEFAULT_SLOT_SECONDS",
     "DelayFeedbackController",
+    "FixedTTLPolicy",
+    "HealthSnapshot",
     "OrderedFleet",
     "ProvisioningActuator",
     "ProvisioningSchedule",
     "ServerSpec",
+    "TTL_POLICIES",
     "efficiency_order",
     "limit_step_size",
     "load_proportional_schedule",
+    "make_ttl_policy",
     "random_order",
     "run_feedback_loop",
     "static_schedule",

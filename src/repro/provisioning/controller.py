@@ -26,11 +26,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 from repro.errors import ConfigurationError
 from repro.provisioning.policies import DEFAULT_SLOT_SECONDS, ProvisioningSchedule
 from repro.sim.latency import mm1_response_time
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (health imports us not)
+    from repro.provisioning.health import HealthSnapshot
 
 #: Paper settings (Section VI).
 DEFAULT_DELAY_BOUND = 0.5
@@ -50,6 +53,19 @@ class DelayFeedbackController:
             delay (used for the scale-down headroom check).
         scale_down_margin: only drop a server when the projected delay stays
             below ``delay_reference * scale_down_margin``.
+        degraded_rate_threshold: served-around-fault rate (per request, per
+            :attr:`HealthSnapshot.degraded_rate`) above which a slot is
+            treated as impaired: scale-down is vetoed and one emergency
+            server is added even if the measured delay still looks fine.
+        remap_veto_threshold: remap misses per request above which the
+            previous transition is considered still decaying and
+            scale-down is vetoed; a handful of straggler old-owner hits
+            below the threshold no longer blocks descent forever.
+
+    Passing a :class:`~repro.provisioning.health.HealthSnapshot` to
+    :meth:`update` closes the loop with the resilience layer; with
+    ``health=None`` (the default) the controller's behaviour is
+    bit-identical to the open-loop, delay-only original.
     """
 
     num_servers: int
@@ -58,8 +74,14 @@ class DelayFeedbackController:
     min_servers: int = 1
     per_server_rate: float = 200.0
     scale_down_margin: float = 0.75
+    degraded_rate_threshold: float = 0.05
+    remap_veto_threshold: float = 0.05
     _n: int = field(init=False)
     history: List[int] = field(init=False, default_factory=list)
+    #: slots where health feedback forced extra capacity
+    emergency_scale_ups: int = field(init=False, default=0)
+    #: slots where health feedback blocked a wanted scale-down
+    vetoed_scale_downs: int = field(init=False, default=0)
 
     def __post_init__(self) -> None:
         if self.num_servers < 1:
@@ -74,6 +96,16 @@ class DelayFeedbackController:
         if not 1 <= self.min_servers <= self.num_servers:
             raise ConfigurationError(
                 f"min_servers out of range: {self.min_servers}"
+            )
+        if self.degraded_rate_threshold < 0:
+            raise ConfigurationError(
+                "degraded_rate_threshold must be >= 0, got "
+                f"{self.degraded_rate_threshold}"
+            )
+        if self.remap_veto_threshold < 0:
+            raise ConfigurationError(
+                "remap_veto_threshold must be >= 0, got "
+                f"{self.remap_veto_threshold}"
             )
         self._n = self.num_servers
         self.history = [self._n]
@@ -90,13 +122,35 @@ class DelayFeedbackController:
         service_rate = self.per_server_rate / 0.7
         return mm1_response_time(per_server, service_rate)
 
-    def update(self, measured_delay: float, arrival_rate: float) -> int:
+    def update(
+        self,
+        measured_delay: float,
+        arrival_rate: float,
+        health: Optional["HealthSnapshot"] = None,
+    ) -> int:
         """One 30-minute loop iteration.
 
         Args:
             measured_delay: the slot's delay statistic (seconds).
             arrival_rate: the slot's request rate (req/s), used as the
                 feed-forward term for sizing steps and headroom.
+            health: the slot's :class:`HealthSnapshot` — closes the loop
+                with the resilience layer.  ``None`` (default) reproduces
+                the delay-only behaviour exactly.
+
+        With health feedback the delay-derived candidate is adjusted:
+
+        * **emergency scale-up** — an unhealthy server (tripped breaker or
+          crash) among the active set is capacity already gone, so the
+          target is raised to cover the load with the survivors *plus* the
+          lost count; a high degraded-rate without an identified culprit
+          still adds one server.  The rule cannot run away: once enough
+          healthy servers cover the load, no further growth is forced.
+        * **scale-down veto** — no server is dropped while any server is
+          unhealthy, a drain window is open, or the previous transition's
+          remap-miss rate is still above ``remap_veto_threshold``; shedding
+          capacity during an incident converts the next fault into an
+          outage.
 
         Returns:
             The new active count for the next slot.
@@ -110,13 +164,14 @@ class DelayFeedbackController:
                 f"arrival_rate must be >= 0, got {arrival_rate}"
             )
         n = self._n
+        candidate = n
         if measured_delay > self.delay_bound:
             # Emergency: add capacity proportional to the overshoot.
             overshoot = measured_delay / self.delay_bound
             step = max(1, min(self.num_servers - n, round(overshoot)))
-            n += step
+            candidate = n + step
         elif measured_delay > self.delay_reference:
-            n += 1
+            candidate = n + 1
         elif measured_delay < self.delay_reference * self.scale_down_margin:
             if n > self.min_servers:
                 headroom_ok = (
@@ -124,11 +179,59 @@ class DelayFeedbackController:
                 )
                 projected = self._projected_delay(arrival_rate, n - 1)
                 if headroom_ok and projected < self.delay_reference:
-                    n -= 1
-        n = min(self.num_servers, max(self.min_servers, n))
+                    candidate = n - 1
+        if health is not None:
+            candidate = self._apply_health(candidate, n, arrival_rate, health)
+        n = min(self.num_servers, max(self.min_servers, candidate))
         self._n = n
         self.history.append(n)
         return n
+
+    def _apply_health(
+        self,
+        candidate: int,
+        n: int,
+        arrival_rate: float,
+        health: "HealthSnapshot",
+    ) -> int:
+        """Adjust the delay-derived *candidate* with resilience signals."""
+        lost = len([s for s in health.unhealthy_servers if s < n])
+        required = max(
+            self.min_servers,
+            math.ceil(arrival_rate / (0.9 * self.per_server_rate))
+            if arrival_rate > 0
+            else self.min_servers,
+        )
+        if lost and n - lost < required:
+            # Treat lost servers as capacity already gone: provision enough
+            # healthy servers to carry the load.  Bounded by the fleet and
+            # by `required + lost`, so a permanently dead server cannot
+            # drive unbounded growth slot after slot.
+            target = min(self.num_servers, required + lost)
+            if target > candidate:
+                candidate = target
+                self.emergency_scale_ups += 1
+        elif (
+            not health.unhealthy_servers
+            and health.degraded_rate > self.degraded_rate_threshold
+        ):
+            # The path is degrading without a clearly-dead server (resets,
+            # reconnect storms): add one server's worth of slack.
+            if candidate <= n < self.num_servers:
+                candidate = n + 1
+                self.emergency_scale_ups += 1
+        decaying = health.remap_misses > self.remap_veto_threshold * max(
+            1, health.requests
+        )
+        impaired = (
+            bool(health.unhealthy_servers)
+            or health.in_transition
+            or decaying
+        )
+        if candidate < n and impaired:
+            self.vetoed_scale_downs += 1
+            candidate = n
+        return candidate
 
     def as_schedule(
         self, slot_seconds: float = DEFAULT_SLOT_SECONDS

@@ -10,13 +10,14 @@ outage identically for the chaos proxy (live) and the failover experiment
 as "now".
 """
 
-from repro.resilience.breaker import BreakerState, CircuitBreaker
+from repro.resilience.breaker import BreakerSnapshot, BreakerState, CircuitBreaker
 from repro.resilience.deadline import Deadline
 from repro.resilience.faults import FaultPlan, FaultSchedule, ScheduledFault
 from repro.resilience.policy import ResiliencePolicy
 from repro.resilience.retry import TRANSIENT_ERRORS, RetryPolicy
 
 __all__ = [
+    "BreakerSnapshot",
     "BreakerState",
     "CircuitBreaker",
     "Deadline",

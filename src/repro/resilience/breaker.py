@@ -20,9 +20,10 @@ from __future__ import annotations
 
 import enum
 import time
+from dataclasses import dataclass
 from typing import Callable, Optional
 
-__all__ = ["BreakerState", "CircuitBreaker"]
+__all__ = ["BreakerState", "BreakerSnapshot", "CircuitBreaker"]
 
 
 class BreakerState(enum.Enum):
@@ -34,6 +35,33 @@ class BreakerState(enum.Enum):
     OPEN = "open"
     #: reset_timeout elapsed: a bounded number of probe requests may pass
     HALF_OPEN = "half_open"
+
+
+@dataclass(frozen=True)
+class BreakerSnapshot:
+    """Read-only view of one breaker's trip/recovery state.
+
+    The introspection surface health monitors consume instead of reaching
+    into the breaker's private fields: the state after any due
+    OPEN -> HALF_OPEN promotion, when the circuit opened (``None`` while
+    closed), and the failure/trip/rejection counters at snapshot time.
+    """
+
+    state: BreakerState
+    open_since: Optional[float]
+    consecutive_failures: int
+    trips: int
+    rejections: int
+
+    @property
+    def is_open(self) -> bool:
+        """True while the circuit refuses regular traffic (OPEN only —
+        HALF_OPEN is already probing its way back)."""
+        return self.state is BreakerState.OPEN
+
+    @property
+    def is_closed(self) -> bool:
+        return self.state is BreakerState.CLOSED
 
 
 class CircuitBreaker:
@@ -96,6 +124,23 @@ class CircuitBreaker:
     @property
     def consecutive_failures(self) -> int:
         return self._consecutive_failures
+
+    def snapshot(self, now: Optional[float] = None) -> BreakerSnapshot:
+        """The breaker's current state as a frozen, read-only record.
+
+        Advances a due OPEN -> HALF_OPEN promotion first (same clock rules
+        as :meth:`state`), so a snapshot taken after ``reset_timeout`` shows
+        HALF_OPEN, not a stale OPEN.  ``open_since`` is the last trip time
+        while the circuit is OPEN or HALF_OPEN, ``None`` when CLOSED.
+        """
+        state = self.state(now)
+        return BreakerSnapshot(
+            state=state,
+            open_since=None if state is BreakerState.CLOSED else self._opened_at,
+            consecutive_failures=self._consecutive_failures,
+            trips=self.trips,
+            rejections=self.rejections,
+        )
 
     # ----------------------------------------------------------- admission
 

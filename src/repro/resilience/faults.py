@@ -37,6 +37,20 @@ class FaultPlan:
             the mid-reply desync case.
         delay: fixed extra latency per response chunk, seconds.
         delay_jitter: uniform extra delay in ``[0, delay_jitter]``.
+        drop_syn: connect-phase fault: the dial is swallowed — the TCP
+            handshake completes (userspace cannot suppress the kernel's
+            accept) but the session is never bridged and never answers, so
+            the client sees exactly what a dropped SYN looks like one layer
+            up: a "connected" socket that produces nothing until its
+            connect/op timeout fires.
+        connect_delay: connect-phase fault: the accepted connection is held
+            this many seconds before the upstream bridge comes up (the
+            slow-accept / overloaded-listener case); requests sent in the
+            window stall but are eventually answered.
+        drop_request_probability: per-request-chunk probability of silently
+            dropping the client -> server chunk (request-direction loss:
+            the server never sees the command, the client times out waiting
+            for a reply that was never going to come).
         seed: PRNG seed for the probabilistic faults.
     """
 
@@ -46,16 +60,23 @@ class FaultPlan:
     partial_write_probability: float = 0.0
     delay: float = 0.0
     delay_jitter: float = 0.0
+    drop_syn: bool = False
+    connect_delay: float = 0.0
+    drop_request_probability: float = 0.0
     seed: int = 0
 
     def __post_init__(self) -> None:
-        for name in ("reset_probability", "partial_write_probability"):
+        for name in (
+            "reset_probability",
+            "partial_write_probability",
+            "drop_request_probability",
+        ):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
                 raise ConfigurationError(
                     f"{name} must be in [0, 1], got {value}"
                 )
-        if self.delay < 0 or self.delay_jitter < 0:
+        if self.delay < 0 or self.delay_jitter < 0 or self.connect_delay < 0:
             raise ConfigurationError("delays must be >= 0")
 
     # ------------------------------------------------------------- queries
@@ -66,17 +87,20 @@ class FaultPlan:
         return (
             not self.reject_connections
             and not self.blackhole
+            and not self.drop_syn
             and self.reset_probability == 0.0
             and self.partial_write_probability == 0.0
             and self.delay == 0.0
             and self.delay_jitter == 0.0
+            and self.connect_delay == 0.0
+            and self.drop_request_probability == 0.0
         )
 
     @property
     def kills_server(self) -> bool:
         """True when the plan makes the server effectively unreachable —
         the subset of faults the simulator expresses as a crash."""
-        return self.reject_connections or self.blackhole
+        return self.reject_connections or self.blackhole or self.drop_syn
 
     # ---------------------------------------------------------- factories
 
@@ -99,6 +123,21 @@ class FaultPlan:
     def flaky(cls, reset_probability: float, seed: int = 0) -> "FaultPlan":
         """A server whose connections reset at random."""
         return cls(reset_probability=reset_probability, seed=seed)
+
+    @classmethod
+    def syn_dropped(cls) -> "FaultPlan":
+        """Dials hang instead of failing fast (firewalled/partitioned path)."""
+        return cls(drop_syn=True)
+
+    @classmethod
+    def slow_accept(cls, connect_delay: float) -> "FaultPlan":
+        """An overloaded listener: connections come up late but do work."""
+        return cls(connect_delay=connect_delay)
+
+    @classmethod
+    def lossy_requests(cls, probability: float, seed: int = 0) -> "FaultPlan":
+        """Request-direction loss: commands vanish before the server."""
+        return cls(drop_request_probability=probability, seed=seed)
 
     def with_seed(self, seed: int) -> "FaultPlan":
         """The same plan with a different PRNG seed."""

@@ -13,9 +13,9 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, Dict, Iterable, Optional
 
-from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.breaker import BreakerSnapshot, CircuitBreaker
 from repro.resilience.deadline import Deadline
 from repro.resilience.retry import RetryPolicy
 
@@ -92,3 +92,21 @@ class ResiliencePolicy:
     ) -> Deadline:
         """A fresh per-request deadline bound to *clock* (may be unlimited)."""
         return Deadline(self.request_budget, clock=clock)
+
+    # -------------------------------------------------------- introspection
+
+    @staticmethod
+    def health(
+        breakers: Iterable[CircuitBreaker], now: Optional[float] = None
+    ) -> Dict[int, BreakerSnapshot]:
+        """Read-only health of a fleet of per-server breakers.
+
+        Returns ``server_id -> BreakerSnapshot`` (ids are the iteration
+        positions, matching the provisioning-order indexing every driver
+        uses).  This is the sanctioned introspection path for monitors:
+        no caller should reach into a breaker's private fields.
+        """
+        return {
+            server_id: breaker.snapshot(now)
+            for server_id, breaker in enumerate(breakers)
+        }

@@ -1,0 +1,188 @@
+"""Tests for the closed-loop autopilot experiment harness."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.autopilot import (
+    NEVER_RECOVERED,
+    AutopilotConfig,
+    AutopilotExperiment,
+    AutopilotReport,
+)
+from repro.resilience import FaultPlan, FaultSchedule
+from repro.sim.metrics import SlottedRecorder, TimeSeries
+
+
+def config(**overrides):
+    defaults = dict(
+        users_per_slot=[30, 24, 18, 18, 24, 30],
+        slot_seconds=20.0,
+        num_servers=6,
+        num_web_servers=2,
+        catalogue_size=1500,
+        pages_per_user=15,
+        seed=5,
+    )
+    defaults.update(overrides)
+    return AutopilotConfig(**defaults)
+
+
+def kill(at, server_id, clear_at=None):
+    schedule = FaultSchedule()
+    schedule.add(at=at, server_id=server_id, plan=FaultPlan.killed(),
+                 clear_at=clear_at)
+    return schedule
+
+
+class TestValidation:
+    def test_rejects_empty_workload(self):
+        with pytest.raises(ConfigurationError):
+            config(users_per_slot=[])
+
+    def test_rejects_bad_slot_seconds(self):
+        with pytest.raises(ConfigurationError):
+            config(slot_seconds=0.0)
+
+    def test_rejects_min_servers_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            config(min_servers=0)
+        with pytest.raises(ConfigurationError):
+            config(min_servers=7)
+
+    def test_rejects_fault_on_unknown_server(self):
+        with pytest.raises(ConfigurationError):
+            config(faults=kill(10.0, 99))
+
+    def test_duration_and_slots(self):
+        cfg = config()
+        assert cfg.num_slots == 6
+        assert cfg.duration == 120.0
+
+
+class TestOpenLoop:
+    def test_defaults_are_the_open_loop(self):
+        report = AutopilotExperiment(config()).run()
+        assert report.config_label == "open_loop"
+        assert report.availability == 1.0
+        assert report.emergency_scale_ups == 0
+        assert report.vetoed_scale_downs == 0
+        assert report.health_history == []
+
+    def test_fixed_ttl_windows(self):
+        report = AutopilotExperiment(config(ttl_seconds=25.0)).run()
+        assert all(ttl == 25.0 for ttl in report.ttls_used)
+        assert report.half_lives == []
+
+    def test_deterministic_given_the_seed(self):
+        first = AutopilotExperiment(config()).run()
+        second = AutopilotExperiment(config()).run()
+        assert first.active_counts == second.active_counts
+        assert first.measured_delays == second.measured_delays
+        assert first.total_requests == second.total_requests
+
+
+class TestClosedLoop:
+    def test_kill_triggers_emergency_scale_up(self):
+        # Kill during the valley: delay-only control stays blind, the
+        # health loop must react.
+        faults = kill(45.0, 1, clear_at=110.0)
+        open_report = AutopilotExperiment(config(faults=faults)).run()
+        closed_report = AutopilotExperiment(
+            config(faults=faults, health_feedback=True)
+        ).run()
+        assert closed_report.config_label == "closed_loop"
+        assert closed_report.emergency_scale_ups >= 1
+        assert closed_report.availability == 1.0
+        assert len(closed_report.health_history) == len(
+            closed_report.active_counts
+        )
+        assert closed_report.recovery_slots(45.0) <= open_report.recovery_slots(
+            45.0
+        )
+
+    def test_failed_sets_track_the_schedule(self):
+        report = AutopilotExperiment(
+            config(faults=kill(45.0, 1, clear_at=110.0), health_feedback=True)
+        ).run()
+        fault_slots = [i for i, s in enumerate(report.failed_sets) if s]
+        assert fault_slots, "the kill never showed up in failed_sets"
+        assert all(report.failed_sets[i] == frozenset({1})
+                   for i in fault_slots)
+
+    def test_adaptive_ttl_learns_from_decay(self):
+        experiment = AutopilotExperiment(
+            config(
+                users_per_slot=[30, 24, 18, 18, 24, 30] * 2,
+                adaptive_ttl=True,
+                max_ttl=90.0,
+            )
+        )
+        report = experiment.run()
+        assert report.config_label == "closed_loop"
+        # a drain window was observed and fitted...
+        assert report.half_lives
+        # ...so the *next* window the policy would hand out departs from
+        # the fixed default (learning applies forward, window by window).
+        assert experiment.ttl_policy.ttl_for() != 60.0
+        for ttl in report.ttls_used:
+            assert 5.0 <= ttl <= 90.0
+
+    def test_to_dict_is_json_ready(self):
+        import json
+
+        report = AutopilotExperiment(
+            config(health_feedback=True, adaptive_ttl=True)
+        ).run()
+        payload = report.to_dict()
+        json.dumps(payload)  # must not raise
+        assert payload["config"] == "closed_loop"
+        assert len(payload["active_counts"]) == 6
+        assert payload["remap_misses_total"] == report.remap_misses_total
+
+
+class TestRecoveryMetrics:
+    def make_report(self, healthy, required):
+        return AutopilotReport(
+            config_label="synthetic",
+            duration=len(healthy) * 10.0,
+            slot_seconds=10.0,
+            total_requests=1,
+            served_requests=1,
+            active_counts=list(healthy),
+            healthy_counts=list(healthy),
+            failed_sets=[frozenset() for _ in healthy],
+            required_counts=list(required),
+            measured_delays=[0.0] * len(healthy),
+            arrival_rates=[0.0] * len(healthy),
+            health_history=[],
+            latencies=SlottedRecorder(10.0),
+            transitions=[],
+            energy_kwh={},
+            active_series=TimeSeries(),
+            emergency_scale_ups=0,
+            vetoed_scale_downs=0,
+        )
+
+    def test_recovery_counts_slots_until_requirement_met(self):
+        report = self.make_report(
+            healthy=[4, 3, 3, 4, 4], required=[4, 4, 4, 4, 4]
+        )
+        assert report.recovery_slots(5.0) == 3
+
+    def test_never_recovered_sentinel(self):
+        report = self.make_report(healthy=[4, 3, 3], required=[4, 4, 4])
+        assert report.recovery_slots(5.0) == NEVER_RECOVERED
+
+    def test_underprovisioned_horizon(self):
+        report = self.make_report(
+            healthy=[4, 3, 3, 3, 4], required=[4, 4, 4, 4, 4]
+        )
+        assert report.underprovisioned_slots(5.0) == 3
+        assert report.underprovisioned_slots(5.0, horizon_slots=2) == 2
+
+    def test_fault_outside_run_rejected(self):
+        report = self.make_report(healthy=[4], required=[4])
+        with pytest.raises(ConfigurationError):
+            report.recovery_slots(500.0)
+        with pytest.raises(ConfigurationError):
+            report.underprovisioned_slots(500.0)

@@ -79,3 +79,13 @@ class TestRuns:
         assert report.db_fraction.times[-1] <= 60.0
         assert len(report.db_fraction) >= 5
         assert report.overall_db_fraction < 0.6
+
+
+class TestConfiguredTTL:
+    def test_rejects_nonpositive_ttl(self):
+        with pytest.raises(ConfigurationError):
+            config(ttl_seconds=0.0)
+
+    def test_ttl_flows_to_the_cache_cluster(self):
+        experiment = FailoverExperiment(config(ttl_seconds=17.0))
+        assert experiment.cache.transitions.ttl == 17.0

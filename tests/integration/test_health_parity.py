@@ -1,0 +1,176 @@
+"""Sim-vs-live health parity: one FaultSchedule, two monitors.
+
+The same scripted fault is realized on both substrates — crash events in
+the simulator, chaos-proxy plans against real servers — and a
+:class:`ClusterHealthMonitor` wired to each (``for_simulation`` /
+``for_frontend``) must produce *equivalent* ``HealthSnapshot`` series:
+identical request/degraded/remap windows, and the same unhealthy-server
+verdict, even though the sim learns it from the crash oracle and the live
+tier from tripped breakers.  This is what lets the closed-loop controller
+be developed against the simulator and deployed against the live tier.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.bloom.config import optimal_config
+from repro.cache.cluster import CacheCluster
+from repro.core.router import ProteusRouter
+from repro.database.cluster import DatabaseCluster
+from repro.experiments.failover import failure_events_from_schedule
+from repro.net.chaosproxy import ChaosProxy
+from repro.net.server import MemcachedServer
+from repro.net.webtier import AsyncProteusFrontend
+from repro.provisioning.health import ClusterHealthMonitor
+from repro.resilience import FaultPlan, FaultSchedule, ResiliencePolicy
+from repro.sim.latency import Constant
+from repro.web.frontend import WebServer
+
+N_SERVERS = 3
+BLOOM = optimal_config(1000)
+KEYS = [f"page:{i}" for i in range(24)]
+POLICY = ResiliencePolicy.aggressive(op_timeout=0.2)
+FAULT_AT = 1.0
+
+
+def schedule_killing(server_id):
+    schedule = FaultSchedule()
+    schedule.add(FAULT_AT, server_id, FaultPlan.killed())
+    return schedule
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def value_of(key):
+    return f"db:{key}".encode()
+
+
+async def database(key):
+    return value_of(key)
+
+
+def run_sim(schedule, transition_to=None):
+    """Warm, fault, refetch — observing health before and after."""
+    cache = CacheCluster(
+        ProteusRouter(N_SERVERS),
+        capacity_bytes=4096 * 2000,
+        bloom_config=BLOOM,
+    )
+    db = DatabaseCluster(2, service_model=Constant(0.0001))
+    web = WebServer(
+        0, cache, db,
+        cache_latency=Constant(0.0001), web_overhead=Constant(0.0001),
+    )
+    monitor = ClusterHealthMonitor.for_simulation(cache, [web])
+    now = 0.0
+    for key in KEYS:
+        web.fetch(key, now=now)
+        now += 0.01
+    before = monitor.observe(now)
+    if transition_to is not None:
+        cache.scale_to(transition_to, now=FAULT_AT)
+    for event in failure_events_from_schedule(schedule):
+        cache.fail_server(event.server_id, event.when)
+    now = FAULT_AT + 0.1
+    for key in KEYS:
+        web.fetch(key, now=now)
+        now += 0.01
+    after = monitor.observe(now)
+    return before, after
+
+
+async def run_live(schedule, transition_to=None):
+    """The same script against real servers behind chaos proxies."""
+    servers = [MemcachedServer(bloom_config=BLOOM) for _ in range(N_SERVERS)]
+    for server in servers:
+        await server.start()
+    proxies = [ChaosProxy("127.0.0.1", server.port) for server in servers]
+    for proxy in proxies:
+        await proxy.start()
+    web = AsyncProteusFrontend(
+        [("127.0.0.1", proxy.port) for proxy in proxies],
+        BLOOM,
+        database,
+        resilience=POLICY,
+    )
+    monitor = ClusterHealthMonitor.for_frontend(web)
+    try:
+        await web.connect()
+        for key in KEYS:
+            await web.fetch(key)
+        before = monitor.observe(web._clock())
+        if transition_to is not None:
+            await web.scale_to(transition_to, ttl=60.0)
+        for server_id, plan in schedule.plans_at(FAULT_AT + 0.1).items():
+            proxies[server_id].set_plan(plan)
+        for key in KEYS:
+            result = await web.fetch(key)
+            assert result.value == value_of(key)
+        after = monitor.observe(web._clock())
+        return before, after
+    finally:
+        await web.close()
+        for proxy in proxies:
+            await proxy.close()
+        for server in servers:
+            await server.stop()
+
+
+def assert_window_parity(sim_snap, live_snap):
+    """The engine-derived window facts must match exactly."""
+    assert sim_snap.requests == live_snap.requests
+    assert sim_snap.degraded == live_snap.degraded
+    assert sim_snap.remap_misses == live_snap.remap_misses
+
+
+@pytest.mark.timeout(120)
+class TestHealthParity:
+    def test_killed_owner_same_verdict(self):
+        schedule = schedule_killing(0)
+        sim_before, sim_after = run_sim(schedule)
+        live_before, live_after = run(run_live(schedule))
+
+        assert_window_parity(sim_before, live_before)
+        assert sim_before.healthy and live_before.healthy
+
+        assert_window_parity(sim_after, live_after)
+        # Substrate-specific detection, identical verdict: the simulator's
+        # crash oracle names the server, the live tier's breaker trips on it.
+        assert sim_after.failed_servers == frozenset({0})
+        assert 0 in live_after.open_servers
+        assert sim_after.unhealthy_servers == live_after.unhealthy_servers
+        assert not sim_after.healthy and not live_after.healthy
+
+    def test_mid_transition_windows_agree(self):
+        # Kill the retiring old owner: digest hits on moved keys degrade
+        # to the database (no old-owner pull completes), so both monitors
+        # must agree the remap window is *empty* while still flagging the
+        # open drain window and the lost server.
+        schedule = schedule_killing(2)
+        _, sim_after = run_sim(schedule, transition_to=2)
+        _, live_after = run(run_live(schedule, transition_to=2))
+        assert_window_parity(sim_after, live_after)
+        assert sim_after.in_transition and live_after.in_transition
+        assert sim_after.remap_misses == 0
+
+    def test_faultless_transition_remap_signal_agrees(self):
+        # A healthy 3 -> 2 transition: moved keys *do* pull from the old
+        # owner, and both monitors count the same remap-miss window.
+        schedule = FaultSchedule()
+        _, sim_after = run_sim(schedule, transition_to=2)
+        _, live_after = run(run_live(schedule, transition_to=2))
+        assert_window_parity(sim_after, live_after)
+        assert sim_after.remap_misses > 0
+        assert sim_after.in_transition and live_after.in_transition
+
+    def test_benign_schedule_stays_healthy(self):
+        schedule = FaultSchedule()
+        _, sim_after = run_sim(schedule)
+        _, live_after = run(run_live(schedule))
+        assert_window_parity(sim_after, live_after)
+        assert sim_after.healthy and live_after.healthy
+        assert sim_after.unhealthy_servers == frozenset()
+        assert live_after.unhealthy_servers == frozenset()

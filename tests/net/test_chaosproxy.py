@@ -241,3 +241,100 @@ class TestProxyBookkeeping:
             await server.stop()
 
         run(body())
+
+
+@pytest.mark.timeout(60)
+class TestConnectPhaseShapes:
+    def test_syn_drop_times_out_and_degrades(self):
+        async def body():
+            async with Stack() as stack:
+                web = stack.frontend
+                keys = [f"s{i}" for i in range(12)]
+                await web.fetch_many(keys)  # warm while healthy
+                stack.proxies[0].set_plan(FaultPlan.syn_dropped())
+                stack.proxies[0]._abort_live_connections()
+                for key in keys:
+                    result = await web.fetch(key)
+                    assert result.value == value_of(key)
+                # redial attempts were swallowed, not refused:
+                assert stack.proxies[0].syn_dropped >= 1
+                assert web.stats.degraded_events > 0
+
+        run(body())
+
+    def test_syn_dropped_plan_counts_as_killing(self):
+        assert FaultPlan.syn_dropped().kills_server
+        assert not FaultPlan.syn_dropped().is_benign
+
+    def test_slow_accept_delays_but_serves(self):
+        async def body():
+            server = MemcachedServer(bloom_config=BLOOM)
+            await server.start()
+            proxy = await ChaosProxy("127.0.0.1", server.port).start()
+            proxy.set_plan(FaultPlan.slow_accept(0.05))
+            from repro.net.client import MemcachedClient
+
+            client = await MemcachedClient("127.0.0.1", proxy.port).connect()
+            await client.set("k", b"v")
+            assert await client.get("k") == b"v"
+            assert proxy.slow_accepts == 1
+            await client.close()
+            await proxy.close()
+            await server.stop()
+
+        run(body())
+
+
+@pytest.mark.timeout(60)
+class TestLossyRequests:
+    def test_full_loss_degrades_to_database(self):
+        async def body():
+            async with Stack() as stack:
+                web = stack.frontend
+                keys = [f"l{i}" for i in range(8)]
+                await web.fetch_many(keys)
+                stack.proxies[0].set_plan(
+                    FaultPlan.lossy_requests(1.0, seed=1)
+                )
+                for key in keys:
+                    result = await web.fetch(key)
+                    assert result.value == value_of(key)
+                assert stack.proxies[0].dropped_requests >= 1
+                assert web.stats.degraded_events > 0
+
+        run(body())
+
+    def test_partial_loss_is_seeded_and_recoverable(self):
+        async def body():
+            server = MemcachedServer(bloom_config=BLOOM)
+            await server.start()
+            proxy = await ChaosProxy("127.0.0.1", server.port).start()
+            from repro.net.client import MemcachedClient
+
+            client = await MemcachedClient("127.0.0.1", proxy.port).connect()
+            await client.set("k", b"v")
+            proxy.set_plan(FaultPlan.lossy_requests(0.5, seed=7))
+            served = 0
+            for _ in range(12):
+                try:
+                    if await asyncio.wait_for(client.get("k"), 0.3) == b"v":
+                        served += 1
+                except Exception:
+                    # swallowed request: redial and continue
+                    try:
+                        await client.close()
+                    except Exception:
+                        pass
+                    client = await MemcachedClient(
+                        "127.0.0.1", proxy.port
+                    ).connect()
+            assert served >= 1
+            assert proxy.dropped_requests >= 1
+            proxy.set_plan(FaultPlan.none())
+            client = await MemcachedClient("127.0.0.1", proxy.port).connect()
+            assert await client.get("k") == b"v"
+            await client.close()
+            await proxy.close()
+            await server.stop()
+
+        run(body())

@@ -113,3 +113,117 @@ class TestRunFeedbackLoop:
             slot_seconds=10.0,
         )
         assert all(1 <= c <= 6 for c in schedule.counts)
+
+
+# --------------------------------------------------------- health feedback
+
+
+def health(**kwargs):
+    from repro.provisioning.health import HealthSnapshot
+
+    kwargs.setdefault("at", 0.0)
+    return HealthSnapshot(**kwargs)
+
+
+class TestHealthFeedback:
+    def test_none_health_is_bit_identical(self):
+        plain = controller(per_server_rate=200.0)
+        closed = controller(per_server_rate=200.0)
+        idle = health()
+        for delay, rate in [(0.05, 100), (0.45, 900), (0.9, 1500),
+                            (0.2, 800), (0.05, 200), (0.05, 100)]:
+            plain.update(delay, rate)
+            closed.update(delay, rate, health=idle)
+        assert plain.history == closed.history
+        assert closed.emergency_scale_ups == 0
+        assert closed.vetoed_scale_downs == 0
+
+    def test_open_breaker_triggers_emergency_scale_up(self):
+        ctl = controller(per_server_rate=200.0)
+        ctl._n = 3
+        # 3 active, one tripped: 2 healthy left for a 3-server load, but
+        # the measured delay still looks fine (degraded path is fast).
+        new = ctl.update(
+            0.1, arrival_rate=500.0,
+            health=health(open_servers=frozenset({1})),
+        )
+        assert new == 4  # required ceil(500/180)=3 healthy + 1 lost
+        assert ctl.emergency_scale_ups == 1
+
+    def test_crashed_server_counts_like_open_breaker(self):
+        ctl = controller(per_server_rate=200.0)
+        ctl._n = 3
+        new = ctl.update(
+            0.1, arrival_rate=500.0,
+            health=health(failed_servers=frozenset({0})),
+        )
+        assert new == 4
+        assert ctl.emergency_scale_ups == 1
+
+    def test_emergency_cannot_run_away(self):
+        ctl = controller(per_server_rate=200.0)
+        ctl._n = 6
+        # 5 healthy already cover the load: no forced growth, slot after slot.
+        snap = health(open_servers=frozenset({1}))
+        for _ in range(5):
+            new = ctl.update(0.1, arrival_rate=500.0, health=snap)
+        assert new == 6
+        assert ctl.emergency_scale_ups == 0
+
+    def test_unhealthy_outside_active_set_ignored_for_loss(self):
+        ctl = controller(per_server_rate=200.0)
+        ctl._n = 3
+        # server 7 is powered off anyway: no capacity was lost.
+        new = ctl.update(
+            0.1, arrival_rate=500.0,
+            health=health(open_servers=frozenset({7})),
+        )
+        assert new == 3
+
+    def test_degraded_rate_without_culprit_adds_one(self):
+        ctl = controller(per_server_rate=200.0)
+        ctl._n = 4
+        snap = health(requests=1000, degraded={"timeouts": 100})
+        assert ctl.update(0.1, arrival_rate=600.0, health=snap) == 5
+        assert ctl.emergency_scale_ups == 1
+
+    def test_scale_down_vetoed_while_unhealthy(self):
+        ctl = controller(per_server_rate=200.0)
+        ctl._n = 5
+        snap = health(open_servers=frozenset({9}))
+        # delay-only would drop a server (light load, low delay).
+        assert ctl.update(0.05, arrival_rate=100.0, health=snap) == 5
+        assert ctl.vetoed_scale_downs == 1
+
+    def test_scale_down_vetoed_while_in_transition(self):
+        ctl = controller(per_server_rate=200.0)
+        ctl._n = 5
+        snap = health(in_transition=True)
+        assert ctl.update(0.05, arrival_rate=100.0, health=snap) == 5
+        assert ctl.vetoed_scale_downs == 1
+
+    def test_scale_down_vetoed_while_remap_decay_active(self):
+        ctl = controller(per_server_rate=200.0)
+        ctl._n = 5
+        snap = health(requests=100, remap_misses=20)
+        assert ctl.update(0.05, arrival_rate=100.0, health=snap) == 5
+        assert ctl.vetoed_scale_downs == 1
+
+    def test_straggler_remap_misses_do_not_veto(self):
+        ctl = controller(per_server_rate=200.0)
+        ctl._n = 5
+        # 2 misses over 1000 requests: below the 5% veto threshold.
+        snap = health(requests=1000, remap_misses=2)
+        assert ctl.update(0.05, arrival_rate=100.0, health=snap) == 4
+        assert ctl.vetoed_scale_downs == 0
+
+    def test_healthy_snapshot_permits_scale_down(self):
+        ctl = controller(per_server_rate=200.0)
+        ctl._n = 5
+        assert ctl.update(0.05, arrival_rate=100.0, health=health()) == 4
+
+    def test_threshold_validation(self):
+        with pytest.raises(ConfigurationError):
+            controller(degraded_rate_threshold=-0.1)
+        with pytest.raises(ConfigurationError):
+            controller(remap_veto_threshold=-0.1)

@@ -144,3 +144,44 @@ class TestSimulate:
 
     def test_unknown_scenario(self, capsys):
         assert main(["simulate", "--scenarios", "warp"]) == 2
+
+
+class TestAutopilot:
+    def test_open_loop_run(self, capsys):
+        assert main(["autopilot", "--users", "30,24,18,24",
+                     "--slot-seconds", "20", "--servers", "6",
+                     "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "open_loop: 4 slots" in out
+        assert "availability=1.0000" in out
+
+    def test_closed_loop_with_a_kill(self, capsys):
+        assert main(["autopilot", "--users", "30,24,18,18,24,30",
+                     "--slot-seconds", "20", "--servers", "6",
+                     "--health-feedback", "--adaptive-ttl",
+                     "--kill", "45:1:110", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "closed_loop: 6 slots" in out
+        assert "1 scripted fault(s)" in out
+        assert "emergency scale-ups=" in out
+
+    def test_bad_fault_spec_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["autopilot", "--kill", "oops"])
+
+    def test_fault_on_unknown_server_errors(self, capsys):
+        assert main(["autopilot", "--users", "10,10",
+                     "--kill", "5:99"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestConfigInitTTLPolicy:
+    def test_adaptive_policy_round_trips(self, tmp_path, capsys):
+        out = tmp_path / "cluster.json"
+        assert main(["config-init", "--out", str(out),
+                     "--endpoints", "a:1,b:2",
+                     "--ttl-policy", "adaptive"]) == 0
+        assert "(adaptive)" in capsys.readouterr().out
+        from repro.config import ClusterConfig
+
+        assert ClusterConfig.load(out).ttl_policy == "adaptive"

@@ -136,3 +136,42 @@ class TestBuilders:
                 await server.stop()
 
         asyncio.run(body())
+
+
+class TestTTLPolicyKnobs:
+    def test_defaults_to_the_paper_fixed_window(self):
+        from repro.provisioning.ttl import FixedTTLPolicy
+
+        cfg = make()
+        assert cfg.ttl_policy == "fixed"
+        policy = cfg.build_ttl_policy()
+        assert isinstance(policy, FixedTTLPolicy)
+        assert policy.ttl_for() == cfg.ttl_seconds
+
+    def test_adaptive_policy_carries_the_knobs(self):
+        from repro.provisioning.ttl import AdaptiveTTLPolicy
+
+        cfg = make(ttl_policy="adaptive", min_ttl_seconds=10.0,
+                   max_ttl_seconds=90.0, ttl_target_residual=0.1)
+        policy = cfg.build_ttl_policy()
+        assert isinstance(policy, AdaptiveTTLPolicy)
+        assert policy.min_ttl == 10.0
+        assert policy.max_ttl == 90.0
+        assert policy.target_residual == 0.1
+        assert policy.ttl_for() == cfg.ttl_seconds  # inert until evidence
+
+    def test_roundtrips_through_json(self):
+        cfg = make(ttl_policy="adaptive", min_ttl_seconds=10.0)
+        again = ClusterConfig.from_json(cfg.to_json())
+        assert again.ttl_policy == "adaptive"
+        assert again.min_ttl_seconds == 10.0
+
+    def test_rejects_bad_ttl_knobs(self):
+        with pytest.raises(ConfigurationError):
+            make(ttl_policy="random")
+        with pytest.raises(ConfigurationError):
+            make(min_ttl_seconds=0.0)
+        with pytest.raises(ConfigurationError):
+            make(min_ttl_seconds=50.0, max_ttl_seconds=10.0)
+        with pytest.raises(ConfigurationError):
+            make(ttl_target_residual=1.5)
