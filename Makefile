@@ -17,8 +17,9 @@ bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 # One-round routing/bloom microbenches plus the chaos availability check
-# and the hot-key storm ratchet: fast CI canary for the vectorized hot
-# path, the degraded fetch path, and the armor's load-flattening gate
+# and the hot-key storm, autopilot, and net-throughput ratchets: fast CI
+# canary for the vectorized hot path, the degraded fetch path, the
+# armor's load-flattening gate, and the pipelined transport's RPS gate
 # (speedup/availability gates still enforced; absolute numbers are noisy).
 bench-smoke:
 	PROTEUS_BENCH_ROUNDS=1 $(PYTHON) -m pytest \
@@ -28,6 +29,7 @@ bench-smoke:
 	$(PYTHON) benchmarks/bench_fault_tolerance.py --rounds 1
 	$(PYTHON) benchmarks/bench_hotkey_storm.py --check
 	$(PYTHON) benchmarks/bench_autopilot.py --check
+	$(PYTHON) benchmarks/bench_net_throughput.py --check
 
 # Regenerate every paper figure as printed tables.
 figures:

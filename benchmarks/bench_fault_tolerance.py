@@ -128,9 +128,7 @@ async def _run_scenario(name: str) -> Dict[str, object]:
                 "degraded_events": dict(stats.degraded),
                 "db_fraction": round(stats.database_fraction, 4),
                 "breaker_trips": sum(b.trips for b in frontend.breakers),
-                "reconnects": sum(
-                    c.reconnects for c in frontend._clients if c is not None
-                ),
+                "reconnects": frontend.reconnects,
             }
     finally:
         for proxy in proxies:

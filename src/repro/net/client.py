@@ -1,4 +1,4 @@
-"""Asyncio memcached client (the web server's view of one cache node).
+"""Pipelined asyncio memcached client (the web server's view of one node).
 
 Speaks the same text protocol as :mod:`repro.net.server` — and therefore as
 real memcached for the standard commands.  Adds the two digest calls of
@@ -6,32 +6,66 @@ Section V-A3 as first-class methods: :meth:`snapshot_digest` and
 :meth:`fetch_digest`, which a transition coordinator uses to broadcast
 digests to web servers.
 
+**Transport.**  One TCP connection carries many in-flight commands: each
+command appends its reply shape to the incremental
+:class:`~repro.net.parser.ReplyParser` and a future to a FIFO; writes from
+the same event-loop tick are coalesced into one ``send`` and the reply
+stream is matched strictly in order as chunks arrive (``data_received`` →
+``feed``), so a burst of *k* gets costs ~one round trip instead of *k*.
+``TCP_NODELAY`` is set so the small writes are not Nagle-delayed.  Pass
+``pipeline=False`` for the pre-pipelining discipline — one in-flight
+command, serialized by an internal lock — which is also the A/B baseline
+the net throughput bench measures against.
+
 **Fault behaviour.**  A memcached text-protocol exchange has no framing
 beyond the reply itself, so *any* mid-reply failure — timeout, reset, EOF,
 or an unparseable line — leaves the stream position unknown; reading on
-would parse garbage (or worse, a later reply as this one's).  The client
-therefore *poisons* the connection on every such failure: the transport is
-aborted, :attr:`broken` is set, and the next call transparently reconnects
+would parse garbage (or worse, pair a later reply with an earlier queued
+command).  The client therefore *poisons* the connection on every such
+failure: the transport is aborted, :attr:`broken` is set, **every queued
+future fails** with :class:`~repro.errors.TransportError` — the transient
+class retry policies act on — and the next call transparently reconnects
 (``auto_reconnect``, on by default) instead of resuming the dead stream.
-Transit failures surface as :class:`~repro.errors.TransportError` — the
-transient class retry policies act on — while genuinely malformed replies
-stay :class:`~repro.errors.ProtocolError`.  An optional per-operation
-``timeout`` bounds every read/write so a blackholed server cannot hang a
-request forever.
+The one command whose reply was actually malformed gets
+:class:`~repro.errors.ProtocolError`; complete ``SERVER_ERROR``-family
+lines raise :class:`ProtocolError` *without* poisoning (the stream is
+still framed).  An optional per-operation ``timeout`` bounds every
+exchange — and :meth:`close` — so a blackholed server can hang neither a
+request nor a shutdown.
 """
 
 from __future__ import annotations
 
 import asyncio
-from typing import Awaitable, Dict, Optional, TypeVar
+import socket
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 from dataclasses import dataclass
 
 from repro.bloom.bloom import BloomFilter
 from repro.errors import ProtocolError, TransportError
 from repro.net import protocol as proto
+from repro.net.parser import (
+    CAS_TOKENS,
+    DELETE_TOKENS,
+    Desync,
+    ErrorLine,
+    LineReply,
+    OK_TOKENS,
+    ReplyParser,
+    ReplyShape,
+    STORE_TOKENS,
+    StatsReply,
+    TOUCH_TOKENS,
+    ValueItem,
+    ValuesReply,
+    arith_token,
+    version_token,
+)
 
-T = TypeVar("T")
+#: close() must never hang on a blackholed peer even with timeout=None
+CLOSE_TIMEOUT = 5.0
 
 
 @dataclass(frozen=True)
@@ -42,23 +76,134 @@ class CasValue:
     cas: int
 
 
+class _ClientProtocol(asyncio.Protocol):
+    """The transport half of one pipelined connection.
+
+    Owns the reply parser, the FIFO of pending futures, and the
+    per-tick write coalescing buffer; delegates fault classification to
+    the owning :class:`MemcachedClient`.
+    """
+
+    def __init__(self, client: "MemcachedClient") -> None:
+        self.client = client
+        self.parser = ReplyParser()
+        self.pending: Deque[asyncio.Future] = deque()
+        self.transport: Optional[asyncio.Transport] = None
+        self.closed = asyncio.get_running_loop().create_future()
+        self._out = bytearray()
+        self._flush_scheduled = False
+
+    # --------------------------------------------------------- transport
+
+    def connection_made(self, transport) -> None:
+        self.transport = transport
+        if self.client.nodelay:
+            sock = transport.get_extra_info("socket")
+            if sock is not None:
+                try:
+                    sock.setsockopt(
+                        socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+                    )
+                except OSError:  # pragma: no cover - non-TCP transports
+                    pass
+
+    def connection_lost(self, exc: Optional[Exception]) -> None:
+        if not self.closed.done():
+            self.closed.set_result(None)
+        self.client._on_connection_lost(self, exc)
+
+    def data_received(self, data: bytes) -> None:
+        try:
+            results = self.parser.feed(data)
+        except Desync as exc:
+            # Replies completed before the fault are unambiguous:
+            # deliver them, then poison what remains.
+            self._deliver(exc.results)
+            self.client._on_desync(self, str(exc))
+            return
+        self._deliver(results)
+
+    def _deliver(self, results) -> None:
+        for result in results:
+            if not self.pending:  # pragma: no cover - parser guards this
+                self.client._on_desync(self, "reply with no pending command")
+                return
+            future = self.pending.popleft()
+            if not future.done():
+                future.set_result(result)
+
+    def eof_received(self) -> bool:
+        return False  # let connection_lost run and fail the queue
+
+    # ------------------------------------------------------------ writes
+
+    def issue(self, shapes: Sequence[ReplyShape], payload: bytes,
+              futures: Sequence[asyncio.Future]) -> None:
+        """Queue one coalesced write carrying len(shapes) commands."""
+        if self.transport is None or self.transport.is_closing():
+            raise TransportError("connection is closed")
+        for shape, future in zip(shapes, futures):
+            self.parser.expect(shape)
+            self.pending.append(future)
+        self._out += payload
+        if not self._flush_scheduled:
+            self._flush_scheduled = True
+            asyncio.get_running_loop().call_soon(self.flush)
+
+    def send_raw(self, payload: bytes) -> None:
+        """Fire-and-forget bytes (the ``quit`` farewell)."""
+        self._out += payload
+        self.flush()
+
+    def flush(self) -> None:
+        """Push every write coalesced this tick in one ``send``."""
+        self._flush_scheduled = False
+        if self._out and self.transport is not None \
+                and not self.transport.is_closing():
+            self.transport.write(bytes(self._out))
+        self._out.clear()
+
+    # ------------------------------------------------------------- faults
+
+    def fail_pending(self, error_factory) -> None:
+        """Fail every queued future (poison path); FIFO order."""
+        while self.pending:
+            future = self.pending.popleft()
+            if not future.done():
+                future.set_exception(error_factory())
+
+    def abort(self) -> None:
+        if self.transport is not None:
+            try:
+                self.transport.abort()
+            except Exception:  # pragma: no cover - transport already dead
+                pass
+
+
 class MemcachedClient:
     """One TCP connection to a memcached-protocol server.
 
     Use as an async context manager or call :meth:`connect` / :meth:`close`.
-    Not safe for concurrent use from multiple tasks; pool instances instead
-    (the paper pools connections with Apache Commons Pool).
+    With ``pipeline=True`` (default) the connection is safe for concurrent
+    use from many tasks: commands are pipelined and replies matched in
+    FIFO order.  :class:`~repro.net.pool.ConnectionPool` multiplexes
+    several such connections per server.
 
     Args:
         host/port: the server endpoint.
         timeout: per-operation time limit in seconds applied to every
-            network read/write (``None``: wait forever, the pre-hardening
-            behaviour).  A timeout poisons the connection — the stream
-            position is unknown once a reply is abandoned halfway.
+            exchange (``None``: wait forever, the pre-hardening
+            behaviour — except :meth:`close`, which is always bounded).
+            A timeout poisons the connection — the stream position is
+            unknown once a reply is abandoned halfway.
         auto_reconnect: when True (default), a call on a broken or closed
             connection dials a fresh one instead of failing; when False it
             raises :class:`~repro.errors.TransportError` so a pool can
             eject the client.
+        pipeline: allow many in-flight commands (default).  ``False``
+            restores the strict request/response discipline: an internal
+            lock admits one exchange at a time (the A/B baseline).
+        nodelay: set ``TCP_NODELAY`` on the socket (default True).
     """
 
     def __init__(
@@ -67,14 +212,19 @@ class MemcachedClient:
         port: int,
         timeout: Optional[float] = None,
         auto_reconnect: bool = True,
+        pipeline: bool = True,
+        nodelay: bool = True,
     ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
         self.auto_reconnect = auto_reconnect
-        self._reader: Optional[asyncio.StreamReader] = None
-        self._writer: Optional[asyncio.StreamWriter] = None
+        self.pipeline = pipeline
+        self.nodelay = nodelay
+        self._protocol: Optional[_ClientProtocol] = None
+        self._serial: Optional[asyncio.Lock] = None if pipeline else asyncio.Lock()
         self._broken = False
+        self._closing = False
         self._ever_connected = False
         self._ever_dialed = False
         #: fresh connections dialled after a poisoned one (diagnostics)
@@ -87,42 +237,61 @@ class MemcachedClient:
 
     @property
     def connected(self) -> bool:
-        return self._reader is not None and not self._broken
+        return self._protocol is not None and not self._broken
+
+    @property
+    def inflight(self) -> int:
+        """Commands written whose replies have not yet arrived."""
+        if self._protocol is None:
+            return 0
+        return len(self._protocol.pending)
 
     async def connect(self) -> "MemcachedClient":
         self._ever_dialed = True
-        open_coro = asyncio.open_connection(self.host, self.port)
+        loop = asyncio.get_running_loop()
+        dial = loop.create_connection(
+            lambda: _ClientProtocol(self), self.host, self.port
+        )
         if self.timeout is not None:
             try:
-                self._reader, self._writer = await asyncio.wait_for(
-                    open_coro, self.timeout
-                )
+                _, protocol = await asyncio.wait_for(dial, self.timeout)
             except asyncio.TimeoutError as exc:
                 raise TransportError(
                     f"connect to {self.host}:{self.port} timed out "
                     f"after {self.timeout}s"
                 ) from exc
         else:
-            self._reader, self._writer = await open_coro
+            _, protocol = await dial
+        self._protocol = protocol
         self._broken = False
+        self._closing = False
         self._ever_connected = True
         return self
 
     async def close(self) -> None:
-        if self._writer is not None:
-            try:
-                self._writer.write(b"quit\r\n")
-                await self._writer.drain()
-            except (ConnectionError, OSError):  # pragma: no cover
-                pass
-            self._writer.close()
-            try:
-                await self._writer.wait_closed()
-            except (ConnectionError, OSError):  # pragma: no cover
-                pass
-            self._reader = None
-            self._writer = None
+        """Say ``quit`` and close; never hangs — bounded by ``timeout``
+        (or a default) and aborted on expiry, so a blackholed server
+        cannot wedge shutdown."""
+        protocol = self._protocol
+        self._protocol = None
         self._broken = False
+        if protocol is None:
+            return
+        self._closing = True
+        try:
+            bound = self.timeout if self.timeout is not None else CLOSE_TIMEOUT
+            try:
+                protocol.send_raw(b"quit\r\n")
+                if protocol.transport is not None:
+                    protocol.transport.close()
+                await asyncio.wait_for(asyncio.shield(protocol.closed), bound)
+            except (asyncio.TimeoutError, ConnectionError, OSError):
+                protocol.abort()
+        finally:
+            self._closing = False
+            protocol.fail_pending(
+                lambda: TransportError("connection closed while in flight")
+            )
 
     async def __aenter__(self) -> "MemcachedClient":
         return await self.connect()
@@ -136,32 +305,58 @@ class MemcachedClient:
         """Mark the stream unusable and drop the transport on the floor.
 
         No ``quit`` handshake: the stream position is unknown, so the only
-        safe move is an abort.  The next call reconnects (or raises, with
+        safe move is an abort.  **Every queued future fails** with
+        :class:`TransportError` — with pipelining there may be many — and
+        the next call reconnects (or raises, with
         ``auto_reconnect=False``).
         """
         self._broken = True
-        if self._writer is not None:
-            try:
-                self._writer.transport.abort()
-            except Exception:  # pragma: no cover - transport already dead
-                pass
-        self._reader = None
-        self._writer = None
+        protocol = self._protocol
+        self._protocol = None
+        if protocol is not None:
+            protocol.fail_pending(
+                lambda: TransportError(
+                    f"{self.host}:{self.port}: connection poisoned with "
+                    "the command still in flight"
+                )
+            )
+            protocol.abort()
 
-    def _desync(self, message: str) -> ProtocolError:
-        """Poison the stream and build the error for an unparseable reply."""
+    def _on_desync(self, protocol: _ClientProtocol, message: str) -> None:
+        """Parser desync: the head command gets the protocol error, every
+        later queued command a transient transport error, and the
+        connection is poisoned — nothing is ever mispaired."""
+        if protocol is not self._protocol:
+            return
+        if protocol.pending:
+            head = protocol.pending.popleft()
+            if not head.done():
+                head.set_exception(ProtocolError(message))
         self._poison()
-        return ProtocolError(message)
 
-    async def _ensure_ready(self) -> None:
+    def _on_connection_lost(
+        self, protocol: _ClientProtocol, exc: Optional[Exception]
+    ) -> None:
+        """EOF/reset from the peer: fail the whole queue transiently."""
+        if protocol is not self._protocol:
+            return  # superseded (poisoned or replaced) — already handled
+        self._protocol = None
+        self._broken = True
+        if exc is not None:
+            message = f"read from {self.host}:{self.port} failed: {exc}"
+        else:
+            message = "connection closed by server"
+        protocol.fail_pending(lambda: TransportError(message))
+
+    async def _ensure_ready(self) -> _ClientProtocol:
         """(Re)connect a broken/closed connection before the next exchange.
 
         Auto-reconnect requires one prior explicit :meth:`connect` attempt
         (successful or not): calling protocol methods on a client nobody
         ever tried to connect is a programming error, not a fault.
         """
-        if self._reader is not None and not self._broken:
-            return
+        if self._protocol is not None and not self._broken:
+            return self._protocol
         if not self._ever_dialed:
             raise ProtocolError("client is not connected")
         if not self.auto_reconnect:
@@ -172,84 +367,113 @@ class MemcachedClient:
         await self.connect()
         if redial:
             self.reconnects += 1
+        assert self._protocol is not None
+        return self._protocol
 
-    async def _io(self, awaitable: Awaitable[T]) -> T:
-        """Await a read/write under the per-op timeout; timeouts poison."""
+    async def _await_reply(self, future: asyncio.Future):
+        """One reply under the per-op timeout; timeouts poison the queue."""
         if self.timeout is None:
-            return await awaitable
-        try:
-            return await asyncio.wait_for(awaitable, self.timeout)
-        except asyncio.TimeoutError as exc:
-            self._poison()
-            raise TransportError(
-                f"{self.host}:{self.port} did not answer within "
-                f"{self.timeout}s"
-            ) from exc
+            result = await future
+        else:
+            try:
+                result = await asyncio.wait_for(
+                    asyncio.shield(future), self.timeout
+                )
+            except asyncio.TimeoutError as exc:
+                self._poison()
+                if future.done() and not future.cancelled():
+                    future.exception()  # retrieved; TimeoutError wins below
+                raise TransportError(
+                    f"{self.host}:{self.port} did not answer within "
+                    f"{self.timeout}s"
+                ) from exc
+        if isinstance(result, ErrorLine):
+            # A complete error reply: the stream stays in sync.
+            result.raise_()
+        return result
 
-    async def _command(self, line: bytes) -> None:
-        await self._ensure_ready()
-        try:
-            self._writer.write(line)
-            await self._io(self._writer.drain())
-        except (ConnectionError, OSError) as exc:
-            self._poison()
-            raise TransportError(
-                f"write to {self.host}:{self.port} failed: {exc}"
-            ) from exc
+    async def _exchange(self, shape: ReplyShape, payload: bytes):
+        """Issue one command and await its reply."""
+        if self._serial is not None:
+            async with self._serial:
+                return await self._exchange_pipelined(shape, payload)
+        return await self._exchange_pipelined(shape, payload)
 
-    async def _read_line(self) -> bytes:
+    async def _exchange_pipelined(self, shape: ReplyShape, payload: bytes):
+        protocol = await self._ensure_ready()
+        future = asyncio.get_running_loop().create_future()
         try:
-            line = await self._io(self._reader.readline())
-        except (ConnectionError, OSError) as exc:
+            protocol.issue((shape,), payload, (future,))
+        except TransportError:
+            # Lost the race with a concurrent poison/close: transient.
             self._poison()
-            raise TransportError(
-                f"read from {self.host}:{self.port} failed: {exc}"
-            ) from exc
-        if not line:
-            self._poison()
-            raise TransportError("connection closed by server")
-        return line.rstrip(b"\r\n")
+            raise
+        return await self._await_reply(future)
 
-    async def _read_block(self, count: int) -> bytes:
-        """Read exactly *count* bytes of a value block; EOF/reset poison."""
+    async def _exchange_many(
+        self, shapes: Sequence[ReplyShape], payload: bytes
+    ) -> List[object]:
+        """Issue several commands in one coalesced write; await all
+        replies (order preserved).  Raises the first failure after every
+        reply future has settled — no future is left unretrieved."""
+        if self._serial is not None:
+            async with self._serial:
+                return await self._exchange_many_pipelined(shapes, payload)
+        return await self._exchange_many_pipelined(shapes, payload)
+
+    async def _exchange_many_pipelined(
+        self, shapes: Sequence[ReplyShape], payload: bytes
+    ) -> List[object]:
+        protocol = await self._ensure_ready()
+        loop = asyncio.get_running_loop()
+        futures = [loop.create_future() for _ in shapes]
         try:
-            return await self._io(self._reader.readexactly(count))
-        except asyncio.IncompleteReadError as exc:
+            protocol.issue(shapes, payload, futures)
+        except TransportError:
             self._poison()
-            raise TransportError(
-                f"server closed mid-reply "
-                f"({len(exc.partial)}/{count} bytes received)"
-            ) from exc
-        except (ConnectionError, OSError) as exc:
-            self._poison()
-            raise TransportError(
-                f"read from {self.host}:{self.port} failed: {exc}"
-            ) from exc
+            for future in futures:
+                if future.done() and not future.cancelled():
+                    future.exception()
+            raise
+        results: List[object] = []
+        first_error: Optional[BaseException] = None
+        for future in futures:
+            try:
+                results.append(await self._await_reply(future))
+            except BaseException as error:  # noqa: BLE001 - re-raised below
+                if first_error is None:
+                    first_error = error
+                results.append(error)
+        if first_error is not None:
+            raise first_error
+        return results
+
+    # ------------------------------------------------------- raw exchanges
+
+    async def execute(self, payload: bytes, shape: ReplyShape):
+        """Escape hatch: write *payload* as one command and parse its
+        reply with *shape* — for protocol surfaces the client does not
+        wrap (``replace``, ``stats slabs``, protocol tests).  Returns the
+        shape's result (line bytes, :class:`ValueItem` list, or stats
+        dict); complete error replies raise
+        :class:`~repro.errors.ProtocolError` without poisoning."""
+        return await self._exchange(shape, payload)
+
+    async def send_noreply(self, payload: bytes) -> None:
+        """Fire-and-forget write with no reply expected (``noreply``
+        commands); coalesced with neighbouring writes like any other."""
+        protocol = await self._ensure_ready()
+        protocol.issue((), payload, ())
 
     # ------------------------------------------------------------- basics
 
     async def get(self, key: str) -> Optional[bytes]:
         """Value for *key*, or ``None`` on miss."""
         proto.validate_key(key)
-        await self._command(f"get {key}\r\n".encode("utf-8"))
-        value: Optional[bytes] = None
-        while True:
-            line = await self._read_line()
-            if line == b"END":
-                return value
-            if line.startswith(b"VALUE "):
-                parts = line.decode("utf-8").split(" ")
-                try:
-                    num_bytes = int(parts[3])
-                except (IndexError, ValueError):
-                    raise self._desync(f"malformed VALUE line: {line!r}")
-                block = await self._read_block(num_bytes + 2)
-                value = block[:-2]
-            elif line.startswith((b"SERVER_ERROR", b"CLIENT_ERROR", b"ERROR")):
-                # A complete error reply: the stream stays in sync.
-                raise ProtocolError(line.decode("utf-8", "replace"))
-            else:
-                raise self._desync(f"unexpected get response line: {line!r}")
+        items = await self._exchange(
+            ValuesReply(), f"get {key}\r\n".encode("utf-8")
+        )
+        return items[-1].value if items else None
 
     async def set(
         self, key: str, value: bytes, flags: int = 0, exptime: int = 0
@@ -257,20 +481,19 @@ class MemcachedClient:
         """Store *key*; True on STORED."""
         proto.validate_key(key)
         header = f"set {key} {flags} {exptime} {len(value)}\r\n".encode("utf-8")
-        await self._command(header + value + proto.CRLF)
-        reply = await self._read_line()
-        if reply == b"STORED":
-            return True
-        if reply == b"NOT_STORED":
-            return False
-        raise self._desync(f"unexpected set reply: {reply!r}")
+        reply = await self._exchange(
+            LineReply(STORE_TOKENS), header + value + proto.CRLF
+        )
+        return reply == b"STORED"
 
     async def add(self, key: str, value: bytes, flags: int = 0, exptime: int = 0) -> bool:
         """Store only if absent; True on STORED."""
         proto.validate_key(key)
         header = f"add {key} {flags} {exptime} {len(value)}\r\n".encode("utf-8")
-        await self._command(header + value + proto.CRLF)
-        return await self._read_line() == b"STORED"
+        reply = await self._exchange(
+            LineReply(STORE_TOKENS), header + value + proto.CRLF
+        )
+        return reply == b"STORED"
 
     async def get_multi(self, keys) -> Dict[str, bytes]:
         """Batched get: one round trip for many keys; returns only the hits.
@@ -283,30 +506,40 @@ class MemcachedClient:
             proto.validate_key(key)
         if not key_list:
             return {}
-        await self._command(("get " + " ".join(key_list) + "\r\n").encode("utf-8"))
-        out: Dict[str, bytes] = {}
-        while True:
-            line = await self._read_line()
-            if line == b"END":
-                return out
-            if line.startswith(b"VALUE "):
-                parts = line.decode("utf-8").split(" ")
-                try:
-                    num_bytes = int(parts[3])
-                except (IndexError, ValueError):
-                    raise self._desync(f"malformed VALUE line: {line!r}")
-                block = await self._read_block(num_bytes + 2)
-                out[parts[1]] = block[:-2]
-            elif line.startswith((b"SERVER_ERROR", b"CLIENT_ERROR", b"ERROR")):
-                raise ProtocolError(line.decode("utf-8", "replace"))
-            else:
-                raise self._desync(f"unexpected get response line: {line!r}")
+        items = await self._exchange(
+            ValuesReply(),
+            ("get " + " ".join(key_list) + "\r\n").encode("utf-8"),
+        )
+        return {item.key: item.value for item in items}
+
+    async def get_many(self, keys) -> List[Optional[bytes]]:
+        """Pipelined single-key gets: one command per key, all coalesced
+        into one write, replies matched in order; returns one value (or
+        ``None`` on miss) per key, in key order.
+
+        Unlike :meth:`get_multi` (one multi-key command) this keeps the
+        per-key command shape — the burst a page of concurrent per-key
+        callers produces — without paying a task per key; it is also the
+        net throughput bench's pipelined page fetch.
+        """
+        key_list = list(keys)
+        for key in key_list:
+            proto.validate_key(key)
+        if not key_list:
+            return []
+        payload = "".join(f"get {key}\r\n" for key in key_list).encode(
+            "utf-8"
+        )
+        shapes = [ValuesReply()] * len(key_list)
+        replies = await self._exchange_many(shapes, payload)
+        return [items[-1].value if items else None for items in replies]
 
     async def set_multi(
         self, items, flags: int = 0, exptime: int = 0
     ) -> int:
-        """Pipelined sets: write every command, flush once, then read the
-        replies in order; returns how many were STORED.
+        """Pipelined sets: every command goes out in one coalesced write
+        and the replies are matched in order; returns how many were
+        STORED.
 
         The write-back half of a batched retrieval: one round trip per
         server for the whole batch, the same amortization ``get_multi``
@@ -316,44 +549,27 @@ class MemcachedClient:
         if not pairs:
             return 0
         buffer = bytearray()
+        shapes: List[ReplyShape] = []
         for key, value in pairs:
             proto.validate_key(key)
             buffer += f"set {key} {flags} {exptime} {len(value)}\r\n".encode(
                 "utf-8"
             )
             buffer += value + proto.CRLF
-        await self._command(bytes(buffer))
-        stored = 0
-        for _ in pairs:
-            reply = await self._read_line()
-            if reply == b"STORED":
-                stored += 1
-            elif reply != b"NOT_STORED":
-                # Mid-pipeline garbage: the remaining replies are
-                # unreadable — poison so the next call starts clean.
-                raise self._desync(f"unexpected set reply: {reply!r}")
-        return stored
+            shapes.append(LineReply(STORE_TOKENS))
+        replies = await self._exchange_many(shapes, bytes(buffer))
+        return sum(reply == b"STORED" for reply in replies)
 
     async def gets(self, key: str) -> Optional["CasValue"]:
         """Value plus its cas unique id, or ``None`` on miss."""
         proto.validate_key(key)
-        await self._command(f"gets {key}\r\n".encode("utf-8"))
-        result: Optional[CasValue] = None
-        while True:
-            line = await self._read_line()
-            if line == b"END":
-                return result
-            if line.startswith(b"VALUE "):
-                parts = line.decode("utf-8").split(" ")
-                try:
-                    num_bytes = int(parts[3])
-                    cas = int(parts[4]) if len(parts) > 4 else 0
-                except (IndexError, ValueError):
-                    raise self._desync(f"malformed VALUE line: {line!r}")
-                block = await self._read_block(num_bytes + 2)
-                result = CasValue(value=block[:-2], cas=cas)
-            else:
-                raise self._desync(f"unexpected gets response line: {line!r}")
+        items = await self._exchange(
+            ValuesReply(), f"gets {key}\r\n".encode("utf-8")
+        )
+        if not items:
+            return None
+        item = items[-1]
+        return CasValue(value=item.value, cas=item.cas or 0)
 
     async def cas(
         self, key: str, value: bytes, cas: int, flags: int = 0, exptime: int = 0
@@ -363,19 +579,20 @@ class MemcachedClient:
         header = (
             f"cas {key} {flags} {exptime} {len(value)} {cas}\r\n"
         ).encode("utf-8")
-        await self._command(header + value + proto.CRLF)
-        reply = await self._read_line()
+        reply = await self._exchange(
+            LineReply(CAS_TOKENS), header + value + proto.CRLF
+        )
         table = {b"STORED": "stored", b"EXISTS": "exists",
                  b"NOT_FOUND": "not_found"}
-        if reply not in table:
-            raise self._desync(f"unexpected cas reply: {reply!r}")
         return table[reply]
 
     async def _concat(self, verb: str, key: str, value: bytes) -> bool:
         proto.validate_key(key)
         header = f"{verb} {key} 0 0 {len(value)}\r\n".encode("utf-8")
-        await self._command(header + value + proto.CRLF)
-        return await self._read_line() == b"STORED"
+        reply = await self._exchange(
+            LineReply(STORE_TOKENS), header + value + proto.CRLF
+        )
+        return reply == b"STORED"
 
     async def append(self, key: str, value: bytes) -> bool:
         """Append to an existing value; False if the key is absent."""
@@ -387,12 +604,11 @@ class MemcachedClient:
 
     async def _arith(self, verb: str, key: str, delta: int) -> Optional[int]:
         proto.validate_key(key)
-        await self._command(f"{verb} {key} {delta}\r\n".encode("utf-8"))
-        reply = await self._read_line()
+        reply = await self._exchange(
+            LineReply(arith_token), f"{verb} {key} {delta}\r\n".encode("utf-8")
+        )
         if reply == b"NOT_FOUND":
             return None
-        if reply.startswith((b"CLIENT_ERROR", b"SERVER_ERROR", b"ERROR")):
-            raise ProtocolError(reply.decode("utf-8", "replace"))
         return int(reply)
 
     async def incr(self, key: str, delta: int = 1) -> Optional[int]:
@@ -406,41 +622,30 @@ class MemcachedClient:
     async def touch(self, key: str, exptime: int) -> bool:
         """Reset a key's expiry; False if the key is absent."""
         proto.validate_key(key)
-        await self._command(f"touch {key} {exptime}\r\n".encode("utf-8"))
-        return await self._read_line() == b"TOUCHED"
+        reply = await self._exchange(
+            LineReply(TOUCH_TOKENS),
+            f"touch {key} {exptime}\r\n".encode("utf-8"),
+        )
+        return reply == b"TOUCHED"
 
     async def delete(self, key: str) -> bool:
         """Delete *key*; True if it existed."""
         proto.validate_key(key)
-        await self._command(f"delete {key}\r\n".encode("utf-8"))
-        return await self._read_line() == b"DELETED"
+        reply = await self._exchange(
+            LineReply(DELETE_TOKENS), f"delete {key}\r\n".encode("utf-8")
+        )
+        return reply == b"DELETED"
 
     async def stats(self) -> Dict[str, str]:
         """The server's ``stats`` map."""
-        await self._command(b"stats\r\n")
-        out: Dict[str, str] = {}
-        while True:
-            line = await self._read_line()
-            if line == b"END":
-                return out
-            if line.startswith(b"STAT "):
-                _, name, value = line.decode("utf-8").split(" ", 2)
-                out[name] = value
-            else:
-                raise self._desync(f"unexpected stats line: {line!r}")
+        return await self._exchange(StatsReply(), b"stats\r\n")
 
     async def flush_all(self) -> None:
         """Drop everything on the server."""
-        await self._command(b"flush_all\r\n")
-        reply = await self._read_line()
-        if reply != b"OK":
-            raise self._desync(f"unexpected flush_all reply: {reply!r}")
+        await self._exchange(LineReply(OK_TOKENS), b"flush_all\r\n")
 
     async def version(self) -> str:
-        await self._command(b"version\r\n")
-        reply = await self._read_line()
-        if not reply.startswith(b"VERSION "):
-            raise self._desync(f"unexpected version reply: {reply!r}")
+        reply = await self._exchange(LineReply(version_token), b"version\r\n")
         return reply[len(b"VERSION "):].decode("utf-8")
 
     # ------------------------------------------------------- digest calls

@@ -1,0 +1,433 @@
+"""Incremental memcached ASCII framing: feed bytes, get complete frames.
+
+The pre-pipelining client parsed replies with ``StreamReader.readline`` —
+one syscall-ish await per protocol line, one in-flight command per
+connection.  This module is the sans-IO core of the pipelined transport
+(the emcache-style ``feed_data`` design): byte chunks go in, complete
+protocol frames come out, and nothing is ever re-scanned — the parsers
+remember how far they looked for a line terminator and resume from there
+on the next chunk.
+
+Two directions:
+
+* :class:`ReplyParser` — the client side.  Commands register a *reply
+  shape* (:class:`LineReply`, :class:`ValuesReply`, :class:`StatsReply`)
+  in FIFO order as they are written; :meth:`ReplyParser.feed` matches
+  server bytes against the head shape and emits one result per completed
+  reply, in order.  A reply that cannot belong to the expected shape
+  raises :class:`Desync`: the stream position is unknown from that byte
+  on, and the connection owner must poison the transport (pairing any
+  later line with a queued command would be the PR-5 mispairing bug).
+  Complete ``ERROR``/``CLIENT_ERROR``/``SERVER_ERROR`` lines are *not*
+  desyncs — the stream stays framed — and surface as :class:`ErrorLine`
+  results so the caller can raise without dropping the connection.
+
+* :class:`CommandParser` — the server side.  Yields complete
+  :class:`~repro.net.protocol.Request` objects (data block attached for
+  storage commands); malformed input surfaces as :class:`BadCommand`
+  entries that the server answers with ``CLIENT_ERROR``, fatal ones
+  (an unterminated data block — framing is gone) drop the connection,
+  exactly as the ``readline`` loop did.
+
+Both parsers are pure byte machines — no I/O, no asyncio — so they unit
+test byte-by-byte and serve any transport (the asyncio protocol client,
+the server's chunked read loop, tests).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, List, Optional, Tuple, Union
+
+from repro.errors import ProtocolError
+from repro.net import protocol as proto
+
+__all__ = [
+    "BadCommand",
+    "CommandParser",
+    "Desync",
+    "ErrorLine",
+    "LineReply",
+    "ReplyParser",
+    "StatsReply",
+    "ValueItem",
+    "ValuesReply",
+]
+
+#: complete error replies keep the stream framed (they end at their CRLF)
+ERROR_PREFIXES = (b"ERROR", b"CLIENT_ERROR", b"SERVER_ERROR")
+
+
+class Desync(Exception):
+    """The reply stream no longer matches the pipelined command queue.
+
+    Raised by :meth:`ReplyParser.feed`; every byte after the offending
+    one is unattributable, so the connection must be poisoned.
+    :attr:`results` carries the replies the same chunk *completed before*
+    the fault — those frames are unambiguous and must still be delivered
+    to their commands (dropping them would fail commands whose replies
+    arrived intact).
+    """
+
+    def __init__(self, message: str, results: Optional[list] = None) -> None:
+        super().__init__(message)
+        self.results: List["ReplyResult"] = results or []
+
+
+@dataclass(frozen=True)
+class ErrorLine:
+    """A complete ``ERROR``-family reply line (stream still in sync)."""
+
+    line: bytes
+
+    def raise_(self) -> None:
+        raise ProtocolError(self.line.decode("utf-8", "replace"))
+
+
+@dataclass(slots=True)
+class ValueItem:
+    """One ``VALUE`` block of a retrieval reply.
+
+    Not frozen: one is built per VALUE block on the client's reply hot
+    path, and a frozen dataclass pays ``object.__setattr__`` per field.
+    """
+
+    key: str
+    flags: int
+    value: bytes
+    cas: Optional[int] = None
+
+
+class LineReply:
+    """Expect exactly one reply line.
+
+    Args:
+        validator: called with the stripped line; ``False`` means the
+            line cannot be this command's reply — a :class:`Desync`
+            (error-family lines bypass the validator and complete the
+            reply as :class:`ErrorLine`).
+    """
+
+    __slots__ = ("validator",)
+
+    def __init__(self, validator: Optional[Callable[[bytes], bool]] = None):
+        self.validator = validator
+
+
+class ValuesReply:
+    """Expect ``VALUE`` blocks terminated by ``END`` (get/gets family)."""
+
+    __slots__ = ()
+
+
+class StatsReply:
+    """Expect ``STAT`` lines terminated by ``END``."""
+
+    __slots__ = ()
+
+
+ReplyShape = Union[LineReply, ValuesReply, StatsReply]
+ReplyResult = Union[bytes, ErrorLine, List[ValueItem], dict]
+
+
+def _tokens(*words: bytes) -> Callable[[bytes], bool]:
+    """Validator accepting exactly the given reply tokens."""
+    allowed = frozenset(words)
+    return lambda line: line in allowed
+
+
+class ReplyParser:
+    """Incremental reply framing for one pipelined client connection.
+
+    Usage: :meth:`expect` once per command written (FIFO), then
+    :meth:`feed` with each received chunk; completed replies come back in
+    command order.  The internal buffer keeps a scan cursor so a long
+    line arriving in many chunks is never re-scanned.
+    """
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+        self._pos = 0         # start of the unconsumed region
+        self._scan = 0        # how far we've looked for the next newline
+        self._shapes: Deque[ReplyShape] = deque()
+        self._dead = False    # a Desync happened; nothing more comes out
+        # in-progress multi-frame reply state
+        self._items: List[ValueItem] = []
+        self._stats: dict = {}
+        self._block: Optional[Tuple[str, int, Optional[int], int]] = None
+
+    def expect(self, shape: ReplyShape) -> None:
+        """Register the reply shape of the next written command."""
+        self._shapes.append(shape)
+
+    @property
+    def pending(self) -> int:
+        """Replies still owed by the server."""
+        return len(self._shapes)
+
+    @property
+    def buffered(self) -> int:
+        """Bytes received but not yet consumed by a complete frame."""
+        return len(self._buf) - self._pos
+
+    # ---------------------------------------------------------------- feed
+
+    def feed(self, data: bytes) -> List[ReplyResult]:
+        """Append *data*; return every reply it completed, in order.
+
+        Raises:
+            Desync: the stream cannot be matched to the expected shapes;
+                the connection must be poisoned by the caller.  The
+                exception's ``results`` holds replies this chunk
+                completed *before* the fault — deliver them first.
+        """
+        if self._dead:
+            raise Desync("reply stream already desynchronized")
+        self._buf += data
+        out: List[ReplyResult] = []
+        while True:
+            try:
+                result = self._step()
+            except Desync as exc:
+                self._dead = True
+                exc.results = out
+                raise
+            if result is None:
+                break
+            out.append(result)
+        # Compact once per feed, not once per frame: consuming a frame
+        # only advances the _pos cursor, so a chunk carrying k pipelined
+        # replies costs one buffer shift instead of O(k) shifts.
+        if self._pos:
+            del self._buf[: self._pos]
+            self._scan -= self._pos
+            self._pos = 0
+        return out
+
+    # ------------------------------------------------------------ plumbing
+
+    def _take_line(self) -> Optional[bytes]:
+        """The next complete line (CRLF stripped), consuming it; ``None``
+        while incomplete.  Scanning resumes where the last call left off."""
+        index = self._buf.find(b"\n", self._scan)
+        if index < 0:
+            self._scan = len(self._buf)
+            return None
+        line = bytes(self._buf[self._pos: index])
+        if line.endswith(b"\r"):
+            line = line[:-1]
+        self._pos = index + 1
+        self._scan = self._pos
+        return line
+
+    def _take_block(self, count: int) -> Optional[bytes]:
+        """*count* bytes + CRLF, consuming them; ``None`` while short."""
+        if len(self._buf) - self._pos < count + 2:
+            return None
+        end = self._pos + count
+        if self._buf[end: end + 2] != proto.CRLF:
+            raise Desync(
+                f"value block of {count} bytes not terminated by CRLF"
+            )
+        block = bytes(self._buf[self._pos: end])
+        self._pos = end + 2
+        self._scan = self._pos
+        return block
+
+    def _step(self) -> Optional[ReplyResult]:
+        """Try to complete the head reply; ``None`` while starved."""
+        if not self._shapes:
+            if len(self._buf) - self._pos:
+                raise Desync(
+                    f"{len(self._buf) - self._pos} unsolicited bytes with "
+                    "no command in flight: "
+                    f"{bytes(self._buf[self._pos: self._pos + 40])!r}"
+                )
+            return None
+        shape = self._shapes[0]
+        if isinstance(shape, LineReply):
+            return self._step_line(shape)
+        if isinstance(shape, ValuesReply):
+            return self._step_values()
+        return self._step_stats()
+
+    def _finish(self, result: ReplyResult) -> ReplyResult:
+        self._shapes.popleft()
+        return result
+
+    def _step_line(self, shape: LineReply) -> Optional[ReplyResult]:
+        line = self._take_line()
+        if line is None:
+            return None
+        if line.startswith(ERROR_PREFIXES):
+            return self._finish(ErrorLine(line))
+        if shape.validator is not None and not shape.validator(line):
+            raise Desync(f"unexpected reply line: {line!r}")
+        return self._finish(line)
+
+    def _step_values(self) -> Optional[ReplyResult]:
+        while True:
+            if self._block is not None:
+                key, flags, cas, count = self._block
+                block = self._take_block(count)
+                if block is None:
+                    return None
+                self._block = None
+                self._items.append(ValueItem(key, flags, block, cas))
+                continue
+            line = self._take_line()
+            if line is None:
+                return None
+            if line == b"END":
+                items, self._items = self._items, []
+                return self._finish(items)
+            if line.startswith(ERROR_PREFIXES):
+                # A complete error reply; whatever VALUE blocks preceded
+                # it belonged to this same (failed) command.
+                self._items = []
+                return self._finish(ErrorLine(line))
+            if not line.startswith(b"VALUE "):
+                raise Desync(f"unexpected get response line: {line!r}")
+            parts = line.split(b" ")
+            try:
+                key = parts[1].decode("utf-8")
+                flags = int(parts[2])
+                count = int(parts[3])
+                cas = int(parts[4]) if len(parts) > 4 else None
+            except (IndexError, ValueError, UnicodeDecodeError):
+                raise Desync(f"malformed VALUE line: {line!r}")
+            self._block = (key, flags, cas, count)
+
+    def _step_stats(self) -> Optional[ReplyResult]:
+        while True:
+            line = self._take_line()
+            if line is None:
+                return None
+            if line == b"END":
+                stats, self._stats = self._stats, {}
+                return self._finish(stats)
+            if line.startswith(ERROR_PREFIXES):
+                self._stats = {}
+                return self._finish(ErrorLine(line))
+            if not line.startswith(b"STAT "):
+                raise Desync(f"unexpected stats line: {line!r}")
+            try:
+                _, name, value = line.decode("utf-8").split(" ", 2)
+            except (ValueError, UnicodeDecodeError):
+                raise Desync(f"malformed stats line: {line!r}")
+            self._stats[name] = value
+
+
+# --------------------------------------------------------------- server side
+
+
+@dataclass(frozen=True)
+class BadCommand:
+    """A malformed request the server answers with ``CLIENT_ERROR``.
+
+    ``fatal`` means framing is lost (an unterminated data block): the
+    server must reply and then drop the connection, as memcached does.
+    """
+
+    message: str
+    fatal: bool = False
+
+
+CommandItem = Union[proto.Request, BadCommand]
+
+
+class CommandParser:
+    """Incremental request framing for one server connection.
+
+    Feed received chunks; complete :class:`~repro.net.protocol.Request`
+    objects (with their data block read and CRLF-checked) come out in
+    order.  After a fatal :class:`BadCommand` the parser is dead — the
+    stream position is unknowable — and yields nothing further.
+    """
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+        self._pos = 0
+        self._scan = 0
+        self._pending: Optional[proto.Request] = None  # awaiting its block
+        self._dead = False
+
+    def feed(self, data: bytes) -> List[CommandItem]:
+        """Append *data*; return every request it completed, in order."""
+        if self._dead:
+            return []
+        self._buf += data
+        out: List[CommandItem] = []
+        while not self._dead:
+            item = self._step()
+            if item is None:
+                break
+            out.append(item)
+        # One buffer shift per chunk, not per command (see ReplyParser).
+        if self._pos:
+            del self._buf[: self._pos]
+            self._scan -= self._pos
+            self._pos = 0
+        return out
+
+    def _take_line(self) -> Optional[bytes]:
+        index = self._buf.find(b"\n", self._scan)
+        if index < 0:
+            self._scan = len(self._buf)
+            return None
+        line = bytes(self._buf[self._pos: index + 1])
+        self._pos = index + 1
+        self._scan = self._pos
+        return line
+
+    def _step(self) -> Optional[CommandItem]:
+        if self._pending is not None:
+            request = self._pending
+            count = request.num_bytes
+            if len(self._buf) - self._pos < count + 2:
+                return None
+            end = self._pos + count
+            block = bytes(self._buf[self._pos: end])
+            tail = bytes(self._buf[end: end + 2])
+            self._pos = end + 2
+            self._scan = self._pos
+            self._pending = None
+            if tail != proto.CRLF:
+                self._dead = True
+                return BadCommand(
+                    "data block not terminated by CRLF", fatal=True
+                )
+            request.value = block
+            return request
+        line = self._take_line()
+        if line is None:
+            return None
+        try:
+            request = proto.parse_command_line(line)
+        except ProtocolError as exc:
+            return BadCommand(str(exc))
+        if request.command in (
+            "set", "add", "replace", "append", "prepend", "cas"
+        ):
+            self._pending = request
+            return self._step()
+        return request
+
+
+# Shared reply-token validators (the per-command contracts the old
+# readline client enforced inline).
+STORE_TOKENS = _tokens(b"STORED", b"NOT_STORED")
+CAS_TOKENS = _tokens(b"STORED", b"EXISTS", b"NOT_FOUND")
+TOUCH_TOKENS = _tokens(b"TOUCHED", b"NOT_FOUND")
+DELETE_TOKENS = _tokens(b"DELETED", b"NOT_FOUND")
+OK_TOKENS = _tokens(b"OK")
+
+
+def arith_token(line: bytes) -> bool:
+    """``incr``/``decr`` replies: a decimal or ``NOT_FOUND``."""
+    return line == b"NOT_FOUND" or line.isdigit()
+
+
+def version_token(line: bytes) -> bool:
+    return line.startswith(b"VERSION ")

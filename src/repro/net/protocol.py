@@ -18,6 +18,7 @@ framing serves the asyncio server, the client, and protocol unit tests.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -32,7 +33,7 @@ KEY_FETCH_DIGEST = "BLOOM_FILTER"
 MAX_KEY_LENGTH = 250  # memcached's limit
 
 
-@dataclass
+@dataclass(slots=True)
 class Request:
     """One parsed client command."""
 
@@ -49,11 +50,22 @@ class Request:
     delta: int = 0
 
 
+#: every character memcached rejects in a key (whitespace + control
+#: chars below 33); a compiled character-class regex makes the per-key
+#: check one C-level scan that exits at the first offender —
+#: validate_key sits on both the client's and the server's per-command
+#: hot path
+_BAD_KEY_CHARS = "".join(
+    chr(c) for c in range(0x3001) if c < 33 or chr(c).isspace()
+)
+_BAD_KEY_SEARCH = re.compile(f"[{re.escape(_BAD_KEY_CHARS)}]").search
+
+
 def validate_key(key: str) -> None:
     """Reject keys memcached would reject (length, control chars, spaces)."""
     if not key or len(key) > MAX_KEY_LENGTH:
         raise ProtocolError(f"bad key length: {len(key)}")
-    if any(c.isspace() or ord(c) < 33 for c in key):
+    if _BAD_KEY_SEARCH(key) is not None:
         raise ProtocolError(f"key contains whitespace/control chars: {key!r}")
 
 
@@ -63,6 +75,16 @@ def parse_command_line(line: bytes) -> Request:
     Raises:
         ProtocolError: malformed command or arguments.
     """
+    # Fast path: single-key ``get`` — the live tier's dominant command
+    # (a pipelined 64-key page arrives as 64 of these).  Skips the
+    # decode/strip/split/lower dance of the general path below.
+    if line.startswith(b"get ") and line.find(b" ", 4) < 0:
+        try:
+            key = line[4:].rstrip(b"\r\n").decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError("command line is not valid UTF-8") from exc
+        validate_key(key)
+        return Request(command="get", keys=[key])
     try:
         text = line.decode("utf-8").strip("\r\n")
     except UnicodeDecodeError as exc:
@@ -149,10 +171,13 @@ def parse_command_line(line: bytes) -> Request:
 
 def value_response(key: str, flags: int, data: bytes, cas: Optional[int] = None) -> bytes:
     """One ``VALUE`` block of a get response."""
-    header = f"VALUE {key} {flags} {len(data)}"
     if cas is not None:
-        header += f" {cas}"
-    return header.encode("utf-8") + CRLF + data + CRLF
+        return b"VALUE %s %d %d %d\r\n%s\r\n" % (
+            key.encode("utf-8"), flags, len(data), cas, data,
+        )
+    return b"VALUE %s %d %d\r\n%s\r\n" % (
+        key.encode("utf-8"), flags, len(data), data,
+    )
 
 
 def end_response() -> bytes:

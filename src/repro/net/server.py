@@ -18,6 +18,7 @@ Example::
 from __future__ import annotations
 
 import asyncio
+import socket
 import time
 from typing import Dict, Optional
 
@@ -27,8 +28,13 @@ from repro.cache.item import CacheItem
 from repro.cache.store import KeyValueStore
 from repro.bloom.counting import CountingBloomFilter
 from repro.cache.slabs import SlabStore
-from repro.errors import CapacityError, ConfigurationError, ProtocolError
+from repro.errors import CapacityError, ConfigurationError
 from repro.net import protocol as proto
+from repro.net.parser import BadCommand, CommandParser
+
+#: per-connection read size; big enough that a pipelined burst of
+#: commands lands in one read and its replies go out in one write
+READ_CHUNK = 65536
 
 
 class MemcachedServer:
@@ -42,6 +48,9 @@ class MemcachedServer:
         use_slabs: back the server with the memcached-style slab allocator
             (:class:`~repro.cache.slabs.SlabStore`) instead of byte-exact
             accounting; enables ``stats slabs`` and requires a capacity.
+        nodelay: set ``TCP_NODELAY`` on accepted sockets (default True) —
+            reply batches must not sit behind Nagle while the client
+            pipelines; the net throughput bench A/Bs this knob.
     """
 
     def __init__(
@@ -50,8 +59,10 @@ class MemcachedServer:
         bloom_config: Optional[BloomConfig] = None,
         clock=time.monotonic,
         use_slabs: bool = False,
+        nodelay: bool = True,
     ) -> None:
         self._clock = clock
+        self.nodelay = nodelay
         if use_slabs:
             if capacity_bytes is None:
                 raise ConfigurationError("use_slabs requires capacity_bytes")
@@ -116,37 +127,50 @@ class MemcachedServer:
     async def _handle(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        """Serve one connection with chunked reads and batched replies.
+
+        Commands are framed by the incremental
+        :class:`~repro.net.parser.CommandParser` — a pipelined burst
+        arriving in one TCP segment is parsed, dispatched, and answered
+        with **one** write, so a client pipelining *k* commands pays ~one
+        syscall round trip instead of *k* (the server half of the
+        pipelined transport).
+        """
         self.connections += 1
-        try:
-            while True:
-                line = await reader.readline()
-                if not line:
-                    break
+        if self.nodelay:
+            sock = writer.get_extra_info("socket")
+            if sock is not None:
                 try:
-                    request = proto.parse_command_line(line)
-                except ProtocolError as exc:
-                    writer.write(proto.client_error_response(str(exc)))
-                    await writer.drain()
-                    continue
-                if request.command in (
-                    "set", "add", "replace", "append", "prepend", "cas"
-                ):
-                    try:
-                        request.value = await self._read_block(
-                            reader, request.num_bytes
-                        )
-                    except ProtocolError as exc:
-                        # The stream is desynchronized past a bad data
-                        # block; reply and drop the connection, as
-                        # memcached does.
-                        writer.write(proto.client_error_response(str(exc)))
-                        await writer.drain()
-                        break
-                if request.command == "quit":
+                    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                except OSError:  # pragma: no cover - non-TCP transports
+                    pass
+        parser = CommandParser()
+        out = bytearray()
+        try:
+            closing = False
+            while not closing:
+                data = await reader.read(READ_CHUNK)
+                if not data:
                     break
-                response = self._dispatch(request)
-                if response and not request.noreply:
-                    writer.write(response)
+                for item in parser.feed(data):
+                    if isinstance(item, BadCommand):
+                        out += proto.client_error_response(item.message)
+                        if item.fatal:
+                            # The stream is desynchronized past a bad
+                            # data block; reply and drop the connection,
+                            # as memcached does.
+                            closing = True
+                            break
+                        continue
+                    if item.command == "quit":
+                        closing = True
+                        break
+                    response = self._dispatch(item)
+                    if response and not item.noreply:
+                        out += response
+                if out:
+                    writer.write(bytes(out))
+                    out.clear()
                     await writer.drain()
         finally:
             writer.close()
@@ -155,12 +179,6 @@ class MemcachedServer:
             except (ConnectionError, OSError, asyncio.CancelledError):
                 # Teardown races (peer gone, loop shutting down) are benign.
                 pass
-
-    async def _read_block(self, reader: asyncio.StreamReader, count: int) -> bytes:
-        data = await reader.readexactly(count + 2)  # + CRLF
-        if data[-2:] != proto.CRLF:
-            raise ProtocolError("data block not terminated by CRLF")
-        return data[:-2]
 
     # ------------------------------------------------------------ commands
 
@@ -191,8 +209,25 @@ class MemcachedServer:
 
     def _do_get(self, request: proto.Request) -> bytes:
         now = self._clock()
+        keys = request.keys
+        if (
+            request.command == "get"
+            and len(keys) == 1
+            and keys[0] != proto.KEY_SNAPSHOT
+            and keys[0] != proto.KEY_FETCH_DIGEST
+        ):
+            # Hot path: the pipelined live tier issues pages as bursts of
+            # single-key gets; skip the chunk-list machinery for them.
+            key = keys[0]
+            value = self.store.get(key, now)
+            if value is None:
+                return b"END\r\n"
+            item = self.store.peek(key)
+            return proto.value_response(
+                key, item.flags if item is not None else 0, value
+            ) + b"END\r\n"
         chunks = []
-        for key in request.keys:
+        for key in keys:
             if key == proto.KEY_SNAPSHOT:
                 # Reserved key: snapshot the digest, acknowledge with a
                 # 1-byte value so stock clients see a normal hit.
@@ -339,3 +374,40 @@ class MemcachedServer:
             "digest_bytes": self.digest.size_bytes(),
             "curr_connections": self.connections,
         }
+
+
+def main(argv: Optional[list] = None) -> None:  # pragma: no cover - CLI
+    """Run one cache node as its own process (``python -m repro.net.server``).
+
+    The net throughput bench uses this to put the server on its own core
+    — a co-located server shares the client's event loop and measures
+    GIL contention, not the transport.
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(description="Run one cache node")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0)
+    parser.add_argument("--capacity-mb", type=float, default=None)
+    parser.add_argument("--expected-keys", type=int, default=100_000)
+    args = parser.parse_args(argv)
+
+    async def serve() -> None:
+        server = MemcachedServer(
+            capacity_bytes=(
+                int(args.capacity_mb * (1 << 20)) if args.capacity_mb else None
+            ),
+            bloom_config=optimal_config(args.expected_keys),
+        )
+        port = await server.start(args.host, args.port)
+        print(f"LISTENING {port}", flush=True)
+        await asyncio.Event().wait()
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:
+        pass
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

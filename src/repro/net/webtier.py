@@ -18,10 +18,14 @@ standard commands) endpoints:
 * the backing database is an async callable, so tests plug in a dict and a
   deployment plugs in a real pool.
 
-Per-endpoint locks serialize protocol exchanges on each connection, so one
-frontend may serve concurrent ``fetch`` tasks (required for coalescing to
-ever trigger); run several instances to scale beyond one connection per
-cache server.
+Each endpoint is fronted by a :class:`~repro.net.pool.ConnectionPool` of
+pipelined :class:`~repro.net.client.MemcachedClient` connections
+(``pool_size`` per server, lazily dialled): concurrent ``fetch`` /
+``fetch_many`` tasks to the same server no longer serialize on one
+stream — commands pipeline within each connection and spread across the
+pool, the way the paper's web tier pools its spymemcached connections.
+``pipeline=False`` restores the strict one-in-flight discipline per
+connection (the A/B baseline the net throughput bench measures).
 
 Fault tolerance
 ---------------
@@ -89,7 +93,7 @@ from repro.errors import (
     TransitionError,
     TransportError,
 )
-from repro.net.client import MemcachedClient
+from repro.net.pool import ConnectionPool
 from repro.resilience import CircuitBreaker, Deadline, ResiliencePolicy
 
 #: async database fetch: key -> value bytes (authoritative, never misses)
@@ -112,6 +116,12 @@ class AsyncProteusFrontend(RetrievalConfigMixin):
             config surface via :class:`RetrievalConfigMixin`.
         resilience: retry/breaker/deadline policy for cache RPCs;
             :meth:`ResiliencePolicy.default` when omitted.
+        pool_size: pipelined connections per cache server (the paper's
+            web tier pools its spymemcached connections the same way).
+        pipeline: allow many in-flight commands per connection (default);
+            ``False`` is the pre-pipelining one-exchange-at-a-time
+            baseline.
+        nodelay: set ``TCP_NODELAY`` on every cache connection.
     """
 
     def __init__(
@@ -124,9 +134,14 @@ class AsyncProteusFrontend(RetrievalConfigMixin):
         coalesce_misses: bool = False,
         config: Optional[RetrievalConfig] = None,
         resilience: Optional[ResiliencePolicy] = None,
+        pool_size: int = 4,
+        pipeline: bool = True,
+        nodelay: bool = True,
     ) -> None:
         if not endpoints:
             raise ConfigurationError("need at least one cache endpoint")
+        if pool_size < 1:
+            raise ConfigurationError(f"pool_size must be >= 1: {pool_size}")
         self.endpoints = list(endpoints)
         self.bloom_config = bloom_config
         self.database = database
@@ -135,8 +150,11 @@ class AsyncProteusFrontend(RetrievalConfigMixin):
             self.router, coalesce_misses=coalesce_misses, config=config
         )
         self._clock = clock
-        self._clients: List[Optional[MemcachedClient]] = [None] * len(endpoints)
-        self._locks = [asyncio.Lock() for _ in endpoints]
+        self.pool_size = pool_size
+        self.pipeline = pipeline
+        self.nodelay = nodelay
+        self.pools: List[Optional[ConnectionPool]] = [None] * len(endpoints)
+        self._started = False
         active = len(self.endpoints) if initial_active is None else initial_active
         if not 1 <= active <= len(self.endpoints):
             raise ConfigurationError(f"initial_active out of range: {active}")
@@ -169,30 +187,36 @@ class AsyncProteusFrontend(RetrievalConfigMixin):
     # ----------------------------------------------------------- lifecycle
 
     async def connect(self) -> "AsyncProteusFrontend":
-        """Open one connection per endpoint.
+        """Create one connection pool per endpoint and prewarm each.
 
         An endpoint that refuses the initial dial does not fail the whole
-        frontend: its client stays registered (auto-reconnecting), its
-        breaker absorbs the failures, and requests degrade around it until
-        it comes back.
+        frontend: its pool stays registered (it keeps dialling lazily),
+        its breaker absorbs the failures, and requests degrade around it
+        until it comes back.
         """
         for index, (host, port) in enumerate(self.endpoints):
-            if self._clients[index] is None:
-                client = MemcachedClient(
-                    host, port, timeout=self.resilience.op_timeout
+            if self.pools[index] is None:
+                self.pools[index] = ConnectionPool(
+                    host,
+                    port,
+                    size=self.pool_size,
+                    timeout=self.resilience.op_timeout,
+                    pipeline=self.pipeline,
+                    nodelay=self.nodelay,
                 )
-                try:
-                    await client.connect()
-                except (TransportError, OSError):
-                    self.breakers[index].record_failure()
-                self._clients[index] = client
+            try:
+                await self.pools[index].prewarm()
+            except (TransportError, OSError):
+                self.breakers[index].record_failure()
+        self._started = True
         return self
 
     async def close(self) -> None:
-        for index, client in enumerate(self._clients):
-            if client is not None:
-                await client.close()
-                self._clients[index] = None
+        for index, pool in enumerate(self.pools):
+            if pool is not None:
+                await pool.close()
+                self.pools[index] = None
+        self._started = False
 
     async def __aenter__(self) -> "AsyncProteusFrontend":
         return await self.connect()
@@ -200,34 +224,37 @@ class AsyncProteusFrontend(RetrievalConfigMixin):
     async def __aexit__(self, *exc_info) -> None:
         await self.close()
 
-    def _client(self, server_id: int) -> MemcachedClient:
-        client = self._clients[server_id]
-        if client is None:
+    @property
+    def reconnects(self) -> int:
+        """Connection churn across every server's pool (client redials
+        plus pool ejections) — the signal health monitors watch."""
+        return sum(pool.reconnects for pool in self.pools if pool is not None)
+
+    def _pool(self, server_id: int) -> ConnectionPool:
+        pool = self.pools[server_id]
+        if pool is None or not self._started:
             raise ConfigurationError(
-                f"no connection to cache server {server_id}; call connect()"
+                f"no connection pool for cache server {server_id}; "
+                "call connect()"
             )
-        return client
+        return pool
 
     async def _get(self, server_id: int, key: str) -> Optional[bytes]:
-        client = self._client(server_id)
-        async with self._locks[server_id]:
+        async with self._pool(server_id).connection() as client:
             return await client.get(key)
 
     async def _set(self, server_id: int, key: str, value: bytes) -> None:
-        client = self._client(server_id)
-        async with self._locks[server_id]:
+        async with self._pool(server_id).connection() as client:
             await client.set(key, value)
 
     async def _get_multi(
         self, server_id: int, keys: Sequence[str]
     ) -> Dict[str, bytes]:
-        client = self._client(server_id)
-        async with self._locks[server_id]:
+        async with self._pool(server_id).connection() as client:
             return await client.get_multi(keys)
 
     async def _set_multi(self, server_id: int, items) -> None:
-        client = self._client(server_id)
-        async with self._locks[server_id]:
+        async with self._pool(server_id).connection() as client:
             await client.set_multi(items)
 
     # ------------------------------------------------------ fault-tolerant RPC
@@ -362,8 +389,10 @@ class AsyncProteusFrontend(RetrievalConfigMixin):
         last_error: Optional[BaseException] = None
         for attempt in range(retry.max_attempts):
             try:
-                client = self._client(server_id)
-                async with self._locks[server_id]:
+                async with self._pool(server_id).connection() as client:
+                    # Two sequential exchanges on one connection: replies
+                    # are matched FIFO, so interleaved traffic from other
+                    # tasks cannot reorder snapshot before fetch.
                     await client.snapshot_digest()
                     return await client.fetch_digest(
                         self.bloom_config.num_counters,

@@ -242,13 +242,7 @@ class ClusterHealthMonitor:
         monitor.watch_breakers(
             lambda: ResiliencePolicy.health(frontend.breakers)
         )
-        monitor.watch_reconnects(
-            lambda: sum(
-                client.reconnects
-                for client in frontend._clients
-                if client is not None
-            )
-        )
+        monitor.watch_reconnects(lambda: frontend.reconnects)
         monitor.watch_transition(
             lambda now: frontend._manager.in_transition(now)
         )

@@ -134,10 +134,7 @@ class TestResetStorm:
                 resets = sum(proxy.resets for proxy in stack.proxies)
                 assert resets > 0  # the storm actually happened
                 # retries + reconnects (not only DB fallbacks) carried load
-                reconnects = sum(
-                    client.reconnects for client in web._clients
-                )
-                assert reconnects > 0
+                assert web.reconnects > 0
 
         run(body())
 

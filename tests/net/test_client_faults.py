@@ -217,7 +217,12 @@ class TestTimeouts:
             async def never_connects(*args, **kwargs):
                 await asyncio.sleep(3600)
 
-            monkeypatch.setattr(asyncio, "open_connection", never_connects)
+            loop = asyncio.get_running_loop()
+            monkeypatch.setattr(
+                type(loop),
+                "create_connection",
+                lambda self, *args, **kwargs: never_connects(),
+            )
             client = MemcachedClient("127.0.0.1", 9, timeout=0.05)
             with pytest.raises(TransportError):
                 await client.connect()

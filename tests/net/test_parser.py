@@ -1,0 +1,202 @@
+"""Unit tests for the sans-IO incremental protocol parsers.
+
+Both directions are pure byte machines, so these tests drive them
+byte-by-byte — the chunk boundaries a real TCP stream produces are
+adversarial by construction here.
+"""
+
+import pytest
+
+from repro.net.parser import (
+    BadCommand,
+    CommandParser,
+    Desync,
+    ErrorLine,
+    LineReply,
+    ReplyParser,
+    STORE_TOKENS,
+    StatsReply,
+    ValuesReply,
+    arith_token,
+)
+
+
+def feed_bytewise(parser, data):
+    """Feed one byte at a time; collect every completed reply."""
+    out = []
+    for i in range(len(data)):
+        out.extend(parser.feed(data[i:i + 1]))
+    return out
+
+
+class TestReplyParser:
+    def test_line_reply_single_chunk(self):
+        parser = ReplyParser()
+        parser.expect(LineReply(STORE_TOKENS))
+        assert parser.feed(b"STORED\r\n") == [b"STORED"]
+        assert parser.pending == 0
+        assert parser.buffered == 0
+
+    def test_line_reply_byte_at_a_time(self):
+        parser = ReplyParser()
+        parser.expect(LineReply(STORE_TOKENS))
+        assert feed_bytewise(parser, b"NOT_STORED\r\n") == [b"NOT_STORED"]
+
+    def test_values_reply_with_crlf_inside_value(self):
+        parser = ReplyParser()
+        parser.expect(ValuesReply())
+        payload = b"a\r\nb\r\nc"
+        wire = b"VALUE k 7 %d\r\n%s\r\nEND\r\n" % (len(payload), payload)
+        [items] = feed_bytewise(parser, wire)
+        assert len(items) == 1
+        assert items[0].key == "k"
+        assert items[0].flags == 7
+        assert items[0].value == payload
+        assert items[0].cas is None
+
+    def test_gets_reply_carries_cas(self):
+        parser = ReplyParser()
+        parser.expect(ValuesReply())
+        [items] = parser.feed(b"VALUE k 0 1 42\r\nx\r\nEND\r\n")
+        assert items[0].cas == 42
+
+    def test_empty_values_reply(self):
+        parser = ReplyParser()
+        parser.expect(ValuesReply())
+        assert parser.feed(b"END\r\n") == [[]]
+
+    def test_many_pipelined_replies_in_one_chunk(self):
+        parser = ReplyParser()
+        for _ in range(3):
+            parser.expect(LineReply(STORE_TOKENS))
+        parser.expect(ValuesReply())
+        wire = b"STORED\r\nSTORED\r\nNOT_STORED\r\nVALUE k 0 1\r\nv\r\nEND\r\n"
+        out = parser.feed(wire)
+        assert out[:3] == [b"STORED", b"STORED", b"NOT_STORED"]
+        assert out[3][0].value == b"v"
+
+    def test_reply_split_at_every_boundary(self):
+        wire = b"VALUE key 5 4\r\nwxyz\r\nEND\r\n"
+        for split in range(1, len(wire)):
+            parser = ReplyParser()
+            parser.expect(ValuesReply())
+            out = parser.feed(wire[:split])
+            out += parser.feed(wire[split:])
+            assert len(out) == 1, f"split at {split}"
+            assert out[0][0].value == b"wxyz"
+
+    def test_stats_reply(self):
+        parser = ReplyParser()
+        parser.expect(StatsReply())
+        [stats] = feed_bytewise(
+            parser, b"STAT cmd_get 4\r\nSTAT version a b c\r\nEND\r\n"
+        )
+        assert stats == {"cmd_get": "4", "version": "a b c"}
+
+    def test_error_line_completes_without_desync(self):
+        parser = ReplyParser()
+        parser.expect(LineReply(STORE_TOKENS))
+        parser.expect(LineReply(STORE_TOKENS))
+        out = parser.feed(b"SERVER_ERROR oom\r\nSTORED\r\n")
+        assert isinstance(out[0], ErrorLine)
+        assert out[1] == b"STORED"
+
+    def test_error_line_aborts_values_reply(self):
+        parser = ReplyParser()
+        parser.expect(ValuesReply())
+        [result] = parser.feed(b"VALUE k 0 1\r\nx\r\nSERVER_ERROR oom\r\n")
+        assert isinstance(result, ErrorLine)
+
+    def test_validator_mismatch_desyncs(self):
+        parser = ReplyParser()
+        parser.expect(LineReply(STORE_TOKENS))
+        with pytest.raises(Desync):
+            parser.feed(b"BANANA\r\n")
+
+    def test_garbage_in_values_reply_desyncs(self):
+        parser = ReplyParser()
+        parser.expect(ValuesReply())
+        with pytest.raises(Desync):
+            parser.feed(b"WAT 42\r\n")
+
+    def test_bad_block_terminator_desyncs(self):
+        parser = ReplyParser()
+        parser.expect(ValuesReply())
+        with pytest.raises(Desync):
+            parser.feed(b"VALUE k 0 3\r\nabcXYEND\r\n")
+
+    def test_desync_carries_replies_completed_before_the_fault(self):
+        # One chunk holds a good reply *and* garbage: the good frame is
+        # unambiguous and must survive on the exception.
+        parser = ReplyParser()
+        parser.expect(ValuesReply())
+        parser.expect(ValuesReply())
+        with pytest.raises(Desync) as info:
+            parser.feed(b"VALUE k 0 2\r\nv0\r\nEND\r\nWAT 42\r\n")
+        [items] = info.value.results
+        assert items[0].value == b"v0"
+        # and the parser stays dead afterwards
+        with pytest.raises(Desync):
+            parser.feed(b"END\r\n")
+
+    def test_unsolicited_bytes_desync(self):
+        parser = ReplyParser()
+        with pytest.raises(Desync):
+            parser.feed(b"STORED\r\n")
+
+    def test_no_rescan_of_partial_line(self):
+        # The scan cursor must advance even while the line is incomplete.
+        parser = ReplyParser()
+        parser.expect(LineReply())
+        parser.feed(b"A" * 1000)
+        assert parser._scan == 1000
+        [line] = parser.feed(b"\r\n")
+        assert line == b"A" * 1000
+
+    def test_arith_token(self):
+        assert arith_token(b"42")
+        assert arith_token(b"NOT_FOUND")
+        assert not arith_token(b"-1")
+        assert not arith_token(b"STORED")
+
+
+class TestCommandParser:
+    def test_simple_get(self):
+        parser = CommandParser()
+        [request] = parser.feed(b"get k\r\n")
+        assert request.command == "get"
+        assert request.keys == ["k"]
+
+    def test_storage_command_block_across_chunks(self):
+        parser = CommandParser()
+        assert parser.feed(b"set k 0 0 5\r\nab") == []
+        [request] = parser.feed(b"cde\r\n")
+        assert request.command == "set"
+        assert request.value == b"abcde"
+
+    def test_pipelined_burst_in_one_chunk(self):
+        parser = CommandParser()
+        out = parser.feed(
+            b"set a 0 0 1\r\nx\r\nget a\r\ndelete a\r\n"
+        )
+        assert [r.command for r in out] == ["set", "get", "delete"]
+
+    def test_malformed_line_is_nonfatal(self):
+        parser = CommandParser()
+        bad, request = parser.feed(b"bogus nonsense\r\nget k\r\n")
+        assert isinstance(bad, BadCommand)
+        assert not bad.fatal
+        assert request.command == "get"
+
+    def test_bad_block_terminator_is_fatal(self):
+        parser = CommandParser()
+        [bad] = parser.feed(b"set k 0 0 3\r\nabcXYget k\r\n")
+        assert isinstance(bad, BadCommand)
+        assert bad.fatal
+        # The parser is dead: framing is unknowable from here on.
+        assert parser.feed(b"get k\r\n") == []
+
+    def test_noreply_flag_round_trips(self):
+        parser = CommandParser()
+        [request] = parser.feed(b"set k 0 0 1 noreply\r\nx\r\n")
+        assert request.noreply

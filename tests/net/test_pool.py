@@ -1,0 +1,175 @@
+"""ConnectionPool: lazy dial, shared leases, broken-connection ejection."""
+
+import asyncio
+
+import pytest
+
+from repro.bloom.config import optimal_config
+from repro.errors import ConfigurationError
+from repro.net.pool import ConnectionPool
+from repro.net.server import MemcachedServer
+
+BLOOM = optimal_config(500)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def with_pool(test_body, **pool_kwargs):
+    server = MemcachedServer(bloom_config=BLOOM)
+    await server.start()
+    pool = ConnectionPool("127.0.0.1", server.port, **pool_kwargs)
+    try:
+        await test_body(server, pool)
+    finally:
+        await pool.close()
+        await server.stop()
+
+
+class TestLifecycle:
+    def test_size_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            ConnectionPool("127.0.0.1", 1, size=0)
+
+    def test_lazy_dial(self):
+        async def body(server, pool):
+            assert pool.live == 0
+            assert pool.dials == 0
+            async with pool.connection() as client:
+                assert await client.set("k", b"v")
+            assert pool.live == 1
+            assert pool.dials == 1
+
+        run(with_pool(body))
+
+    def test_prewarm_dials_once(self):
+        async def body(server, pool):
+            first = await pool.prewarm()
+            again = await pool.prewarm()
+            assert first is again
+            assert pool.dials == 1
+
+        run(with_pool(body))
+
+    def test_prewarm_failure_propagates_but_pool_survives(self):
+        async def body():
+            pool = ConnectionPool("127.0.0.1", 1)
+            with pytest.raises(OSError):
+                await pool.prewarm()
+            assert pool.live == 0
+            await pool.close()
+
+        run(body())
+
+    def test_closed_pool_refuses_acquire(self):
+        async def body(server, pool):
+            await pool.close()
+            with pytest.raises(ConfigurationError):
+                await pool.acquire()
+
+        run(with_pool(body))
+
+
+class TestLeases:
+    def test_idle_connection_is_reused(self):
+        async def body(server, pool):
+            async with pool.connection() as client:
+                await client.set("k", b"v")
+            async with pool.connection() as again:
+                assert client is again
+            assert pool.dials == 1
+
+        run(with_pool(body))
+
+    def test_concurrent_leases_dial_up_to_size(self):
+        async def body(server, pool):
+            clients = [await pool.acquire() for _ in range(5)]
+            # 2 sockets for 5 leases: the bound holds, leases share.
+            assert pool.live == 2
+            assert pool.leases == 5
+            assert len({id(c) for c in clients}) == 2
+            for client in clients:
+                pool.release(client)
+            assert pool.leases == 0
+
+        run(with_pool(body, size=2))
+
+    def test_least_loaded_connection_is_chosen(self):
+        async def body(server, pool):
+            a = await pool.acquire()
+            b = await pool.acquire()
+            assert a is not b
+            pool.release(b)
+            # a holds a lease, b is idle: next acquire must pick b.
+            assert await pool.acquire() is b
+            pool.release(a)
+            pool.release(b)
+
+        run(with_pool(body, size=2))
+
+    def test_concurrent_traffic_spreads_across_sockets(self):
+        async def body(server, pool):
+            async def worker(i):
+                async with pool.connection() as client:
+                    await client.set(f"k{i}", b"v")
+                    return await client.get(f"k{i}")
+
+            results = await asyncio.gather(*(worker(i) for i in range(20)))
+            assert results == [b"v"] * 20
+            assert 1 <= pool.live <= 3
+
+        run(with_pool(body, size=3))
+
+
+class TestEjection:
+    def test_broken_connection_ejected_on_release(self):
+        async def body(server, pool):
+            client = await pool.acquire()
+            await client.set("k", b"v")
+            client._poison()
+            pool.release(client)
+            assert pool.live == 0
+            assert pool.ejections == 1
+            # next acquire dials a replacement; data is still there
+            async with pool.connection() as fresh:
+                assert fresh is not client
+                assert await fresh.get("k") == b"v"
+            assert pool.dials == 2
+
+        run(with_pool(body))
+
+    def test_idle_broken_connection_swept_on_acquire(self):
+        async def body(server, pool):
+            client = await pool.acquire()
+            pool.release(client)
+            client._poison()  # breaks while idle in the pool
+            fresh = await pool.acquire()
+            assert fresh is not client
+            assert pool.ejections == 1
+            pool.release(fresh)
+
+        run(with_pool(body))
+
+    def test_ejection_counts_as_reconnect(self):
+        async def body(server, pool):
+            client = await pool.acquire()
+            client._poison()
+            pool.release(client)
+            assert pool.reconnects == 1  # churn visible to health monitors
+
+        run(with_pool(body))
+
+    def test_reconnects_survive_close(self):
+        async def body(server, pool):
+            client = await pool.acquire()
+            await client.set("k", b"v")
+            client._poison()
+            assert await client.get("k") == b"v"  # client-level redial
+            pool.release(client)
+            before = pool.reconnects
+            assert before >= 1
+            await pool.close()
+            assert pool.reconnects == before  # monotonic across retirement
+
+        run(with_pool(body))

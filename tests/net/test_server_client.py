@@ -7,6 +7,7 @@ import pytest
 from repro.bloom.config import optimal_config
 from repro.errors import ProtocolError
 from repro.net.client import MemcachedClient
+from repro.net.parser import LineReply
 from repro.net.server import MemcachedServer
 
 CFG = optimal_config(2000)
@@ -61,10 +62,10 @@ class TestBasicCommands:
             assert await client.get("k") == b"1"
             await client.delete("k")
             # replace on absent key fails
-            header = b"replace k 0 0 1\r\nx\r\n"
-            client._writer.write(header)
-            await client._writer.drain()
-            assert await client._read_line() == b"NOT_STORED"
+            reply = await client.execute(
+                b"replace k 0 0 1\r\nx\r\n", LineReply()
+            )
+            assert reply == b"NOT_STORED"
 
         run(with_server(body))
 
@@ -106,10 +107,10 @@ class TestBasicCommands:
 
     def test_malformed_command_gets_client_error(self):
         async def body(server, client):
-            client._writer.write(b"bogus nonsense\r\n")
-            await client._writer.drain()
-            reply = await client._read_line()
-            assert reply.startswith(b"CLIENT_ERROR")
+            with pytest.raises(ProtocolError, match="CLIENT_ERROR"):
+                await client.execute(b"bogus nonsense\r\n", LineReply())
+            # A complete error line keeps the stream framed.
+            assert not client.broken
 
         run(with_server(body))
 
@@ -160,10 +161,10 @@ class TestDigestOverTcp:
 
     def test_reserved_keys_cannot_be_stored(self):
         async def body(server, client):
-            header = b"set SET_BLOOM_FILTER 0 0 1\r\nx\r\n"
-            client._writer.write(header)
-            await client._writer.drain()
-            assert (await client._read_line()).startswith(b"CLIENT_ERROR")
+            with pytest.raises(ProtocolError, match="CLIENT_ERROR"):
+                await client.execute(
+                    b"set SET_BLOOM_FILTER 0 0 1\r\nx\r\n", LineReply()
+                )
 
         run(with_server(body))
 
@@ -195,7 +196,7 @@ class TestConcurrency:
     def test_client_methods_require_connection(self):
         client = MemcachedClient("127.0.0.1", 1)
         with pytest.raises(ProtocolError):
-            run(client._command(b"get x\r\n"))
+            run(client.get("x"))
 
 
 class TestMalformedDataBlock:

@@ -7,6 +7,7 @@ import pytest
 from repro.bloom.config import optimal_config
 from repro.errors import ConfigurationError
 from repro.net.client import MemcachedClient
+from repro.net.parser import StatsReply
 from repro.net.server import MemcachedServer
 
 CFG = optimal_config(2000)
@@ -43,15 +44,8 @@ class TestSlabBackend:
         run(with_slab_server(body))
 
     async def _read_stats_slabs(self, client):
-        client._writer.write(b"stats slabs\r\n")
-        await client._writer.drain()
-        rows = {}
-        while True:
-            line = await client._read_line()
-            if line == b"END":
-                return rows
-            _stat, name, value = line.decode().split(" ")
-            rows[name] = int(value)
+        stats = await client.execute(b"stats slabs\r\n", StatsReply())
+        return {name: int(value) for name, value in stats.items()}
 
     def test_stats_slabs_reports_classes(self):
         async def body(server, client):
@@ -73,9 +67,10 @@ class TestSlabBackend:
             await server.start()
             try:
                 async with MemcachedClient("127.0.0.1", server.port) as client:
-                    client._writer.write(b"stats slabs\r\n")
-                    await client._writer.drain()
-                    assert await client._read_line() == b"END"
+                    stats = await client.execute(
+                        b"stats slabs\r\n", StatsReply()
+                    )
+                    assert stats == {}
             finally:
                 await server.stop()
 
