@@ -17,9 +17,10 @@ bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 # One-round routing/bloom microbenches plus the chaos availability check
-# and the hot-key storm, autopilot, and net-throughput ratchets: fast CI
-# canary for the vectorized hot path, the degraded fetch path, the
-# armor's load-flattening gate, and the pipelined transport's RPS gate
+# and the hot-key storm, autopilot, net-throughput, and overload
+# ratchets: fast CI canary for the vectorized hot path, the degraded
+# fetch path, the armor's load-flattening gate, the pipelined
+# transport's RPS gate, and the overload armor's goodput/recovery gate
 # (speedup/availability gates still enforced; absolute numbers are noisy).
 bench-smoke:
 	PROTEUS_BENCH_ROUNDS=1 $(PYTHON) -m pytest \
@@ -30,6 +31,7 @@ bench-smoke:
 	$(PYTHON) benchmarks/bench_hotkey_storm.py --check
 	$(PYTHON) benchmarks/bench_autopilot.py --check
 	$(PYTHON) benchmarks/bench_net_throughput.py --check
+	$(PYTHON) benchmarks/bench_overload.py --check
 
 # Regenerate every paper figure as printed tables.
 figures:

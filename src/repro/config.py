@@ -76,6 +76,19 @@ class ClusterConfig:
             (ignored by the fixed policy).
         ttl_target_residual: remap-miss rate fraction the adaptive
             window may leave alive when it closes.
+        retry_budget_ratio: retries allowed per request (token-bucket
+            :class:`~repro.resilience.RetryBudget`); 0 disables the
+            budget (unbounded retries, the pre-armor behaviour).
+        limiter_window: initial per-cache-server AIMD in-flight window
+            (:class:`~repro.resilience.AdaptiveConcurrencyLimiter`);
+            0 disables per-server limiting.
+        admission_window: initial AIMD window for DB-path admission
+            control (frontends shed excess misses as
+            :attr:`~repro.core.retrieval.FetchPath.SHED`); 0 admits
+            everything.
+        max_inflight_per_conn: per-connection in-flight command window
+            for the saturation fail-fast in
+            :class:`~repro.net.pool.ConnectionPool`; 0 = unbounded.
     """
 
     endpoints: List[Tuple[str, int]]
@@ -90,6 +103,10 @@ class ClusterConfig:
     min_ttl_seconds: float = 5.0
     max_ttl_seconds: float = 300.0
     ttl_target_residual: float = 0.05
+    retry_budget_ratio: float = 0.0
+    limiter_window: int = 0
+    admission_window: int = 0
+    max_inflight_per_conn: int = 0
     version: int = field(default=CONFIG_VERSION)
 
     def __post_init__(self) -> None:
@@ -130,6 +147,18 @@ class ClusterConfig:
                 "ttl_target_residual must be in (0, 1), got "
                 f"{self.ttl_target_residual}"
             )
+        if self.retry_budget_ratio < 0:
+            raise ConfigurationError(
+                "retry_budget_ratio must be >= 0, got "
+                f"{self.retry_budget_ratio}"
+            )
+        for knob in ("limiter_window", "admission_window",
+                     "max_inflight_per_conn"):
+            value = getattr(self, knob)
+            if value < 0:
+                raise ConfigurationError(
+                    f"{knob} must be >= 0 (0 disables), got {value}"
+                )
         if self.version != CONFIG_VERSION:
             raise ConfigurationError(
                 f"unsupported config version {self.version} "
@@ -185,6 +214,36 @@ class ClusterConfig:
             target_residual=self.ttl_target_residual,
         )
 
+    def build_resilience(self):
+        """The :class:`~repro.resilience.ResiliencePolicy` this config
+        prescribes, or ``None`` when every armor knob is disabled (the
+        frontend then uses its own default)."""
+        if self.retry_budget_ratio <= 0 and self.limiter_window <= 0:
+            return None
+        import dataclasses
+
+        from repro.resilience import ResiliencePolicy
+
+        return dataclasses.replace(
+            ResiliencePolicy.default(),
+            retry_budget_ratio=self.retry_budget_ratio,
+            limiter_window=self.limiter_window,
+        )
+
+    def build_admission(self):
+        """The DB-path admission controller this config prescribes for a
+        live frontend (``None`` when disabled)."""
+        if self.admission_window <= 0:
+            return None
+        from repro.resilience import (
+            AdaptiveConcurrencyLimiter,
+            ConcurrencyAdmission,
+        )
+
+        return ConcurrencyAdmission(
+            AdaptiveConcurrencyLimiter(initial=float(self.admission_window))
+        )
+
     def build_frontend(self, database, initial_active: Optional[int] = None):
         """A live-TCP :class:`~repro.net.webtier.AsyncProteusFrontend`."""
         from repro.core.retrieval import RetrievalConfig
@@ -201,6 +260,9 @@ class ClusterConfig:
             database,
             initial_active=initial_active,
             config=retrieval,
+            resilience=self.build_resilience(),
+            max_inflight_per_conn=self.max_inflight_per_conn or None,
+            admission=self.build_admission(),
         )
 
     # --------------------------------------------------------- serialization

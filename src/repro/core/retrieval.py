@@ -129,6 +129,11 @@ class FetchPath(str, enum.Enum):
     #: normal path and the database served instead — the *failure* fallback
     #: of Algorithm 2, as opposed to the ordinary-miss fallbacks above.
     DEGRADED_DB = "degraded_db"
+    #: admission control refused the DB-path work (overload): the request
+    #: was *not served* (value ``None``) — unlike :attr:`DEGRADED_DB`,
+    #: which is served correctly at extra latency cost.  Hits never land
+    #: here: they complete before any database decision is made.
+    SHED = "shed"
 
 
 #: The degraded-path event labels :class:`FetchStats` counts — one per
@@ -161,6 +166,23 @@ class FetchStats:
     @property
     def total(self) -> int:
         return sum(self.counts.values())
+
+    @property
+    def shed(self) -> int:
+        """Requests refused by admission control (not served)."""
+        return self.counts[FetchPath.SHED]
+
+    @property
+    def goodput(self) -> int:
+        """Requests actually served (total minus shed)."""
+        return self.total - self.shed
+
+    @property
+    def shed_fraction(self) -> float:
+        """Fraction of requests shed — the health monitor's overload
+        signal."""
+        total = self.total
+        return self.shed / total if total else 0.0
 
     @property
     def degraded_events(self) -> int:
@@ -633,6 +655,9 @@ class ReplicatedOutcome:
     failover: bool
     #: True when the frontend-local hot-key cache served (no probes at all)
     local: bool = False
+    #: True when admission control refused the DB read (overload): the
+    #: request was *not served* — ``value`` is ``None``.
+    shed: bool = False
 
 
 # ------------------------------------------------------------------- engines
@@ -679,6 +704,15 @@ class RetrievalEngine:
         )
         self.stats = stats if stats is not None else FetchStats()
         self._armor: Optional[HotKeyArmor] = None
+        #: DB-path admission controller (duck-typed:
+        #: :class:`repro.resilience.admission.AdmissionController`).
+        #: ``None`` (default) admits everything — the pre-armor
+        #: behaviour.  When set and the driver passes its clock as
+        #: ``now``, the engine consults ``admission.admit_db(now)``
+        #: immediately before any database read; a refusal sheds the
+        #: request (:attr:`FetchPath.SHED`, value ``None``).  Hits are
+        #: never consulted — they complete before the decision point.
+        self.admission = None
 
     @property
     def coalesce_misses(self) -> bool:
@@ -805,6 +839,16 @@ class RetrievalEngine:
                     now=now,
                 )
 
+        if (
+            self.admission is not None
+            and now is not None
+            and not self.admission.admit_db(now)
+        ):
+            # Overload: the sheddable tier.  No DB read, no write-back,
+            # no leader announcement — the caller gets value ``None``.
+            return self._finish(
+                key, None, FetchPath.SHED, new_id, old_id, events, now=now
+            )
         value = yield ReadDatabase(announce_leader=self.coalesce_misses)
         if (yield WriteBack(new_id, value)) is SERVER_UNAVAILABLE:
             events.append("writeback")
@@ -985,7 +1029,21 @@ class RetrievalEngine:
                 pending = remaining
 
         # Phase 4 — per-key database reads (the DB never batches misses
-        # away; each distinct key costs one authoritative read).
+        # away; each distinct key costs one authoritative read).  Each
+        # read is individually admission-checked: a batch straddling the
+        # overload threshold sheds only its excess keys.
+        if pending and self.admission is not None and now is not None:
+            admitted: List[str] = []
+            for key in pending:
+                if self.admission.admit_db(now):
+                    admitted.append(key)
+                else:
+                    outcomes[key] = self._finish(
+                        key, None, FetchPath.SHED,
+                        new_owner[key], old_owner[key],
+                        events.get(key, ()), now=now,
+                    )
+            pending = admitted
         if pending:
             values = yield tuple(
                 ReadDatabase(
@@ -1068,6 +1126,7 @@ class RetrievalEngine:
         if (
             now is not None
             and path is not FetchPath.HIT_LOCAL
+            and path is not FetchPath.SHED
             and self.config.hot_key_cache
         ):
             # Admit hot keys at the same moment Alg. 2 writes back to the
@@ -1108,6 +1167,11 @@ class ReplicatedRetrievalEngine:
         self.failovers = 0
         #: reads that reached the database
         self.database_reads = 0
+        #: reads refused by admission control (overload, not served)
+        self.shed_reads = 0
+        #: DB-path admission controller (same contract as
+        #: :attr:`RetrievalEngine.admission`); ``None`` admits everything.
+        self.admission = None
         self._armor: Optional[HotKeyArmor] = None
 
     @property
@@ -1187,6 +1251,18 @@ class ReplicatedRetrievalEngine:
                 break
         touched_db = value is None
         if touched_db:
+            if (
+                self.admission is not None
+                and now is not None
+                and not self.admission.admit_db(now)
+            ):
+                # Overload: shed instead of queueing on the database.
+                # No write-backs either — there is no value to install.
+                self.shed_reads += 1
+                return ReplicatedOutcome(
+                    key=key, value=None, served_by=None, probes=probes,
+                    touched_database=False, failover=False, shed=True,
+                )
             value = yield ReadDatabase()
             self.database_reads += 1
         # Repopulate every live replica owner that missed (write-through).
@@ -1289,6 +1365,19 @@ class ReplicatedRetrievalEngine:
             ring_round += 1
 
         db_keys = [key for key in ordered if key not in value_of]
+        shed_keys: set = set()
+        if db_keys and self.admission is not None and now is not None:
+            # Per-key admission, as in the unreplicated batch path: only
+            # the excess over the overload threshold is shed.
+            admitted = []
+            for key in db_keys:
+                if self.admission.admit_db(now):
+                    admitted.append(key)
+                else:
+                    self.shed_reads += 1
+                    shed_keys.add(key)
+                    value_of[key] = None
+            db_keys = admitted
         db_set = frozenset(db_keys)
         if db_keys:
             values = yield tuple(ReadDatabase(key=key) for key in db_keys)
@@ -1297,9 +1386,12 @@ class ReplicatedRetrievalEngine:
                 self.database_reads += 1
 
         # Repopulate every live replica owner that missed (write-through),
-        # one pipelined command per server.
+        # one pipelined command per server.  Shed keys have no value to
+        # install and are skipped.
         grouped_wb: Dict[int, List[Tuple[str, Any]]] = {}
         for key in ordered:
+            if key in shed_keys:
+                continue
             for target in targets_of[key]:
                 if target != served_by[key]:
                     grouped_wb.setdefault(target, []).append(
@@ -1313,7 +1405,8 @@ class ReplicatedRetrievalEngine:
             )
         if armored:
             for key in ordered:
-                self.armor.admit(key, value_of[key], now)
+                if key not in shed_keys:
+                    self.armor.admit(key, value_of[key], now)
         outcomes = {
             key: ReplicatedOutcome(
                 key=key,
@@ -1325,6 +1418,7 @@ class ReplicatedRetrievalEngine:
                     served_by[key] is not None
                     and served_by[key] != primary_of[key]
                 ),
+                shed=key in shed_keys,
             )
             for key in ordered
         }

@@ -96,6 +96,38 @@ class DeadlineExceeded(ProteusError):
     """A request's time budget ran out before the operation completed."""
 
 
+class OverloadError(ProteusError):
+    """Load was shed somewhere along the request path.
+
+    The *never-retry* fault class: a shed means some layer deliberately
+    refused work it could not absorb, so retrying immediately would feed
+    the very overload that caused the refusal (the retry-storm
+    amplification loop).  :meth:`repro.resilience.RetryPolicy.is_transient`
+    therefore always answers ``False`` for this family, regardless of how
+    the transient tuple is configured.
+    """
+
+
+class ServerBusyError(OverloadError):
+    """The server answered ``SERVER_ERROR busy`` — it shed the command.
+
+    Unlike :class:`ProtocolError`, the connection is still perfectly
+    framed (the server emitted a well-formed error line in the command's
+    reply slot), so the stream is *not* poisoned and later pipelined
+    commands on the same connection may still succeed.
+    """
+
+
+class ClientOverloadError(OverloadError):
+    """A local bound refused the command before it was ever written.
+
+    Raised when a :class:`~repro.net.client.MemcachedClient` already has
+    its configured window of unanswered commands queued, or when every
+    pooled connection is at its window and the request's deadline cannot
+    afford to queue behind them.
+    """
+
+
 class SimulationError(ProteusError):
     """The discrete-event simulation was driven into an invalid state."""
 

@@ -44,7 +44,7 @@ from typing import Deque, Dict, List, Optional, Sequence, Tuple
 from dataclasses import dataclass
 
 from repro.bloom.bloom import BloomFilter
-from repro.errors import ProtocolError, TransportError
+from repro.errors import ClientOverloadError, ProtocolError, TransportError
 from repro.net import protocol as proto
 from repro.net.parser import (
     CAS_TOKENS,
@@ -204,6 +204,11 @@ class MemcachedClient:
             restores the strict request/response discipline: an internal
             lock admits one exchange at a time (the A/B baseline).
         nodelay: set ``TCP_NODELAY`` on the socket (default True).
+        max_inflight: cap on queued-but-unanswered commands (``None`` =
+            unbounded).  An exchange that would push past the cap raises
+            :class:`~repro.errors.ClientOverloadError` *before* writing
+            anything — never retried, so local overload fails fast
+            instead of stacking futures behind a saturated connection.
     """
 
     def __init__(
@@ -214,6 +219,7 @@ class MemcachedClient:
         auto_reconnect: bool = True,
         pipeline: bool = True,
         nodelay: bool = True,
+        max_inflight: Optional[int] = None,
     ) -> None:
         self.host = host
         self.port = port
@@ -221,6 +227,9 @@ class MemcachedClient:
         self.auto_reconnect = auto_reconnect
         self.pipeline = pipeline
         self.nodelay = nodelay
+        if max_inflight is not None and max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
+        self.max_inflight = max_inflight
         self._protocol: Optional[_ClientProtocol] = None
         self._serial: Optional[asyncio.Lock] = None if pipeline else asyncio.Lock()
         self._broken = False
@@ -229,6 +238,8 @@ class MemcachedClient:
         self._ever_dialed = False
         #: fresh connections dialled after a poisoned one (diagnostics)
         self.reconnects = 0
+        #: exchanges refused at the max_inflight window (diagnostics)
+        self.overflows = 0
 
     @property
     def broken(self) -> bool:
@@ -399,8 +410,22 @@ class MemcachedClient:
                 return await self._exchange_pipelined(shape, payload)
         return await self._exchange_pipelined(shape, payload)
 
+    def _check_window(self, protocol: "_ClientProtocol", n: int) -> None:
+        """Refuse (never queue) when *n* more commands would exceed the
+        ``max_inflight`` window."""
+        if self.max_inflight is None:
+            return
+        queued = len(protocol.pending)
+        if queued + n > self.max_inflight:
+            self.overflows += 1
+            raise ClientOverloadError(
+                f"{self.host}:{self.port}: {queued} commands queued, "
+                f"{n} more would exceed the {self.max_inflight} window"
+            )
+
     async def _exchange_pipelined(self, shape: ReplyShape, payload: bytes):
         protocol = await self._ensure_ready()
+        self._check_window(protocol, 1)
         future = asyncio.get_running_loop().create_future()
         try:
             protocol.issue((shape,), payload, (future,))
@@ -425,6 +450,7 @@ class MemcachedClient:
         self, shapes: Sequence[ReplyShape], payload: bytes
     ) -> List[object]:
         protocol = await self._ensure_ready()
+        self._check_window(protocol, len(shapes))
         loop = asyncio.get_running_loop()
         futures = [loop.create_future() for _ in shapes]
         try:

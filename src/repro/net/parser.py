@@ -40,7 +40,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Deque, List, Optional, Tuple, Union
 
-from repro.errors import ProtocolError
+from repro.errors import ProtocolError, ServerBusyError
 from repro.net import protocol as proto
 
 __all__ = [
@@ -81,8 +81,19 @@ class ErrorLine:
 
     line: bytes
 
+    @property
+    def is_busy(self) -> bool:
+        """True for the server's backpressure shed reply
+        (``SERVER_ERROR busy ...``)."""
+        return self.line.startswith(proto.BUSY_PREFIX)
+
     def raise_(self) -> None:
-        raise ProtocolError(self.line.decode("utf-8", "replace"))
+        text = self.line.decode("utf-8", "replace")
+        if self.is_busy:
+            # A shed, not a protocol fault: never transiently retried
+            # (storms must not amplify), and the stream is still framed.
+            raise ServerBusyError(text)
+        raise ProtocolError(text)
 
 
 @dataclass(slots=True)

@@ -30,8 +30,9 @@ import asyncio
 import contextlib
 from typing import AsyncIterator, Dict, List, Optional
 
-from repro.errors import ConfigurationError
+from repro.errors import ClientOverloadError, ConfigurationError
 from repro.net.client import MemcachedClient
+from repro.resilience.deadline import Deadline
 
 __all__ = ["ConnectionPool"]
 
@@ -48,6 +49,13 @@ class ConnectionPool:
             every connection strictly request/response — the pool then
             behaves like the pre-pipelining tier (the bench baseline).
         nodelay: set ``TCP_NODELAY`` on every connection (default True).
+        max_inflight_per_conn: per-connection in-flight window used by
+            the saturation check (``None`` = no window, the pre-armor
+            behaviour).  When every live connection is at its window and
+            the pool is at ``size``, an acquire carrying a deadline that
+            cannot afford one more op-timeout of queueing **fails fast**
+            with :class:`~repro.errors.ClientOverloadError` instead of
+            piling onto a saturated connection.
     """
 
     def __init__(
@@ -58,15 +66,22 @@ class ConnectionPool:
         timeout: Optional[float] = None,
         pipeline: bool = True,
         nodelay: bool = True,
+        max_inflight_per_conn: Optional[int] = None,
     ) -> None:
         if size < 1:
             raise ConfigurationError(f"pool size must be >= 1, got {size}")
+        if max_inflight_per_conn is not None and max_inflight_per_conn < 1:
+            raise ConfigurationError(
+                "max_inflight_per_conn must be >= 1, "
+                f"got {max_inflight_per_conn}"
+            )
         self.host = host
         self.port = port
         self.size = size
         self.timeout = timeout
         self.pipeline = pipeline
         self.nodelay = nodelay
+        self.max_inflight_per_conn = max_inflight_per_conn
         self._conns: List[MemcachedClient] = []
         self._leases: Dict[int, int] = {}  # id(client) -> live leases
         self._dialing = 0  # dials in flight (they hold a size slot)
@@ -74,6 +89,14 @@ class ConnectionPool:
         self.dials = 0
         #: broken connections dropped from the pool
         self.ejections = 0
+        #: acquisitions that found no idle connection at the size bound
+        #: and had to share a busy one (mirrors ``web.pool``'s counter)
+        self.waited = 0
+        #: highest concurrent lease count ever reached (high-water mark)
+        self.leases_peak = 0
+        #: acquisitions refused because every window was full and the
+        #: deadline could not afford to queue
+        self.overflow_failures = 0
         self._retired_reconnects = 0
         self._closed = False
 
@@ -155,16 +178,29 @@ class ConnectionPool:
         self.ejections += 1
         client._poison()  # abort outright: the stream is already dead
 
-    async def acquire(self) -> MemcachedClient:
+    async def acquire(
+        self, deadline: Optional[Deadline] = None
+    ) -> MemcachedClient:
         """A connection to run commands on; call :meth:`release` after.
 
         Never blocks: below ``size`` a fresh connection is dialled when
         every live one is busy; at the bound the least-loaded live
         connection is shared (it pipelines).  Dial errors propagate —
         classification is the caller's retry policy's job.
+
+        With a *deadline* attached the acquire fails fast instead of
+        wasting work: an already-expired deadline raises
+        :class:`~repro.errors.DeadlineExceeded` before any dial, and a
+        saturated pool (every live connection at its
+        ``max_inflight_per_conn`` window, no dial slot free) raises
+        :class:`~repro.errors.ClientOverloadError` when the deadline
+        cannot afford even one more op-timeout of queueing.
         """
         if self._closed:
             raise ConfigurationError("pool is closed")
+        if deadline is not None:
+            # A dead budget must not burn a connect + retry cycle.
+            deadline.check("connection acquire")
         # Sweep idle broken connections first: they hold no leases, so
         # eject now and let the dial below replace them.
         for client in list(self._conns):
@@ -184,15 +220,41 @@ class ConnectionPool:
             # share whatever lands instead of over-dialling past size.
             while self._dialing and not self._conns:
                 await asyncio.sleep(0)
-            return await self.acquire()
+            return await self.acquire(deadline)
         elif candidates:
+            self._check_saturation(candidates, deadline)
+            self.waited += 1
             chosen = min(candidates, key=lambda c: self._leases[id(c)])
         else:
             # Every connection is broken but still leased: share one —
             # the client auto-reconnects on its next exchange.
+            self.waited += 1
             chosen = min(self._conns, key=lambda c: self._leases[id(c)])
         self._leases[id(chosen)] = self._leases.get(id(chosen), 0) + 1
+        total = self.leases
+        if total > self.leases_peak:
+            self.leases_peak = total
         return chosen
+
+    def _check_saturation(
+        self, candidates: List[MemcachedClient], deadline: Optional[Deadline]
+    ) -> None:
+        """Fail fast when every window is full and the deadline cannot
+        afford to queue behind them (~one op-timeout of waiting)."""
+        if self.max_inflight_per_conn is None or deadline is None:
+            return
+        if any(
+            c.inflight < self.max_inflight_per_conn for c in candidates
+        ):
+            return
+        if deadline.allows(self.timeout or 0.0):
+            return
+        self.overflow_failures += 1
+        raise ClientOverloadError(
+            f"{self.host}:{self.port}: every connection is at its "
+            f"{self.max_inflight_per_conn}-command window and the "
+            "deadline cannot afford to queue"
+        )
 
     def release(self, client: MemcachedClient) -> None:
         """Return a leased connection; broken ones are ejected once the
@@ -205,9 +267,11 @@ class ConnectionPool:
             self._eject(client)
 
     @contextlib.asynccontextmanager
-    async def connection(self) -> AsyncIterator[MemcachedClient]:
+    async def connection(
+        self, deadline: Optional[Deadline] = None
+    ) -> AsyncIterator[MemcachedClient]:
         """``async with pool.connection() as client:`` acquire/release."""
-        client = await self.acquire()
+        client = await self.acquire(deadline)
         try:
             yield client
         finally:

@@ -220,6 +220,19 @@ def error_response(message: str = "") -> bytes:
     return b"ERROR" + CRLF
 
 
+#: The shed reply: the server refused the command because its in-flight
+#: limit was exceeded.  A *well-formed* error line in the command's reply
+#: slot — the stream stays in sync, later pipelined commands may still
+#: succeed.  Clients classify it as never-retryable (see
+#: :class:`~repro.errors.ServerBusyError`).
+BUSY_PREFIX = b"SERVER_ERROR busy"
+
+
+def busy_response(detail: str = "overloaded") -> bytes:
+    """``SERVER_ERROR busy <detail>`` — the backpressure shed reply."""
+    return BUSY_PREFIX + f" {detail}".encode("utf-8") + CRLF
+
+
 def client_error_response(message: str) -> bytes:
     return f"CLIENT_ERROR {message}".encode("utf-8") + CRLF
 

@@ -51,6 +51,20 @@ class MemcachedServer:
         nodelay: set ``TCP_NODELAY`` on accepted sockets (default True) —
             reply batches must not sit behind Nagle while the client
             pipelines; the net throughput bench A/Bs this knob.
+        max_inflight: global cap on commands accepted but not yet
+            replied-and-drained, across all connections (``None`` =
+            unbounded, the pre-armor behaviour).  Commands over the cap
+            are *shed*: answered ``SERVER_ERROR busy`` without being
+            dispatched, so an overload burst costs one error line each
+            instead of queue growth.
+        max_conn_inflight: per-connection watermark — a connection whose
+            single read chunk carries more commands than this has its
+            reads paused (``transport.pause_reading()``) until the
+            replies drain, bounding per-connection pipeline memory.
+        write_high_water: per-connection write-buffer high watermark in
+            bytes (``None`` = asyncio default).  A slow-reading client
+            then blocks ``drain()`` early, which holds its commands
+            in-flight and lets the global cap shed around it.
     """
 
     def __init__(
@@ -60,9 +74,29 @@ class MemcachedServer:
         clock=time.monotonic,
         use_slabs: bool = False,
         nodelay: bool = True,
+        max_inflight: Optional[int] = None,
+        max_conn_inflight: Optional[int] = None,
+        write_high_water: Optional[int] = None,
     ) -> None:
         self._clock = clock
         self.nodelay = nodelay
+        if max_inflight is not None and max_inflight < 1:
+            raise ConfigurationError(
+                f"max_inflight must be >= 1, got {max_inflight}"
+            )
+        if max_conn_inflight is not None and max_conn_inflight < 1:
+            raise ConfigurationError(
+                f"max_conn_inflight must be >= 1, got {max_conn_inflight}"
+            )
+        self.max_inflight = max_inflight
+        self.max_conn_inflight = max_conn_inflight
+        self.write_high_water = write_high_water
+        #: commands accepted but not yet replied-and-drained (all conns)
+        self.inflight = 0
+        #: commands refused with ``SERVER_ERROR busy``
+        self.shed_commands = 0
+        #: times a connection's reads were paused at the watermark
+        self.paused_reads = 0
         if use_slabs:
             if capacity_bytes is None:
                 raise ConfigurationError("use_slabs requires capacity_bytes")
@@ -135,8 +169,18 @@ class MemcachedServer:
         with **one** write, so a client pipelining *k* commands pays ~one
         syscall round trip instead of *k* (the server half of the
         pipelined transport).
+
+        Backpressure: each accepted command counts against the global
+        ``max_inflight`` from dispatch until its chunk's replies have
+        drained — a slow-reading client therefore holds its commands
+        in-flight and the excess offered load is shed with
+        ``SERVER_ERROR busy`` instead of queued.  A chunk carrying more
+        than ``max_conn_inflight`` commands additionally pauses that
+        connection's reads until the replies drain (the per-connection
+        watermark).
         """
         self.connections += 1
+        transport = writer.transport
         if self.nodelay:
             sock = writer.get_extra_info("socket")
             if sock is not None:
@@ -144,6 +188,8 @@ class MemcachedServer:
                     sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
                 except OSError:  # pragma: no cover - non-TCP transports
                     pass
+        if self.write_high_water is not None:
+            transport.set_write_buffer_limits(high=self.write_high_water)
         parser = CommandParser()
         out = bytearray()
         try:
@@ -152,6 +198,7 @@ class MemcachedServer:
                 data = await reader.read(READ_CHUNK)
                 if not data:
                     break
+                accepted = 0
                 for item in parser.feed(data):
                     if isinstance(item, BadCommand):
                         out += proto.client_error_response(item.message)
@@ -165,13 +212,47 @@ class MemcachedServer:
                     if item.command == "quit":
                         closing = True
                         break
+                    if (
+                        self.max_inflight is not None
+                        and self.inflight >= self.max_inflight
+                    ):
+                        # Shed: a well-formed error line in the command's
+                        # reply slot — the stream stays framed, and the
+                        # command is never dispatched.
+                        self.shed_commands += 1
+                        if not item.noreply:
+                            out += proto.busy_response(
+                                f"inflight limit {self.max_inflight}"
+                            )
+                        continue
+                    self.inflight += 1
+                    accepted += 1
                     response = self._dispatch(item)
                     if response and not item.noreply:
                         out += response
-                if out:
-                    writer.write(bytes(out))
-                    out.clear()
-                    await writer.drain()
+                paused = False
+                if (
+                    self.max_conn_inflight is not None
+                    and accepted > self.max_conn_inflight
+                ):
+                    try:
+                        transport.pause_reading()
+                        paused = True
+                        self.paused_reads += 1
+                    except RuntimeError:  # pragma: no cover - closing race
+                        pass
+                try:
+                    if out:
+                        writer.write(bytes(out))
+                        out.clear()
+                        await writer.drain()
+                finally:
+                    self.inflight -= accepted
+                    if paused:
+                        try:
+                            transport.resume_reading()
+                        except RuntimeError:  # pragma: no cover
+                            pass
         finally:
             writer.close()
             try:
@@ -373,6 +454,9 @@ class MemcachedServer:
             "digest_overflows": self.digest.overflow_events,
             "digest_bytes": self.digest.size_bytes(),
             "curr_connections": self.connections,
+            "inflight_commands": self.inflight,
+            "shed_commands": self.shed_commands,
+            "paused_reads": self.paused_reads,
         }
 
 
@@ -390,6 +474,8 @@ def main(argv: Optional[list] = None) -> None:  # pragma: no cover - CLI
     parser.add_argument("--port", type=int, default=0)
     parser.add_argument("--capacity-mb", type=float, default=None)
     parser.add_argument("--expected-keys", type=int, default=100_000)
+    parser.add_argument("--max-inflight", type=int, default=None)
+    parser.add_argument("--max-conn-inflight", type=int, default=None)
     args = parser.parse_args(argv)
 
     async def serve() -> None:
@@ -398,6 +484,8 @@ def main(argv: Optional[list] = None) -> None:  # pragma: no cover - CLI
                 int(args.capacity_mb * (1 << 20)) if args.capacity_mb else None
             ),
             bloom_config=optimal_config(args.expected_keys),
+            max_inflight=args.max_inflight,
+            max_conn_inflight=args.max_conn_inflight,
         )
         port = await server.start(args.host, args.port)
         print(f"LISTENING {port}", flush=True)

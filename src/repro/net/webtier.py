@@ -88,16 +88,41 @@ from repro.core.retrieval import (
 from repro.core.router import ProteusRouter
 from repro.core.transition import Transition, TransitionManager
 from repro.errors import (
+    ClientOverloadError,
     ConfigurationError,
+    DeadlineExceeded,
     DigestBroadcastError,
+    OverloadError,
+    ServerBusyError,
     TransitionError,
     TransportError,
 )
 from repro.net.pool import ConnectionPool
-from repro.resilience import CircuitBreaker, Deadline, ResiliencePolicy
+from repro.resilience import (
+    AdaptiveConcurrencyLimiter,
+    CircuitBreaker,
+    Deadline,
+    ResiliencePolicy,
+    RetryBudget,
+)
 
 #: async database fetch: key -> value bytes (authoritative, never misses)
 DatabaseFetch = Callable[[str], Awaitable[bytes]]
+
+
+def _is_timeout(error: BaseException) -> bool:
+    """True when *error* is (or was caused by) an operation timeout —
+    the congestion signal the AIMD limiter shrinks on.  Refused
+    connections are a liveness problem (the breaker's job), not a
+    window problem, so they deliberately do not count."""
+    seen = set()
+    current: Optional[BaseException] = error
+    while current is not None and id(current) not in seen:
+        if isinstance(current, asyncio.TimeoutError):
+            return True
+        seen.add(id(current))
+        current = current.__cause__
+    return False
 
 
 class AsyncProteusFrontend(RetrievalConfigMixin):
@@ -122,6 +147,17 @@ class AsyncProteusFrontend(RetrievalConfigMixin):
             ``False`` is the pre-pipelining one-exchange-at-a-time
             baseline.
         nodelay: set ``TCP_NODELAY`` on every cache connection.
+        max_inflight_per_conn: per-connection in-flight window handed to
+            every pool (see
+            :class:`~repro.net.pool.ConnectionPool`); with a request
+            deadline attached, a fully saturated pool fails fast instead
+            of queueing.  ``None`` keeps the unbounded pre-armor
+            behaviour.
+        admission: DB-path admission controller (typically a
+            :class:`~repro.resilience.ConcurrencyAdmission`) wired into
+            the engine; ``None`` admits everything.  Shed DB work
+            answers ``None`` with :attr:`FetchPath.SHED` — hits are
+            always served.
     """
 
     def __init__(
@@ -137,6 +173,8 @@ class AsyncProteusFrontend(RetrievalConfigMixin):
         pool_size: int = 4,
         pipeline: bool = True,
         nodelay: bool = True,
+        max_inflight_per_conn: Optional[int] = None,
+        admission=None,
     ) -> None:
         if not endpoints:
             raise ConfigurationError("need at least one cache endpoint")
@@ -162,14 +200,32 @@ class AsyncProteusFrontend(RetrievalConfigMixin):
         #: key -> future resolved when the leader's write-back lands
         self._inflight: Dict[str, asyncio.Future] = {}
         self.resilience = resilience or ResiliencePolicy.default()
+        self.max_inflight_per_conn = max_inflight_per_conn
+        self.engine.admission = admission
         #: one breaker per cache server, sharing this frontend's clock
         self.breakers: List[CircuitBreaker] = [
             self.resilience.new_breaker(clock) for _ in endpoints
+        ]
+        #: one retry budget for the whole frontend (``None`` when the
+        #: policy's ``retry_budget_ratio`` is 0): the cap is on *total*
+        #: retry volume, so a storm cannot multiply across servers
+        self.retry_budget: Optional[RetryBudget] = (
+            self.resilience.new_retry_budget(clock)
+        )
+        #: per-server AIMD in-flight windows (``None`` entries when the
+        #: policy's ``limiter_window`` is 0)
+        self.limiters: List[Optional[AdaptiveConcurrencyLimiter]] = [
+            self.resilience.new_limiter(clock) for _ in endpoints
         ]
         #: cache RPCs answered with ``SERVER_UNAVAILABLE`` (degraded)
         self.unavailable_rpcs = 0
         #: transient cache-RPC failures observed (pre-retry, per attempt)
         self.transient_failures = 0
+        #: cache RPCs refused by overload armor (limiter window full,
+        #: server busy reply, saturated pool) — never retried
+        self.shed_rpcs = 0
+        #: retries skipped because the budget was spent
+        self.budget_denied_retries = 0
 
     # ------------------------------------------------------------- facade
 
@@ -183,6 +239,54 @@ class AsyncProteusFrontend(RetrievalConfigMixin):
         """Per-path counters (owned by the engine), same
         :class:`FetchPath` keys as the simulator's."""
         return self.engine.stats
+
+    @property
+    def admission(self):
+        """The engine's DB-path admission controller (may be ``None``)."""
+        return self.engine.admission
+
+    def queue_depth(self, now: Optional[float] = None) -> float:
+        """Outstanding admitted DB work (0 without admission) — the
+        gauge health monitors watch alongside the shed rate."""
+        if self.engine.admission is None:
+            return 0.0
+        return self.engine.admission.depth(
+            self._clock() if now is None else now
+        )
+
+    def transport_stats(self) -> Dict[str, int]:
+        """Aggregated transport/overload counters across every pool,
+        limiter, and the retry budget — the frontend-level stats surface
+        the ISSUE's armor exposes (all monotonic)."""
+        pools = [pool for pool in self.pools if pool is not None]
+        stats = {
+            "dials": sum(p.dials for p in pools),
+            "ejections": sum(p.ejections for p in pools),
+            "reconnects": self.reconnects,
+            "pool_waited": sum(p.waited for p in pools),
+            "pool_leases_peak": max(
+                (p.leases_peak for p in pools), default=0
+            ),
+            "pool_overflow_failures": sum(
+                p.overflow_failures for p in pools
+            ),
+            "unavailable_rpcs": self.unavailable_rpcs,
+            "transient_failures": self.transient_failures,
+            "shed_rpcs": self.shed_rpcs,
+            "budget_denied_retries": self.budget_denied_retries,
+            "shed_fetches": self.engine.stats.shed,
+        }
+        if self.retry_budget is not None:
+            stats["retries_granted"] = self.retry_budget.granted
+            stats["retries_denied"] = self.retry_budget.denied
+        limiters = [lim for lim in self.limiters if lim is not None]
+        if limiters:
+            stats["limiter_shed"] = sum(lim.shed for lim in limiters)
+            stats["limiter_cuts"] = sum(lim.cuts for lim in limiters)
+            stats["limiter_peak_inflight"] = max(
+                lim.peak_inflight for lim in limiters
+            )
+        return stats
 
     # ----------------------------------------------------------- lifecycle
 
@@ -203,6 +307,7 @@ class AsyncProteusFrontend(RetrievalConfigMixin):
                     timeout=self.resilience.op_timeout,
                     pipeline=self.pipeline,
                     nodelay=self.nodelay,
+                    max_inflight_per_conn=self.max_inflight_per_conn,
                 )
             try:
                 await self.pools[index].prewarm()
@@ -239,22 +344,38 @@ class AsyncProteusFrontend(RetrievalConfigMixin):
             )
         return pool
 
-    async def _get(self, server_id: int, key: str) -> Optional[bytes]:
-        async with self._pool(server_id).connection() as client:
+    async def _get(
+        self,
+        server_id: int,
+        key: str,
+        deadline: Optional[Deadline] = None,
+    ) -> Optional[bytes]:
+        async with self._pool(server_id).connection(deadline) as client:
             return await client.get(key)
 
-    async def _set(self, server_id: int, key: str, value: bytes) -> None:
-        async with self._pool(server_id).connection() as client:
+    async def _set(
+        self,
+        server_id: int,
+        key: str,
+        value: bytes,
+        deadline: Optional[Deadline] = None,
+    ) -> None:
+        async with self._pool(server_id).connection(deadline) as client:
             await client.set(key, value)
 
     async def _get_multi(
-        self, server_id: int, keys: Sequence[str]
+        self,
+        server_id: int,
+        keys: Sequence[str],
+        deadline: Optional[Deadline] = None,
     ) -> Dict[str, bytes]:
-        async with self._pool(server_id).connection() as client:
+        async with self._pool(server_id).connection(deadline) as client:
             return await client.get_multi(keys)
 
-    async def _set_multi(self, server_id: int, items) -> None:
-        async with self._pool(server_id).connection() as client:
+    async def _set_multi(
+        self, server_id: int, items, deadline: Optional[Deadline] = None
+    ) -> None:
+        async with self._pool(server_id).connection(deadline) as client:
             await client.set_multi(items)
 
     # ------------------------------------------------------ fault-tolerant RPC
@@ -275,8 +396,30 @@ class AsyncProteusFrontend(RetrievalConfigMixin):
         the final transient error propagates instead.  Fatal errors
         (anything the retry policy does not classify transient) always
         propagate: retrying cannot change a configuration mistake.
+
+        Overload armor (all opt-in via :class:`ResiliencePolicy`):
+
+        * an already-expired deadline fails fast — no dial, no queue,
+          no retry;
+        * the per-server AIMD limiter bounds concurrent RPCs; a refused
+          acquire degrades immediately (counted in :attr:`shed_rpcs`);
+        * :class:`~repro.errors.OverloadError` answers (``SERVER_ERROR
+          busy`` sheds, saturated pools, full client windows) are
+          **never retried** — a storm cannot amplify through here;
+        * every retry sleep must be granted by the frontend-wide
+          :class:`~repro.resilience.RetryBudget`, so total retry volume
+          stays a bounded fraction of request volume;
+        * operation timeouts feed ``limiter.on_overload`` (the window
+          shrinks multiplicatively); successes grow it back additively.
         """
         policy = self.resilience
+        if deadline is not None and deadline.expired():
+            # Fail fast on a dead budget: skip dialling and queueing
+            # entirely — the RPC could not possibly be useful.
+            self.unavailable_rpcs += 1
+            if policy.degrade_to_database:
+                return SERVER_UNAVAILABLE
+            deadline.check(f"cache rpc to server {server_id}")
         breaker = self.breakers[server_id]
         if not breaker.allow(self._clock()):
             self.unavailable_rpcs += 1
@@ -285,32 +428,71 @@ class AsyncProteusFrontend(RetrievalConfigMixin):
             raise TransportError(
                 f"circuit open for cache server {server_id}"
             )
-        sleeps = list(policy.retry.delays())
-        last_error: Optional[BaseException] = None
-        for attempt in range(policy.retry.max_attempts):
-            if deadline is not None and deadline.expired():
-                break
-            try:
-                result = await op()
-            except Exception as error:
-                if not policy.retry.is_transient(error):
-                    raise
-                last_error = error
-                self.transient_failures += 1
-                breaker.record_failure(self._clock())
-                if attempt >= len(sleeps):
+        limiter = self.limiters[server_id]
+        if limiter is not None and not limiter.try_acquire(self._clock()):
+            self.shed_rpcs += 1
+            self.unavailable_rpcs += 1
+            if policy.degrade_to_database:
+                return SERVER_UNAVAILABLE
+            raise ClientOverloadError(
+                f"cache server {server_id}: in-flight window full"
+            )
+        try:
+            if self.retry_budget is not None:
+                # Deposit happens per RPC, not per attempt: the budget
+                # caps retries at a fraction of *request* volume.
+                self.retry_budget.record_request(now=self._clock())
+            sleeps = list(policy.retry.delays())
+            last_error: Optional[BaseException] = None
+            for attempt in range(policy.retry.max_attempts):
+                if deadline is not None and deadline.expired():
                     break
-                if not breaker.allow(self._clock()):
-                    # The circuit tripped mid-loop: stop hammering.
+                try:
+                    result = await op()
+                except OverloadError as error:
+                    # A shed reply or a local bound: retrying would feed
+                    # the storm, so degrade straight to the database.
+                    last_error = error
+                    self.shed_rpcs += 1
+                    if limiter is not None and isinstance(
+                        error, ServerBusyError
+                    ):
+                        limiter.on_overload(self._clock())
                     break
-                sleep = sleeps[attempt]
-                if deadline is not None and not deadline.allows(sleep):
+                except DeadlineExceeded as error:
+                    last_error = error
                     break
-                if sleep > 0:
-                    await asyncio.sleep(sleep)
-            else:
-                breaker.record_success(self._clock())
-                return result
+                except Exception as error:
+                    if not policy.retry.is_transient(error):
+                        raise
+                    last_error = error
+                    self.transient_failures += 1
+                    breaker.record_failure(self._clock())
+                    if limiter is not None and _is_timeout(error):
+                        limiter.on_overload(self._clock())
+                    if attempt >= len(sleeps):
+                        break
+                    if not breaker.allow(self._clock()):
+                        # The circuit tripped mid-loop: stop hammering.
+                        break
+                    if self.retry_budget is not None and (
+                        not self.retry_budget.allow_retry(self._clock())
+                    ):
+                        self.budget_denied_retries += 1
+                        break
+                    sleep = sleeps[attempt]
+                    if deadline is not None and not deadline.allows(sleep):
+                        break
+                    if sleep > 0:
+                        await asyncio.sleep(sleep)
+                else:
+                    breaker.record_success(self._clock())
+                    if limiter is not None:
+                        limiter.on_success(self._clock())
+                    return result
+        finally:
+            if limiter is not None:
+                limiter.release()
         self.unavailable_rpcs += 1
         if policy.degrade_to_database:
             return SERVER_UNAVAILABLE
@@ -383,8 +565,14 @@ class AsyncProteusFrontend(RetrievalConfigMixin):
 
     async def _broadcast_digest(self, server_id: int) -> BloomFilter:
         """Snapshot + fetch one old owner's digest, retrying transient
-        faults (the pair is idempotent, so it retries as a unit)."""
+        faults (the pair is idempotent, so it retries as a unit).  Every
+        retry sleep is charged against the frontend's
+        :class:`~repro.resilience.RetryBudget` — digest broadcasts are
+        rare but ride the same retry machinery, so they obey the same
+        storm bound."""
         retry = self.resilience.retry
+        if self.retry_budget is not None:
+            self.retry_budget.record_request(now=self._clock())
         sleeps = list(retry.delays())
         last_error: Optional[BaseException] = None
         for attempt in range(retry.max_attempts):
@@ -402,7 +590,14 @@ class AsyncProteusFrontend(RetrievalConfigMixin):
                 if not retry.is_transient(error):
                     raise
                 last_error = error
-                if attempt < len(sleeps) and sleeps[attempt] > 0:
+                if attempt >= len(sleeps):
+                    continue
+                if self.retry_budget is not None and (
+                    not self.retry_budget.allow_retry(self._clock())
+                ):
+                    self.budget_denied_retries += 1
+                    break
+                if sleeps[attempt] > 0:
                     await asyncio.sleep(sleeps[attempt])
         assert last_error is not None
         raise last_error
@@ -431,7 +626,9 @@ class AsyncProteusFrontend(RetrievalConfigMixin):
                     server_id = command.server_id
                     probe_started = self._clock()
                     result = await self._cache_rpc(
-                        server_id, lambda: self._get(server_id, key), deadline
+                        server_id,
+                        lambda: self._get(server_id, key, deadline),
+                        deadline,
                     )
                     if (
                         self.config.hot_key_cache
@@ -458,13 +655,21 @@ class AsyncProteusFrontend(RetrievalConfigMixin):
                     if command.announce_leader and key not in self._inflight:
                         leader = asyncio.get_running_loop().create_future()
                         self._inflight[key] = leader
-                    result = await self.database(key)
+                    try:
+                        result = await self.database(key)
+                    finally:
+                        if self.engine.admission is not None:
+                            # Free the admitted slot even on DB failure.
+                            finished = self._clock()
+                            self.engine.admission.db_finished(
+                                finished, completed=finished
+                            )
                 elif isinstance(command, WriteBack):
                     server_id = command.server_id
                     value = command.value
                     result = await self._cache_rpc(
                         server_id,
-                        lambda: self._set(server_id, key, value),
+                        lambda: self._set(server_id, key, value, deadline),
                         deadline,
                     )
                 else:  # pragma: no cover - exhaustive over Command
@@ -563,13 +768,15 @@ class AsyncProteusFrontend(RetrievalConfigMixin):
                 keys = command.keys
                 return await self._cache_rpc(
                     server_id,
-                    lambda: self._get_multi(server_id, keys),
+                    lambda: self._get_multi(server_id, keys, deadline),
                     deadline,
                 )
             # reply_with == "ack": pipelined write-backs
             items = command.items
             return await self._cache_rpc(
-                server_id, lambda: self._set_multi(server_id, items), deadline
+                server_id,
+                lambda: self._set_multi(server_id, items, deadline),
+                deadline,
             )
         if isinstance(command, CheckDigest):
             transition = epochs.transition
@@ -588,7 +795,14 @@ class AsyncProteusFrontend(RetrievalConfigMixin):
                 leader = asyncio.get_running_loop().create_future()
                 self._inflight[key] = leader
                 leaders[key] = leader
-            return await self.database(key)
+            try:
+                return await self.database(key)
+            finally:
+                if self.engine.admission is not None:
+                    finished = self._clock()
+                    self.engine.admission.db_finished(
+                        finished, completed=finished
+                    )
         raise ConfigurationError(f"unknown batched command: {command!r}")
 
     async def put(self, key: str, value: bytes) -> None:

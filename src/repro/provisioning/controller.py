@@ -61,6 +61,13 @@ class DelayFeedbackController:
             previous transition is considered still decaying and
             scale-down is vetoed; a handful of straggler old-owner hits
             below the threshold no longer blocks descent forever.
+        shed_rate_threshold: admission-shed rate (per offered request,
+            per :attr:`HealthSnapshot.shed_rate`) above which the slot
+            is treated as overloaded: sustained shedding means demand
+            the tier refused to serve, so one server is added and
+            scale-down is vetoed — the closed loop's answer to a flash
+            crowd the delay signal alone under-reports (shed requests
+            never post a latency sample).
 
     Passing a :class:`~repro.provisioning.health.HealthSnapshot` to
     :meth:`update` closes the loop with the resilience layer; with
@@ -76,6 +83,7 @@ class DelayFeedbackController:
     scale_down_margin: float = 0.75
     degraded_rate_threshold: float = 0.05
     remap_veto_threshold: float = 0.05
+    shed_rate_threshold: float = 0.02
     _n: int = field(init=False)
     history: List[int] = field(init=False, default_factory=list)
     #: slots where health feedback forced extra capacity
@@ -106,6 +114,11 @@ class DelayFeedbackController:
             raise ConfigurationError(
                 "remap_veto_threshold must be >= 0, got "
                 f"{self.remap_veto_threshold}"
+            )
+        if self.shed_rate_threshold < 0:
+            raise ConfigurationError(
+                "shed_rate_threshold must be >= 0, got "
+                f"{self.shed_rate_threshold}"
             )
         self._n = self.num_servers
         self.history = [self._n]
@@ -195,6 +208,7 @@ class DelayFeedbackController:
         health: "HealthSnapshot",
     ) -> int:
         """Adjust the delay-derived *candidate* with resilience signals."""
+        shedding = health.shed_rate > self.shed_rate_threshold
         lost = len([s for s in health.unhealthy_servers if s < n])
         required = max(
             self.min_servers,
@@ -211,12 +225,12 @@ class DelayFeedbackController:
             if target > candidate:
                 candidate = target
                 self.emergency_scale_ups += 1
-        elif (
-            not health.unhealthy_servers
-            and health.degraded_rate > self.degraded_rate_threshold
+        elif not health.unhealthy_servers and (
+            health.degraded_rate > self.degraded_rate_threshold or shedding
         ):
             # The path is degrading without a clearly-dead server (resets,
-            # reconnect storms): add one server's worth of slack.
+            # reconnect storms), or admission control is refusing work the
+            # tier should absorb: add one server's worth of slack.
             if candidate <= n < self.num_servers:
                 candidate = n + 1
                 self.emergency_scale_ups += 1
@@ -227,6 +241,7 @@ class DelayFeedbackController:
             bool(health.unhealthy_servers)
             or health.in_transition
             or decaying
+            or shedding
         )
         if candidate < n and impaired:
             self.vetoed_scale_downs += 1

@@ -66,6 +66,12 @@ class HealthSnapshot:
             window — nonzero only while a drain window's working set is
             still re-registering.
         in_transition: True while a drain window was open at *at*.
+        shed: requests shed by admission control in the window (the
+            :attr:`~repro.core.retrieval.FetchPath.SHED` delta) — unlike
+            ``degraded`` these were *not served*, so sustained shedding
+            is a scale-up signal, not just a veto.
+        queue_depth: outstanding admitted DB work at *at* (a gauge, not
+            a delta — summed across watched frontends).
     """
 
     at: float
@@ -79,6 +85,8 @@ class HealthSnapshot:
     reconnects: int = 0
     remap_misses: int = 0
     in_transition: bool = False
+    shed: int = 0
+    queue_depth: float = 0.0
 
     @property
     def unhealthy_servers(self) -> FrozenSet[int]:
@@ -96,12 +104,19 @@ class HealthSnapshot:
         return self.degraded_events / self.requests if self.requests else 0.0
 
     @property
+    def shed_rate(self) -> float:
+        """Requests shed per offered request in the window (0 when idle)."""
+        return self.shed / self.requests if self.requests else 0.0
+
+    @property
     def healthy(self) -> bool:
-        """No impairment visible: nothing tripped, crashed, or degrading."""
+        """No impairment visible: nothing tripped, crashed, degrading,
+        or shedding."""
         return (
             not self.unhealthy_servers
             and self.degraded_events == 0
             and self.reconnects == 0
+            and self.shed == 0
         )
 
 
@@ -137,11 +152,13 @@ class ClusterHealthMonitor:
         ] = []
         self._failure_sources: List[Callable[[], Iterable[int]]] = []
         self._reconnect_sources: List[Callable[[], int]] = []
+        self._depth_sources: List[Callable[[float], float]] = []
         self._transition_probe: Optional[Callable[[float], bool]] = None
         self._last_requests = 0
         self._last_degraded: Dict[str, int] = {}
         self._last_remap = 0
         self._last_reconnects = 0
+        self._last_shed = 0
         #: every snapshot taken, oldest first
         self.history: List[HealthSnapshot] = []
 
@@ -166,6 +183,12 @@ class ClusterHealthMonitor:
         """Add a cumulative reconnect-count supplier (live substrate)."""
         self._reconnect_sources.append(source)
 
+    def watch_queue_depth(self, source: Callable[[float], float]) -> None:
+        """Add an outstanding-DB-work gauge (``now -> depth``), e.g. a
+        frontend's ``queue_depth``; watched gauges are summed per
+        snapshot."""
+        self._depth_sources.append(source)
+
     def watch_transition(self, probe: Callable[[float], bool]) -> None:
         """Set the drain-window probe (``now -> bool``)."""
         self._transition_probe = probe
@@ -178,6 +201,7 @@ class ClusterHealthMonitor:
         requests_total = 0
         degraded_total: Dict[str, int] = {e: 0 for e in DEGRADED_EVENTS}
         remap_total = 0
+        shed_total = 0
         for source in self._stats_sources:
             stats = source()
             requests_total += stats.total
@@ -186,6 +210,7 @@ class ClusterHealthMonitor:
             remap_total += sum(
                 stats.counts.get(path, 0) for path in REMAP_MISS_PATHS
             )
+            shed_total += stats.counts.get(FetchPath.SHED, 0)
         open_servers = set()
         half_open_servers = set()
         for source in self._breaker_sources:
@@ -219,11 +244,16 @@ class ClusterHealthMonitor:
                 if self._transition_probe is not None
                 else False
             ),
+            shed=max(0, shed_total - self._last_shed),
+            queue_depth=sum(
+                source(now) for source in self._depth_sources
+            ),
         )
         self._last_requests = requests_total
         self._last_degraded = degraded_total
         self._last_remap = remap_total
         self._last_reconnects = reconnects_total
+        self._last_shed = shed_total
         self.history.append(snapshot)
         return snapshot
 
@@ -243,6 +273,7 @@ class ClusterHealthMonitor:
             lambda: ResiliencePolicy.health(frontend.breakers)
         )
         monitor.watch_reconnects(lambda: frontend.reconnects)
+        monitor.watch_queue_depth(lambda now: frontend.queue_depth(now))
         monitor.watch_transition(
             lambda now: frontend._manager.in_transition(now)
         )
@@ -256,6 +287,10 @@ class ClusterHealthMonitor:
         monitor = cls(cluster.num_servers)
         for web in webs:
             monitor.watch_stats(lambda web=web: web.stats)
+            if hasattr(web, "queue_depth"):
+                monitor.watch_queue_depth(
+                    lambda now, web=web: web.queue_depth(now)
+                )
         monitor.watch_failures(cluster.failed_servers)
         monitor.watch_transition(cluster.transitions.in_transition)
         return monitor

@@ -3,28 +3,41 @@
 The failure-path counterpart of :mod:`repro.core.retrieval`: pure-Python,
 clock-injectable policies — :class:`Deadline` budgets,
 :class:`RetryPolicy` backoff with seeded jitter, per-server
-:class:`CircuitBreaker` admission — plus the declarative
-:class:`FaultPlan` / :class:`FaultSchedule` vocabulary that scripts an
-outage identically for the chaos proxy (live) and the failover experiment
-(sim).  No I/O happens here; drivers decide when to sleep and what counts
-as "now".
+:class:`CircuitBreaker` admission, :class:`RetryBudget` /
+:class:`AdaptiveConcurrencyLimiter` overload armor, DB-path admission
+controllers — plus the declarative :class:`FaultPlan` /
+:class:`FaultSchedule` vocabulary that scripts an outage identically for
+the chaos proxy (live) and the failover experiment (sim).  No I/O happens
+here; drivers decide when to sleep and what counts as "now".
 """
 
+from repro.resilience.admission import (
+    AdmissionController,
+    ConcurrencyAdmission,
+    VirtualQueueAdmission,
+)
 from repro.resilience.breaker import BreakerSnapshot, BreakerState, CircuitBreaker
+from repro.resilience.budget import AdaptiveConcurrencyLimiter, RetryBudget
 from repro.resilience.deadline import Deadline
 from repro.resilience.faults import FaultPlan, FaultSchedule, ScheduledFault
 from repro.resilience.policy import ResiliencePolicy
-from repro.resilience.retry import TRANSIENT_ERRORS, RetryPolicy
+from repro.resilience.retry import NEVER_RETRY, TRANSIENT_ERRORS, RetryPolicy
 
 __all__ = [
+    "AdaptiveConcurrencyLimiter",
+    "AdmissionController",
     "BreakerSnapshot",
     "BreakerState",
     "CircuitBreaker",
+    "ConcurrencyAdmission",
     "Deadline",
     "FaultPlan",
     "FaultSchedule",
+    "NEVER_RETRY",
     "ResiliencePolicy",
+    "RetryBudget",
     "RetryPolicy",
     "ScheduledFault",
     "TRANSIENT_ERRORS",
+    "VirtualQueueAdmission",
 ]

@@ -1,0 +1,162 @@
+"""DB-path admission control for the retrieval engines (priority tiers).
+
+Under overload the retrieval path splits into two priority tiers:
+
+* **Always served** — local/hot-key hits and cache-tier hits.  They cost
+  microseconds, complete before any database decision is made, and
+  shedding them would save nothing.
+* **Sheddable** — database-path work (misses, false positives, remap
+  misses during a transition).  Each DB read occupies a backend queue
+  slot for milliseconds; past saturation, admitting more of them only
+  grows the queue and blows *every* request's latency (the Fig. 9
+  mechanism).  Refusing the excess keeps the admitted requests fast.
+
+An admission controller is consulted by
+:class:`~repro.core.retrieval.RetrievalEngine` immediately before it
+would yield ``ReadDatabase``; a refusal turns the outcome into
+``FetchPath.SHED`` (value ``None`` — *not served*, unlike
+``DEGRADED_DB``, which is served correctly at extra latency cost).  The
+driver reports each DB read's completion back via :meth:`db_finished`.
+
+Two implementations keep the sim and the live tier in parity:
+
+* :class:`ConcurrencyAdmission` — wraps an
+  :class:`~repro.resilience.budget.AdaptiveConcurrencyLimiter`; depth is
+  real in-flight DB reads.  The live frontend's model.
+* :class:`VirtualQueueAdmission` — tracks virtual completion times; the
+  queue depth at ``now`` is the number of admitted reads that have not
+  yet completed on the virtual clock.  The simulator's model, mirroring
+  the sim database's FIFO service queue without touching it.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional
+
+from repro.resilience.budget import AdaptiveConcurrencyLimiter
+
+__all__ = [
+    "AdmissionController",
+    "ConcurrencyAdmission",
+    "VirtualQueueAdmission",
+]
+
+
+class AdmissionController:
+    """Base: admit/refuse DB-path work, with shed accounting.
+
+    Subclasses implement :meth:`_admit`; this base keeps the counters
+    every driver and health monitor reads.
+    """
+
+    def __init__(self) -> None:
+        #: DB reads admitted / refused (lifetime)
+        self.admitted = 0
+        self.shed = 0
+
+    def admit_db(self, now: Optional[float] = None) -> bool:
+        """May one database read start at *now*?  A refusal is final for
+        this request — the engine sheds it, it does not queue."""
+        if self._admit(now):
+            self.admitted += 1
+            return True
+        self.shed += 1
+        return False
+
+    def db_finished(
+        self, now: Optional[float] = None, completed: Optional[float] = None
+    ) -> None:
+        """One admitted read finished (*completed* = its virtual
+        completion time, where the driver knows one)."""
+
+    def depth(self, now: Optional[float] = None) -> float:
+        """Outstanding admitted DB work — the queue-depth gauge health
+        snapshots record."""
+        return 0.0
+
+    def _admit(self, now: Optional[float]) -> bool:
+        raise NotImplementedError
+
+
+class ConcurrencyAdmission(AdmissionController):
+    """Admission bounded by an AIMD in-flight window (live tier).
+
+    ``admit_db`` acquires a limiter slot; ``db_finished`` releases it and
+    feeds the AIMD loop (success grows the window, an ``ok=False``
+    completion — deadline blown, DB error — cuts it).
+    """
+
+    def __init__(self, limiter: Optional[AdaptiveConcurrencyLimiter] = None) -> None:
+        super().__init__()
+        self.limiter = limiter or AdaptiveConcurrencyLimiter()
+
+    def _admit(self, now: Optional[float]) -> bool:
+        return self.limiter.try_acquire(now)
+
+    def db_finished(
+        self,
+        now: Optional[float] = None,
+        completed: Optional[float] = None,
+        ok: bool = True,
+    ) -> None:
+        self.limiter.release()
+        if ok:
+            self.limiter.on_success(now)
+        else:
+            self.limiter.on_overload(now)
+
+    def depth(self, now: Optional[float] = None) -> float:
+        return float(self.limiter.inflight)
+
+
+class VirtualQueueAdmission(AdmissionController):
+    """Admission bounded by virtual outstanding completions (simulator).
+
+    The sim database answers each read with a *completion time* on the
+    virtual clock; a read is outstanding while ``completion > now``.
+    Admission refuses when ``max_depth`` reads are already outstanding —
+    the same decision :class:`ConcurrencyAdmission` makes from real
+    in-flight counts, computed without wall time so the sim-vs-live
+    parity suites extend to overload.
+
+    Args:
+        max_depth: outstanding DB reads allowed before shedding.
+    """
+
+    def __init__(self, max_depth: int = 16) -> None:
+        if max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1, got {max_depth}")
+        super().__init__()
+        self.max_depth = max_depth
+        self._completions: List[float] = []  # min-heap of completion times
+        # Admitted reads whose completion time has not been reported yet.
+        # Without this, every key of one batch would pass the depth check
+        # before the first read's ``db_finished`` lands — the bound must
+        # hold *within* a batch, not just between requests.
+        self._pending = 0
+
+    def _prune(self, now: float) -> None:
+        while self._completions and self._completions[0] <= now:
+            heapq.heappop(self._completions)
+
+    def _admit(self, now: Optional[float]) -> bool:
+        if now is None:
+            return True  # inert without a virtual clock
+        self._prune(now)
+        if len(self._completions) + self._pending >= self.max_depth:
+            return False
+        self._pending += 1
+        return True
+
+    def db_finished(
+        self, now: Optional[float] = None, completed: Optional[float] = None
+    ) -> None:
+        self._pending = max(0, self._pending - 1)
+        if completed is not None:
+            heapq.heappush(self._completions, completed)
+
+    def depth(self, now: Optional[float] = None) -> float:
+        if now is not None:
+            self._prune(now)
+        return float(len(self._completions) + self._pending)

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, Optional
 
 from repro.resilience.breaker import BreakerSnapshot, CircuitBreaker
+from repro.resilience.budget import AdaptiveConcurrencyLimiter, RetryBudget
 from repro.resilience.deadline import Deadline
 from repro.resilience.retry import RetryPolicy
 
@@ -42,6 +43,16 @@ class ResiliencePolicy:
             behaviour), a cache RPC that exhausts its retries answers the
             engine with ``SERVER_UNAVAILABLE`` so Algorithm 2 serves around
             the fault; when False the final error propagates to the caller.
+        retry_budget_ratio: retries allowed per recent request, shared
+            across every retry loop the driver runs (0.0 disables the
+            budget — the pre-overload-armor behaviour).
+        retry_budget_min_rate: trickle reserve (retries/second) so
+            low-volume clients keep a minimal allowance when the budget
+            is armed.
+        limiter_window: starting AIMD in-flight window per server (0
+            disables adaptive concurrency limiting).
+        limiter_backoff: multiplicative-decrease factor applied to the
+            window on a deadline/timeout/shed signal.
     """
 
     retry: RetryPolicy = None  # type: ignore[assignment]
@@ -51,6 +62,10 @@ class ResiliencePolicy:
     op_timeout: Optional[float] = None
     request_budget: Optional[float] = None
     degrade_to_database: bool = True
+    retry_budget_ratio: float = 0.0
+    retry_budget_min_rate: float = 1.0
+    limiter_window: int = 0
+    limiter_backoff: float = 0.5
 
     def __post_init__(self) -> None:
         if self.retry is None:
@@ -74,6 +89,16 @@ class ResiliencePolicy:
             request_budget=max(1.0, 8 * op_timeout),
         )
 
+    @classmethod
+    def overload_armor(cls, op_timeout: float = 0.25) -> "ResiliencePolicy":
+        """The :meth:`aggressive` profile with the overload armor on:
+        a 0.2 retry budget and an adaptive per-server window, for
+        5x-offered-load territory where unbudgeted retries amplify."""
+        policy = cls.aggressive(op_timeout=op_timeout)
+        policy.retry_budget_ratio = 0.2
+        policy.limiter_window = 64
+        return policy
+
     # ----------------------------------------------------------- factories
 
     def new_breaker(
@@ -92,6 +117,36 @@ class ResiliencePolicy:
     ) -> Deadline:
         """A fresh per-request deadline bound to *clock* (may be unlimited)."""
         return Deadline(self.request_budget, clock=clock)
+
+    def new_retry_budget(
+        self, clock: Callable[[], float] = time.monotonic
+    ) -> Optional[RetryBudget]:
+        """The driver-wide retry budget, or ``None`` when disabled.
+
+        One budget per driver (NOT per server): a storm against one
+        server must not be fundable from another server's quiet traffic
+        being absent — the cap is on the driver's total retry volume.
+        """
+        if self.retry_budget_ratio <= 0.0:
+            return None
+        return RetryBudget(
+            ratio=self.retry_budget_ratio,
+            min_retries_per_second=self.retry_budget_min_rate,
+            clock=clock,
+        )
+
+    def new_limiter(
+        self, clock: Callable[[], float] = time.monotonic
+    ) -> Optional[AdaptiveConcurrencyLimiter]:
+        """A fresh per-server AIMD window, or ``None`` when disabled."""
+        if self.limiter_window <= 0:
+            return None
+        return AdaptiveConcurrencyLimiter(
+            initial=float(self.limiter_window),
+            max_limit=float(max(1024, self.limiter_window)),
+            backoff=self.limiter_backoff,
+            clock=clock,
+        )
 
     # -------------------------------------------------------- introspection
 

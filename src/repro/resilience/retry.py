@@ -23,9 +23,9 @@ import random
 from dataclasses import dataclass, field
 from typing import Iterator, Optional, Tuple, Type
 
-from repro.errors import ProtocolError, TransportError
+from repro.errors import OverloadError, ProtocolError, TransportError
 
-__all__ = ["RetryPolicy", "TRANSIENT_ERRORS"]
+__all__ = ["RetryPolicy", "TRANSIENT_ERRORS", "NEVER_RETRY"]
 
 #: The default transient fault class: errors a fresh connection + retry can
 #: plausibly cure.  ``ProtocolError`` is included because the hardened
@@ -39,6 +39,17 @@ TRANSIENT_ERRORS: Tuple[Type[BaseException], ...] = (
     OSError,
     asyncio.TimeoutError,
     asyncio.IncompleteReadError,
+)
+
+#: Never retried, no matter how ``transient`` is configured.
+#: ``CancelledError`` is a *request to stop* (it subclasses
+#: ``BaseException`` precisely so handlers don't swallow it) and a retry
+#: would defeat the cancellation; ``OverloadError`` is a *shed* — some
+#: layer refused work it could not absorb, and an immediate retry feeds
+#: the very overload that caused the refusal (storm amplification).
+NEVER_RETRY: Tuple[Type[BaseException], ...] = (
+    asyncio.CancelledError,
+    OverloadError,
 )
 
 
@@ -91,7 +102,14 @@ class RetryPolicy:
     # ------------------------------------------------------- classification
 
     def is_transient(self, error: BaseException) -> bool:
-        """True when *error* is worth a retry on a fresh connection."""
+        """True when *error* is worth a retry on a fresh connection.
+
+        ``NEVER_RETRY`` errors (cancellation, shed replies) answer
+        ``False`` unconditionally — even a custom ``transient`` tuple
+        cannot opt them back in.
+        """
+        if isinstance(error, NEVER_RETRY):
+            return False
         return isinstance(error, self.transient)
 
     # ------------------------------------------------------------- backoff

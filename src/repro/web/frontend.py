@@ -69,6 +69,12 @@ class WebServer(RetrievalConfigMixin):
             as in the paper's evaluation.
         config: full engine options (overrides *coalesce_misses*); shared
             config surface via :class:`RetrievalConfigMixin`.
+        admission: DB-path admission controller (typically a
+            :class:`~repro.resilience.admission.VirtualQueueAdmission`);
+            ``None`` admits everything.  When set, DB-path work over the
+            depth bound is shed (:attr:`FetchPath.SHED`, value ``None``)
+            while hits keep being served — the sim's queue-model mirror
+            of the live frontend's admission control.
     """
 
     def __init__(
@@ -82,6 +88,7 @@ class WebServer(RetrievalConfigMixin):
         seed: int = 0,
         coalesce_misses: bool = False,
         config: Optional[RetrievalConfig] = None,
+        admission=None,
     ) -> None:
         if server_id < 0:
             raise ConfigurationError(f"server_id must be >= 0, got {server_id}")
@@ -94,6 +101,7 @@ class WebServer(RetrievalConfigMixin):
         self.engine = RetrievalEngine(
             cache.router, coalesce_misses=coalesce_misses, config=config
         )
+        self.engine.admission = admission
         self._rng = random.Random((seed << 16) ^ server_id)
         #: in-flight DB-fetch windows for dog-pile coalescing
         self._leaders = LeaderWindowRegistry()
@@ -104,6 +112,17 @@ class WebServer(RetrievalConfigMixin):
     def stats(self) -> FetchStats:
         """Per-path counters (owned by the engine)."""
         return self.engine.stats
+
+    @property
+    def admission(self):
+        """The engine's DB-path admission controller (may be ``None``)."""
+        return self.engine.admission
+
+    def queue_depth(self, now: float) -> float:
+        """Outstanding admitted DB work at *now* (0 without admission)."""
+        if self.engine.admission is None:
+            return 0.0
+        return self.engine.admission.depth(now)
 
     # ------------------------------------------------------------- helpers
 
@@ -166,6 +185,10 @@ class WebServer(RetrievalConfigMixin):
             response = self.database.get(key, clock)
             db_pool.release()
             clock = response.completion_time
+            if self.engine.admission is not None:
+                # The admitted read occupies a virtual queue slot until
+                # its completion time — the depth the controller bounds.
+                self.engine.admission.db_finished(clock, completed=clock)
             if command.announce_leader:
                 # Followers arriving before the write-back lands coalesce.
                 self._leaders.announce(
@@ -284,6 +307,8 @@ class WebServer(RetrievalConfigMixin):
             response = self.database.get(command.key, clock)
             db_pool.release()
             clock = response.completion_time
+            if self.engine.admission is not None:
+                self.engine.admission.db_finished(clock, completed=clock)
             if command.announce_leader:
                 self._leaders.announce(
                     command.key, clock + 2 * self.cache_latency.mean, now=clock

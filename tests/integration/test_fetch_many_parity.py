@@ -91,9 +91,9 @@ class LiveSubstrate:
         )
         inner = self.web._get_multi
 
-        async def logged(server_id, keys):
+        async def logged(server_id, keys, deadline=None):
             self.multiget_log.append((server_id, len(keys)))
-            return await inner(server_id, keys)
+            return await inner(server_id, keys, deadline)
 
         self.web._get_multi = logged
         await self.web.connect()

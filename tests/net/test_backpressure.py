@@ -1,0 +1,172 @@
+"""Server-side backpressure: inflight caps, busy sheds, paused reads.
+
+The overload contract on the wire: a command over the server's global
+``max_inflight`` cap is answered ``SERVER_ERROR busy ...`` in its reply
+slot — a *well-formed* error line, so the stream stays framed and later
+pipelined commands still get their own replies.  Clients surface it as
+:class:`~repro.errors.ServerBusyError`, which the retry policy refuses
+to retry (shed replies must not amplify into retry storms).
+"""
+
+import asyncio
+
+import pytest
+
+from repro.bloom.config import optimal_config
+from repro.errors import ConfigurationError, ServerBusyError
+from repro.net import protocol as proto
+from repro.net.client import MemcachedClient
+from repro.net.parser import ErrorLine
+from repro.net.server import MemcachedServer
+from repro.resilience import RetryPolicy
+
+CFG = optimal_config(500)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def with_raw_server(test_body, **server_kwargs):
+    server_kwargs.setdefault("bloom_config", CFG)
+    server = MemcachedServer(**server_kwargs)
+    await server.start()
+    reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+    try:
+        await test_body(server, reader, writer)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+        await server.stop()
+
+
+class TestValidation:
+    def test_caps_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            MemcachedServer(bloom_config=CFG, max_inflight=0)
+        with pytest.raises(ConfigurationError):
+            MemcachedServer(bloom_config=CFG, max_conn_inflight=0)
+
+
+class TestGlobalInflightCap:
+    def test_burst_over_the_cap_is_shed_with_busy_lines(self):
+        async def body(server, reader, writer):
+            # One TCP segment carrying 5 pipelined gets against a cap of
+            # 2: the first 2 dispatch, the excess 3 are shed in place.
+            writer.write(b"get k\r\n" * 5)
+            await writer.drain()
+            replies = [await reader.readline() for _ in range(5)]
+            served = [r for r in replies if r == b"END\r\n"]
+            shed = [r for r in replies if r.startswith(proto.BUSY_PREFIX)]
+            assert len(served) == 2
+            assert len(shed) == 3
+            assert server.shed_commands == 3
+
+        run(with_raw_server(body, max_inflight=2))
+
+    def test_stream_stays_framed_after_a_shed(self):
+        async def body(server, reader, writer):
+            writer.write(b"get a\r\nget b\r\nget c\r\n")
+            await writer.drain()
+            for _ in range(3):
+                await reader.readline()
+            # The connection survived the sheds: later commands on the
+            # same socket get normal replies in their own slots.
+            writer.write(b"set k 0 0 1\r\nv\r\n")
+            await writer.drain()
+            assert await reader.readline() == b"STORED\r\n"
+            writer.write(b"get k\r\n")
+            await writer.drain()
+            assert await reader.readline() == b"VALUE k 0 1\r\n"
+            assert await reader.readline() == b"v\r\n"
+            assert await reader.readline() == b"END\r\n"
+
+        run(with_raw_server(body, max_inflight=1))
+
+    def test_stats_expose_the_armor_counters(self):
+        async def body(server, reader, writer):
+            writer.write(b"get k\r\nget k\r\n")
+            await writer.drain()
+            await reader.readline()
+            await reader.readline()
+            writer.write(b"stats\r\n")
+            await writer.drain()
+            lines = []
+            while True:
+                line = await reader.readline()
+                lines.append(line)
+                if line == b"END\r\n":
+                    break
+            text = b"".join(lines).decode()
+            assert "inflight_commands" in text
+            assert "shed_commands" in text
+            assert "paused_reads" in text
+
+        run(with_raw_server(body, max_inflight=1))
+
+
+class TestPerConnectionWatermark:
+    def test_oversized_chunk_pauses_reads_until_drained(self):
+        async def body(server, reader, writer):
+            writer.write(b"get k\r\n" * 4)
+            await writer.drain()
+            replies = [await reader.readline() for _ in range(4)]
+            # Nothing shed — the watermark pauses, it does not refuse.
+            assert replies == [b"END\r\n"] * 4
+            assert server.paused_reads >= 1
+            assert server.shed_commands == 0
+
+        run(with_raw_server(body, max_conn_inflight=2))
+
+
+class _BusyServer:
+    """A fake memcached that sheds every command line it reads."""
+
+    def __init__(self):
+        self._server = None
+
+    async def _handle(self, reader, writer):
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                writer.write(proto.busy_response("synthetic overload"))
+                await writer.drain()
+        finally:
+            writer.close()
+
+    async def __aenter__(self):
+        self._server = await asyncio.start_server(
+            self._handle, "127.0.0.1", 0
+        )
+        return self._server.sockets[0].getsockname()[1]
+
+    async def __aexit__(self, *exc_info):
+        self._server.close()
+        await self._server.wait_closed()
+
+
+class TestClientClassification:
+    def test_error_line_classifies_busy(self):
+        busy = ErrorLine(proto.busy_response("x").rstrip(b"\r\n"))
+        plain = ErrorLine(b"SERVER_ERROR out of memory")
+        assert busy.is_busy
+        assert not plain.is_busy
+        with pytest.raises(ServerBusyError):
+            busy.raise_()
+
+    def test_client_raises_server_busy_and_policy_refuses_retry(self):
+        async def body():
+            async with _BusyServer() as port:
+                async with MemcachedClient("127.0.0.1", port) as client:
+                    with pytest.raises(ServerBusyError) as info:
+                        await client.get("k")
+            # The wire shed maps to the never-retry class: storms
+            # cannot amplify through the retry loop.
+            assert not RetryPolicy().is_transient(info.value)
+
+        run(body())

@@ -1,0 +1,265 @@
+"""Frontend overload armor: shed classification, budgets, admission.
+
+The client-side half of the overload contract:
+
+* shed replies (``SERVER_ERROR busy``) and local bounds (full windows,
+  saturated pools) are **never retried** — one attempt, then degrade;
+* cancellation propagates immediately (never absorbed into a retry);
+* the driver-wide :class:`~repro.resilience.RetryBudget` caps total
+  retry volume at a fraction of request volume;
+* per-server AIMD limiters bound concurrent RPCs and treat op timeouts
+  (not refused connections) as congestion signals;
+* DB-path admission sheds misses while hits keep being served.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.bloom.config import optimal_config
+from repro.core.retrieval import SERVER_UNAVAILABLE, FetchPath
+from repro.errors import ClientOverloadError, ServerBusyError, TransportError
+from repro.net.server import MemcachedServer
+from repro.net.webtier import AsyncProteusFrontend
+from repro.resilience import (
+    AdmissionController,
+    Deadline,
+    ResiliencePolicy,
+    RetryPolicy,
+)
+
+CFG = optimal_config(2000)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def make_frontend(resilience=None, **kwargs):
+    async def db(key):
+        return f"db-value-of-{key}".encode()
+
+    return AsyncProteusFrontend(
+        [("127.0.0.1", 1)], CFG, db, resilience=resilience, **kwargs
+    )
+
+
+def fast_retry(**overrides):
+    kwargs = dict(max_attempts=3, base_delay=0.0, jitter=0.0)
+    kwargs.update(overrides)
+    return RetryPolicy(**kwargs)
+
+
+class _CountingOp:
+    """A zero-arg async op raising a scripted error every call."""
+
+    def __init__(self, error):
+        self.error = error
+        self.calls = 0
+
+    async def __call__(self):
+        self.calls += 1
+        raise self.error
+
+
+class TestNeverRetrySheds:
+    def test_server_busy_is_one_attempt_then_degrade(self):
+        async def body():
+            web = make_frontend(ResiliencePolicy(retry=fast_retry()))
+            op = _CountingOp(ServerBusyError("SERVER_ERROR busy x"))
+            result = await web._cache_rpc(0, op, None)
+            assert result is SERVER_UNAVAILABLE
+            assert op.calls == 1  # a shed is never retried
+            assert web.shed_rpcs == 1
+            assert web.transient_failures == 0  # not a breaker failure
+
+        run(body())
+
+    def test_client_overload_is_one_attempt_then_degrade(self):
+        async def body():
+            web = make_frontend(ResiliencePolicy(retry=fast_retry()))
+            op = _CountingOp(ClientOverloadError("window full"))
+            result = await web._cache_rpc(0, op, None)
+            assert result is SERVER_UNAVAILABLE
+            assert op.calls == 1
+            assert web.shed_rpcs == 1
+
+        run(body())
+
+    def test_cancellation_propagates_without_retry(self):
+        async def body():
+            web = make_frontend(ResiliencePolicy(retry=fast_retry()))
+            op = _CountingOp(asyncio.CancelledError())
+            with pytest.raises(asyncio.CancelledError):
+                await web._cache_rpc(0, op, None)
+            assert op.calls == 1
+
+        run(body())
+
+    def test_expired_deadline_skips_the_op_entirely(self):
+        async def body():
+            web = make_frontend(ResiliencePolicy(retry=fast_retry()))
+            op = _CountingOp(TransportError("unreached"))
+            result = await web._cache_rpc(0, op, Deadline(0.0))
+            assert result is SERVER_UNAVAILABLE
+            assert op.calls == 0  # fail fast: no dial, no queue
+            assert web.unavailable_rpcs == 1
+
+        run(body())
+
+
+class TestRetryBudget:
+    def test_spent_budget_denies_the_retry(self):
+        async def body():
+            policy = ResiliencePolicy(
+                retry=fast_retry(),
+                retry_budget_ratio=0.01,  # one RPC deposits ~nothing
+                retry_budget_min_rate=0.0,
+            )
+            web = make_frontend(policy)
+            assert web.retry_budget is not None
+            op = _CountingOp(TransportError("reset"))
+            result = await web._cache_rpc(0, op, None)
+            assert result is SERVER_UNAVAILABLE
+            assert op.calls == 1  # the retry was denied, not slept
+            assert web.budget_denied_retries == 1
+            stats = web.transport_stats()
+            assert stats["retries_denied"] == 1
+            assert stats["retries_granted"] == 0
+
+        run(body())
+
+    def test_funded_budget_grants_retries(self):
+        async def body():
+            policy = ResiliencePolicy(
+                retry=fast_retry(),
+                retry_budget_ratio=1.0,
+                retry_budget_min_rate=0.0,
+            )
+            web = make_frontend(policy)
+            # Fund the bucket with request volume first.
+            web.retry_budget.record_request(n=10)
+            op = _CountingOp(TransportError("reset"))
+            await web._cache_rpc(0, op, None)
+            assert op.calls == 3  # all attempts ran
+            assert web.budget_denied_retries == 0
+            assert web.transport_stats()["retries_granted"] == 2
+
+        run(body())
+
+
+class TestAdaptiveLimiter:
+    def test_full_window_sheds_before_the_op(self):
+        async def body():
+            policy = ResiliencePolicy(retry=fast_retry(), limiter_window=1)
+            web = make_frontend(policy)
+            limiter = web.limiters[0]
+            limiter.inflight = limiter.window  # window occupied
+            op = _CountingOp(TransportError("unreached"))
+            result = await web._cache_rpc(0, op, None)
+            assert result is SERVER_UNAVAILABLE
+            assert op.calls == 0
+            assert web.shed_rpcs == 1
+            assert web.transport_stats()["limiter_shed"] == 1
+
+        run(body())
+
+    def test_op_timeouts_cut_the_window(self):
+        async def body():
+            policy = ResiliencePolicy(
+                retry=fast_retry(max_attempts=2), limiter_window=8
+            )
+            web = make_frontend(policy)
+            timeout = TransportError("op timed out")
+            timeout.__cause__ = asyncio.TimeoutError()
+            await web._cache_rpc(0, _CountingOp(timeout), None)
+            limiter = web.limiters[0]
+            assert limiter.cuts >= 1
+            assert limiter.limit < 8.0
+            assert limiter.inflight == 0  # released on every exit path
+
+        run(body())
+
+    def test_refused_connections_do_not_cut_the_window(self):
+        async def body():
+            # A refused dial is the breaker's business, not congestion.
+            policy = ResiliencePolicy(
+                retry=fast_retry(max_attempts=2), limiter_window=8
+            )
+            web = make_frontend(policy)
+            await web._cache_rpc(0, _CountingOp(ConnectionRefusedError()), None)
+            assert web.limiters[0].cuts == 0
+            assert web.transient_failures == 2
+
+        run(body())
+
+
+class TestTransportStats:
+    def test_base_keys_always_present(self):
+        web = make_frontend()
+        stats = web.transport_stats()
+        for key in (
+            "dials", "ejections", "reconnects", "pool_waited",
+            "pool_leases_peak", "pool_overflow_failures",
+            "unavailable_rpcs", "transient_failures", "shed_rpcs",
+            "budget_denied_retries", "shed_fetches",
+        ):
+            assert key in stats
+        # armor disabled: no budget/limiter sections
+        assert "retries_granted" not in stats
+        assert "limiter_shed" not in stats
+
+    def test_armor_profile_exposes_budget_and_limiter_sections(self):
+        web = make_frontend(ResiliencePolicy.overload_armor())
+        stats = web.transport_stats()
+        for key in (
+            "retries_granted", "retries_denied",
+            "limiter_shed", "limiter_cuts", "limiter_peak_inflight",
+        ):
+            assert key in stats
+
+
+class _DenyAll(AdmissionController):
+    """Refuse every DB read — the deterministic overload oracle."""
+
+    def _admit(self, now):
+        return False
+
+
+class TestLiveAdmission:
+    def test_hits_served_while_db_path_sheds(self):
+        async def body():
+            server = MemcachedServer(bloom_config=CFG)
+            await server.start()
+
+            async def db(key):
+                return f"db-value-of-{key}".encode()
+
+            web = AsyncProteusFrontend(
+                [("127.0.0.1", server.port)], CFG, db
+            )
+            await web.connect()
+            try:
+                # Warm one key with admission off.
+                first = await web.fetch("page:warm")
+                assert first.path is FetchPath.MISS_DB
+
+                web.engine.admission = _DenyAll()
+                # Priority tier 1: the hit completes before any database
+                # decision — admission is never consulted.
+                hit = await web.fetch("page:warm")
+                assert hit.path is FetchPath.HIT_NEW
+                assert hit.value == b"db-value-of-page:warm"
+                # Priority tier 2: the miss's DB read is refused.
+                cold = await web.fetch("page:cold")
+                assert cold.path is FetchPath.SHED
+                assert cold.value is None
+                assert web.stats.shed == 1
+                assert web.stats.goodput == web.stats.total - 1
+                assert web.transport_stats()["shed_fetches"] == 1
+                assert web.engine.admission.shed == 1
+            finally:
+                await web.close()
+                await server.stop()
+
+        run(body())

@@ -1,13 +1,19 @@
 """ConnectionPool: lazy dial, shared leases, broken-connection ejection."""
 
 import asyncio
+import types
 
 import pytest
 
 from repro.bloom.config import optimal_config
-from repro.errors import ConfigurationError
+from repro.errors import (
+    ClientOverloadError,
+    ConfigurationError,
+    DeadlineExceeded,
+)
 from repro.net.pool import ConnectionPool
 from repro.net.server import MemcachedServer
+from repro.resilience import Deadline
 
 BLOOM = optimal_config(500)
 
@@ -173,3 +179,107 @@ class TestEjection:
             assert pool.reconnects == before  # monotonic across retirement
 
         run(with_pool(body))
+
+
+class TestCloseRaces:
+    def test_release_after_close_is_a_noop(self):
+        async def body(server, pool):
+            client = await pool.acquire()
+            # close() races the outstanding lease: it retires everything
+            # and the straggler release must not resurrect the connection.
+            await pool.close()
+            pool.release(client)
+            assert pool.live == 0
+            assert pool.leases == 0
+
+        run(with_pool(body))
+
+    def test_double_release_never_goes_negative(self):
+        async def body(server, pool):
+            client = await pool.acquire()
+            pool.release(client)
+            pool.release(client)  # buggy caller: clamp, don't corrupt
+            assert pool.leases == 0
+            # the pool is still fully usable afterwards
+            async with pool.connection() as again:
+                assert await again.set("k", b"v")
+
+        run(with_pool(body))
+
+    def test_released_broken_connection_not_double_ejected(self):
+        async def body(server, pool):
+            client = await pool.acquire()
+            client._poison()
+            pool.release(client)
+            assert pool.ejections == 1
+            pool.release(client)  # already ejected: key is gone
+            assert pool.ejections == 1
+            assert pool.live == 0
+
+        run(with_pool(body))
+
+
+class TestContention:
+    def test_waited_and_leases_peak_track_sharing(self):
+        async def body(server, pool):
+            first = await pool.acquire()
+            assert pool.waited == 0
+            second = await pool.acquire()  # size=1: must share
+            assert first is second
+            assert pool.waited == 1
+            assert pool.leases_peak == 2
+            pool.release(first)
+            pool.release(second)
+            # the high-water mark survives the leases draining
+            assert pool.leases == 0
+            assert pool.leases_peak == 2
+
+        run(with_pool(body, size=1))
+
+
+class TestSaturationFailFast:
+    def test_window_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            ConnectionPool("127.0.0.1", 1, max_inflight_per_conn=0)
+
+    def test_expired_deadline_fails_before_any_dial(self):
+        async def body():
+            pool = ConnectionPool("127.0.0.1", 1)
+            with pytest.raises(DeadlineExceeded):
+                await pool.acquire(Deadline(0.0))
+            assert pool.dials == 0  # no socket work for a dead budget
+            await pool.close()
+
+        run(body())
+
+    def _saturated(self, count=2, inflight=8):
+        return [types.SimpleNamespace(inflight=inflight) for _ in range(count)]
+
+    def test_full_windows_with_no_time_left_raise(self):
+        pool = ConnectionPool(
+            "127.0.0.1", 1, size=2, timeout=0.25, max_inflight_per_conn=8
+        )
+        tight = Deadline(0.1)  # cannot afford one op-timeout of queueing
+        with pytest.raises(ClientOverloadError):
+            pool._check_saturation(self._saturated(), tight)
+        assert pool.overflow_failures == 1
+
+    def test_roomy_deadline_queues_instead_of_failing(self):
+        pool = ConnectionPool(
+            "127.0.0.1", 1, size=2, timeout=0.25, max_inflight_per_conn=8
+        )
+        pool._check_saturation(self._saturated(), Deadline(5.0))
+        assert pool.overflow_failures == 0
+
+    def test_one_free_window_admits(self):
+        pool = ConnectionPool(
+            "127.0.0.1", 1, size=2, timeout=0.25, max_inflight_per_conn=8
+        )
+        candidates = self._saturated() + [types.SimpleNamespace(inflight=3)]
+        pool._check_saturation(candidates, Deadline(0.1))
+        assert pool.overflow_failures == 0
+
+    def test_disabled_window_never_fails(self):
+        pool = ConnectionPool("127.0.0.1", 1, size=2, timeout=0.25)
+        pool._check_saturation(self._saturated(), Deadline(0.0))
+        assert pool.overflow_failures == 0

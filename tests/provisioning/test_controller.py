@@ -227,3 +227,41 @@ class TestHealthFeedback:
             controller(degraded_rate_threshold=-0.1)
         with pytest.raises(ConfigurationError):
             controller(remap_veto_threshold=-0.1)
+
+
+class TestShedFeedback:
+    """Sustained admission shedding closes the loop: the delay signal
+    under-reports a flash crowd (shed requests never post a latency
+    sample), so the shed rate must drive scale-up and veto descent."""
+
+    def health(self, requests=100, shed=0):
+        from repro.provisioning.health import HealthSnapshot
+
+        return HealthSnapshot(at=0.0, requests=requests, shed=shed)
+
+    def test_shedding_forces_an_emergency_scale_up(self):
+        ctl = controller(num_servers=4)
+        ctl._n = 2
+        # Delay looks calm (hits keep the median low), but 10% of offered
+        # load was refused: add a server anyway.
+        new = ctl.update(0.1, arrival_rate=100, health=self.health(shed=10))
+        assert new == 3
+        assert ctl.emergency_scale_ups == 1
+
+    def test_shedding_vetoes_scale_down(self):
+        ctl = controller(num_servers=4)  # starts at the full fleet
+        new = ctl.update(0.1, arrival_rate=100, health=self.health(shed=10))
+        assert new == 4  # wanted 3, vetoed
+        assert ctl.vetoed_scale_downs == 1
+
+    def test_shed_below_threshold_changes_nothing(self):
+        ctl = controller(num_servers=4)
+        quiet = self.health(requests=1000, shed=10)  # 1% < 2% threshold
+        new = ctl.update(0.1, arrival_rate=100, health=quiet)
+        assert new == 3  # the ordinary scale-down proceeds
+        assert ctl.emergency_scale_ups == 0
+        assert ctl.vetoed_scale_downs == 0
+
+    def test_threshold_validation(self):
+        with pytest.raises(ConfigurationError):
+            controller(shed_rate_threshold=-0.1)

@@ -156,3 +156,39 @@ class TestSimulationFactory:
         snap = monitor.observe(30.0)
         assert snap.requests == 1
         assert snap.failed_servers == frozenset({1})
+
+
+class TestShedSignal:
+    def test_shed_marks_unhealthy_and_sets_rate(self):
+        snap = snapshot(requests=200, shed=10)
+        assert snap.shed_rate == pytest.approx(0.05)
+        assert not snap.healthy
+        assert snapshot(requests=0, shed=0).shed_rate == 0.0
+
+    def test_monitor_differences_the_shed_counter(self):
+        stats = FetchStats()
+        monitor = ClusterHealthMonitor(1)
+        monitor.watch_stats(lambda: stats)
+        for _ in range(3):
+            stats.record(FetchPath.SHED)
+        for _ in range(7):
+            stats.record(FetchPath.MISS_DB)
+        first = monitor.observe(now=1.0)
+        assert first.shed == 3
+        assert first.requests == 10
+        assert first.shed_rate == pytest.approx(0.3)
+        # no new sheds: the next window reports zero, not the total
+        second = monitor.observe(now=2.0)
+        assert second.shed == 0
+        assert second.healthy
+
+    def test_queue_depth_is_a_gauge_not_a_delta(self):
+        monitor = ClusterHealthMonitor(1)
+        depth = {"value": 2.5}
+        monitor.watch_queue_depth(lambda now: depth["value"])
+        monitor.watch_queue_depth(lambda now: 1.5)  # gauges sum
+        assert monitor.observe(now=1.0).queue_depth == pytest.approx(4.0)
+        depth["value"] = 0.0
+        # same reading twice: a gauge reports the level, not the change
+        assert monitor.observe(now=2.0).queue_depth == pytest.approx(1.5)
+        assert monitor.observe(now=3.0).queue_depth == pytest.approx(1.5)

@@ -3,10 +3,14 @@
 import asyncio
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.errors import (
+    ClientOverloadError,
     ConfigurationError,
     ProtocolError,
+    ServerBusyError,
     TransitionError,
     TransportError,
 )
@@ -34,6 +38,25 @@ class TestClassification:
         policy = RetryPolicy(transient=(ValueError,))
         assert policy.is_transient(ValueError())
         assert not policy.is_transient(TransportError("reset"))
+
+    def test_cancellation_is_never_retried(self):
+        # A retry would defeat the cancellation — even a transient tuple
+        # as broad as BaseException cannot opt it back in.
+        assert not RetryPolicy().is_transient(asyncio.CancelledError())
+        policy = RetryPolicy(transient=(BaseException,))
+        assert not policy.is_transient(asyncio.CancelledError())
+
+    def test_shed_replies_are_never_retried(self):
+        # A shed means some layer refused work it could not absorb; an
+        # immediate retry is the retry-storm amplifier.
+        policy = RetryPolicy()
+        assert not policy.is_transient(ServerBusyError("SERVER_ERROR busy"))
+        assert not policy.is_transient(ClientOverloadError("window full"))
+        # Unconditional: custom transient classes cannot override it.
+        broad = RetryPolicy(transient=(Exception,))
+        assert not broad.is_transient(ServerBusyError("SERVER_ERROR busy"))
+        assert not broad.is_transient(ClientOverloadError("window full"))
+        assert broad.is_transient(TransportError("reset"))
 
 
 class TestBackoff:
@@ -72,6 +95,28 @@ class TestBackoff:
     def test_backoff_rejects_negative_attempt(self):
         with pytest.raises(ValueError):
             RetryPolicy().backoff(-1)
+
+
+class TestBackoffProperties:
+    @given(
+        seed=st.integers(min_value=0, max_value=2 ** 32 - 1),
+        max_attempts=st.integers(min_value=1, max_value=8),
+        jitter=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_total_sleep_never_exceeds_the_budget(
+        self, seed, max_attempts, jitter
+    ):
+        """Whatever the seed draws, the realized backoff sequence fits
+        inside ``total_backoff()`` — the bound drivers charge against
+        deadlines and retry budgets."""
+        policy = RetryPolicy(
+            max_attempts=max_attempts, base_delay=0.01, multiplier=2.0,
+            max_delay=0.5, jitter=jitter, seed=seed,
+        )
+        delays = list(policy.delays())
+        assert len(delays) == max_attempts - 1
+        assert all(delay >= 0.0 for delay in delays)
+        assert sum(delays) <= policy.total_backoff() + 1e-12
 
 
 class TestValidation:

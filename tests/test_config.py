@@ -175,3 +175,80 @@ class TestTTLPolicyKnobs:
             make(min_ttl_seconds=50.0, max_ttl_seconds=10.0)
         with pytest.raises(ConfigurationError):
             make(ttl_target_residual=1.5)
+
+
+class TestOverloadArmorKnobs:
+    def test_defaults_disable_everything(self):
+        cfg = make()
+        assert cfg.retry_budget_ratio == 0.0
+        assert cfg.limiter_window == 0
+        assert cfg.admission_window == 0
+        assert cfg.max_inflight_per_conn == 0
+        assert cfg.build_resilience() is None
+        assert cfg.build_admission() is None
+
+    def test_rejects_negative_knobs(self):
+        with pytest.raises(ConfigurationError):
+            make(retry_budget_ratio=-0.1)
+        with pytest.raises(ConfigurationError):
+            make(limiter_window=-1)
+        with pytest.raises(ConfigurationError):
+            make(admission_window=-1)
+        with pytest.raises(ConfigurationError):
+            make(max_inflight_per_conn=-1)
+
+    def test_roundtrips_through_json(self):
+        cfg = make(
+            retry_budget_ratio=0.2,
+            limiter_window=32,
+            admission_window=16,
+            max_inflight_per_conn=64,
+        )
+        again = ClusterConfig.from_json(cfg.to_json())
+        assert again == cfg
+        assert again.retry_budget_ratio == 0.2
+        assert again.limiter_window == 32
+        assert again.admission_window == 16
+        assert again.max_inflight_per_conn == 64
+
+    def test_build_resilience_arms_the_policy(self):
+        cfg = make(retry_budget_ratio=0.2, limiter_window=32)
+        policy = cfg.build_resilience()
+        assert policy.retry_budget_ratio == 0.2
+        assert policy.limiter_window == 32
+        assert policy.new_retry_budget() is not None
+        assert policy.new_limiter() is not None
+
+    def test_build_admission_sizes_the_window(self):
+        from repro.resilience import ConcurrencyAdmission
+
+        admission = make(admission_window=16).build_admission()
+        assert isinstance(admission, ConcurrencyAdmission)
+        assert admission.limiter.limit == 16.0
+
+    def test_build_frontend_wires_the_armor(self):
+        cfg = make(
+            retry_budget_ratio=0.2,
+            limiter_window=32,
+            admission_window=16,
+            max_inflight_per_conn=64,
+        )
+
+        async def db(key):
+            return b"v"
+
+        web = cfg.build_frontend(db)
+        assert web.retry_budget is not None
+        assert all(lim is not None for lim in web.limiters)
+        assert web.admission is not None
+        assert web.max_inflight_per_conn == 64
+
+    def test_build_frontend_default_has_no_armor(self):
+        async def db(key):
+            return b"v"
+
+        web = make().build_frontend(db)
+        assert web.retry_budget is None
+        assert web.limiters == [None] * 3
+        assert web.admission is None
+        assert web.max_inflight_per_conn is None

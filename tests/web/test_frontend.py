@@ -160,3 +160,80 @@ class TestDigestFalsePositive:
         result = web.fetch(key, t + 1.0)
         assert result.path is FetchPath.FALSE_POSITIVE_DB
         assert web.stats.counts[FetchPath.FALSE_POSITIVE_DB] == 1
+
+
+class TestAdmissionControl:
+    """DB-path admission in the sim tier (the live frontend's mirror)."""
+
+    def build_admitted(self, max_depth=1, db_latency=0.05):
+        from repro.resilience import VirtualQueueAdmission
+
+        cache = CacheCluster(
+            ProteusRouter(4, ring_size=2 ** 20),
+            capacity_bytes=4096 * 2000,
+            ttl=60.0,
+            bloom_config=CFG,
+        )
+        db = DatabaseCluster(3, service_model=Constant(db_latency))
+        web = WebServer(
+            0, cache, db,
+            cache_latency=Constant(0.001), web_overhead=Constant(0.002),
+            admission=VirtualQueueAdmission(max_depth=max_depth),
+        )
+        return cache, db, web
+
+    def test_excess_misses_are_shed_not_queued(self):
+        cache, db, web = self.build_admitted(max_depth=1)
+        first = web.fetch("page:a", now=0.0)
+        assert first.path is FetchPath.MISS_DB
+        # The admitted read is still outstanding on the virtual clock:
+        # further DB-path work at the same instant is refused, unserved.
+        shed = web.fetch("page:b", now=0.0)
+        assert shed.path is FetchPath.SHED
+        assert shed.value is None
+        assert not shed.touched_database
+        assert web.stats.shed == 1
+        assert web.stats.goodput == web.stats.total - 1
+        assert db.total_requests() == 1  # the shed never reached the DB
+
+    def test_hits_are_never_consulted(self):
+        cache, db, web = self.build_admitted(max_depth=1)
+        web.fetch("page:a", now=0.0)
+        # Saturate the virtual queue with a concurrent miss.
+        web.fetch("page:b", now=1.0)
+        # A hit at the same saturated instant still serves: it completes
+        # before any database decision is made.
+        hit = web.fetch("page:a", now=1.0)
+        assert hit.path is FetchPath.HIT_NEW
+        assert hit.value is not None
+
+    def test_virtual_queue_drains_with_time(self):
+        cache, db, web = self.build_admitted(max_depth=1, db_latency=0.05)
+        web.fetch("page:a", now=0.0)
+        assert web.queue_depth(0.01) == 1.0
+        assert web.fetch("page:b", now=0.0).path is FetchPath.SHED
+        # Past the admitted read's completion the slot frees up.
+        assert web.queue_depth(1.0) == 0.0
+        later = web.fetch("page:b", now=1.0)
+        assert later.path is FetchPath.MISS_DB
+
+    def test_no_admission_means_zero_behaviour_change(self):
+        cache, db, web = build()
+        assert web.admission is None
+        assert web.queue_depth(0.0) == 0.0
+        result = web.fetch("page:a", now=0.0)
+        assert result.path is FetchPath.MISS_DB
+        assert web.stats.shed == 0
+
+    def test_batch_sheds_only_the_excess(self):
+        cache, db, web = self.build_admitted(max_depth=2)
+        keys = [f"page:{i}" for i in range(6)]
+        results = web.fetch_many(keys, now=0.0)
+        paths = [results[k].path for k in keys]
+        assert paths.count(FetchPath.MISS_DB) == 2
+        assert paths.count(FetchPath.SHED) == 4
+        assert db.total_requests() == 2
+        # shed keys carry no value and trigger no write-back
+        for key in keys:
+            if results[key].path is FetchPath.SHED:
+                assert results[key].value is None
